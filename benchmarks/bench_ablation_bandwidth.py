@@ -1,0 +1,23 @@
+"""Ablation: DRAM-bandwidth sensitivity of the deconvolution
+optimizations.
+
+Shape assertions: DCO helps at every bandwidth; the gain is largest
+when bandwidth is scarce (the naive deconvolution's zero traffic is
+then the bottleneck) and settles towards the pure MAC-reduction factor
+as bandwidth becomes abundant.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation.ablation import format_bandwidth_sweep, run_bandwidth_sweep
+
+
+def test_bandwidth_sweep(benchmark, save_table):
+    rows = once(benchmark, run_bandwidth_sweep)
+    save_table("ablation_bandwidth", format_bandwidth_sweep(rows))
+
+    assert all(r.speedup > 1.1 for r in rows)
+    # scarce bandwidth rewards traffic elimination the most
+    assert rows[0].speedup >= rows[-1].speedup
+    # baseline latency must fall monotonically with bandwidth
+    base = [r.baseline_mcycles for r in rows]
+    assert base == sorted(base, reverse=True)

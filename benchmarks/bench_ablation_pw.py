@@ -1,0 +1,27 @@
+"""Ablation: the propagation-window length (paper Sec. 7.2).
+
+Shape assertions: speedup grows monotonically with PW but with
+diminishing returns (the non-key cost floor), and PW-4 — the paper's
+operating point — already reaches ~30 FPS on DispNet.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation.ablation import format_pw_sweep, run_pw_sweep
+
+
+def test_pw_sweep(benchmark, save_table):
+    rows = once(benchmark, run_pw_sweep)
+    save_table("ablation_pw_sweep", format_pw_sweep(rows))
+    by_pw = {r.pw: r for r in rows}
+
+    speeds = [by_pw[pw].speedup for pw in (1, 2, 4, 8)]
+    assert speeds == sorted(speeds)
+
+    # diminishing returns: the per-window efficiency (speedup / PW)
+    # falls as the non-key-frame cost floor asserts itself
+    eff = [by_pw[pw].speedup / pw for pw in (1, 2, 4, 8)]
+    assert eff == sorted(eff, reverse=True)
+
+    # the paper's operating point reaches real time on DispNet
+    assert by_pw[4].fps > 28.0
+    assert by_pw[4].energy_reduction_pct > 75.0

@@ -1,0 +1,36 @@
+"""Ablation: the tiling scheduler's design choices (DESIGN.md).
+
+Shape assertions: the full optimizer (free β + knapsack packing) is at
+least as fast as every ablated variant; the knapsack packer beats
+one-filter-per-round scheduling; per-layer optimization beats the
+static partition.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation.ablation import (
+    format_scheduler_ablation,
+    run_scheduler_ablation,
+)
+
+
+def test_scheduler_ablation(benchmark, save_table):
+    rows = once(benchmark, run_scheduler_ablation)
+    save_table("ablation_scheduler", format_scheduler_ablation(rows))
+    by_name = {r.strategy: r for r in rows}
+    full = by_name["optimizer, full (paper)"]
+
+    for r in rows:
+        assert full.cycles <= r.cycles, r.strategy
+
+    if "one filter per round (no knapsack)" in by_name:
+        assert full.cycles < by_name["one filter per round (no knapsack)"].cycles
+
+    if "static partition (even thirds)" in by_name:
+        assert full.cycles <= by_name["static partition (even thirds)"].cycles
+
+    # β must at least match the better of the two forced orders
+    best_forced = min(
+        by_name["optimizer, beta=ifmap-resident"].cycles,
+        by_name["optimizer, beta=weight-resident"].cycles,
+    )
+    assert full.cycles <= best_forced

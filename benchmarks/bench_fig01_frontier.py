@@ -1,0 +1,48 @@
+"""Fig. 1 — the FPS/error frontier.
+
+Shape assertions: classic algorithms are fast but inaccurate, DNNs
+accurate but slow (GPU slowest), and ASV sits in the real-time,
+DNN-accuracy corner.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.evaluation import format_fig1, run_fig1
+
+
+def test_fig1_frontier(benchmark, save_table):
+    points = once(benchmark, run_fig1)
+    save_table("fig01_frontier", format_fig1(points))
+
+    by_kind = {}
+    for p in points:
+        by_kind.setdefault(p.kind, []).append(p)
+
+    classic_err = np.mean([p.error_pct for p in by_kind["classic"]])
+    dnn_err = np.mean([p.error_pct for p in by_kind["dnn-acc"]])
+    assert classic_err > dnn_err, "classic algorithms must be less accurate"
+
+    # DNNs are orders of magnitude slower than classic algorithms
+    classic_fps = np.median([p.fps for p in by_kind["classic"]])
+    dnn_acc_fps = np.median([p.fps for p in by_kind["dnn-acc"]])
+    assert classic_fps > dnn_acc_fps
+
+    # GPU runs the same networks slower than the accelerator
+    for acc, gpu in zip(by_kind["dnn-acc"], by_kind["dnn-gpu"]):
+        assert acc.fps > gpu.fps, (acc.name, gpu.name)
+
+    # ASV: >= 30 FPS at DNN-class accuracy (the paper's headline point)
+    asv = by_kind["asv"][0]
+    assert asv.fps >= 30.0
+    assert asv.error_pct < classic_err
+    assert asv.error_pct < dnn_err + 2.0
+
+    # and it sits on the Pareto frontier of the whole design space
+    from repro.evaluation.pareto import pareto_frontier
+
+    frontier = pareto_frontier(points)
+    assert any(p.name == "ASV" for p in frontier)
+    # no GPU point survives on the frontier (dominated by its own
+    # accelerator twin at equal accuracy)
+    assert all(p.kind != "dnn-gpu" for p in frontier)

@@ -1,0 +1,27 @@
+"""Fig. 3 — MAC distribution across FE/MO/DR stages.
+
+Shape assertions: conv+deconv dominate (>99 %), deconvolution averages
+near the paper's 38.2 % with a ~50 % maximum, and the 3-D cost-volume
+networks are the heaviest.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation import format_fig3, run_fig3
+from repro.evaluation.fig3 import average_dr_share
+
+
+def test_fig3_distribution(benchmark, save_table):
+    shares = once(benchmark, run_fig3)
+    save_table("fig03_op_distribution", format_fig3(shares))
+
+    avg_dr = average_dr_share(shares)
+    assert 30.0 < avg_dr < 45.0, f"avg deconv share {avg_dr:.1f}% vs paper 38.2%"
+    assert max(s.dr_pct for s in shares) > 45.0  # FlowNetC ~50%
+
+    for s in shares:
+        conv_deconv = s.fe_pct + s.mo_pct + s.dr_pct
+        assert conv_deconv > 99.0, f"{s.network}: conv+deconv only {conv_deconv:.1f}%"
+
+    by_name = {s.network: s for s in shares}
+    assert by_name["GC-Net"].total_gmacs > by_name["DispNet"].total_gmacs * 10
+    assert by_name["PSMNet"].total_gmacs > by_name["FlowNetC"].total_gmacs * 5

@@ -1,0 +1,28 @@
+"""Fig. 4 — triangulation sensitivity.
+
+Shape assertions: the paper's "two tenths of a pixel cost 0.5-5 m"
+claim, monotonic growth with both disparity error and distance, and
+the quadratic distance scaling of the closed form.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation import format_fig4, run_fig4
+
+
+def test_fig4_sensitivity(benchmark, save_table):
+    curves = once(benchmark, run_fig4)
+    save_table("fig04_depth_sensitivity", format_fig4(curves))
+
+    by_dist = {c.distance_m: c for c in curves}
+    err10 = by_dist[10.0].depth_errors_m[-1]   # at 0.2 px
+    err30 = by_dist[30.0].depth_errors_m[-1]
+    assert 0.3 < err10 < 1.0, f"10 m error at 0.2 px: {err10:.2f} m"
+    assert 2.5 < err30 < 5.5, f"30 m error at 0.2 px: {err30:.2f} m"
+
+    for c in curves:
+        diffs = c.depth_errors_m[1:] - c.depth_errors_m[:-1]
+        assert (diffs > 0).all(), "depth error must grow with disparity error"
+
+    # first-order model: error ~ distance^2
+    ratio = err30 / err10
+    assert 6.0 < ratio < 12.0, f"distance scaling {ratio:.1f}, expected ~9"

@@ -1,0 +1,38 @@
+"""Fig. 10 — ISM / DCO / combined speedup and energy ablation.
+
+Shape assertions against the paper's averages: combined ~4.9x speedup
+and ~85 % energy saving; ISM contributes more than DCO; the Sec. 3.3
+claim that non-key frames are orders of magnitude cheaper than DNN
+inference.
+"""
+
+from benchmarks.conftest import once
+from repro.core import ASVSystem
+from repro.evaluation import format_fig10, run_fig10
+from repro.evaluation.fig10 import averages
+
+
+def test_fig10_ablation(benchmark, save_table):
+    rows = once(benchmark, run_fig10)
+    save_table("fig10_ablation", format_fig10(rows))
+
+    avg = averages(rows)
+    assert 3.5 < avg.combined_speedup < 7.0, avg.combined_speedup
+    assert 78.0 < avg.combined_energy_red_pct < 95.0
+    assert 2.5 < avg.ism_speedup < 4.2   # paper: 3.3x, bounded by PW=4
+    assert 65.0 < avg.ism_energy_red_pct < 80.0  # paper: 75%
+    assert 1.2 < avg.dco_speedup < 2.2   # paper: 1.57x
+    assert 25.0 < avg.dco_energy_red_pct < 60.0
+
+    for r in rows:
+        assert r.ism_speedup > r.dco_speedup, r.network
+        assert r.combined_speedup > max(r.ism_speedup, r.dco_speedup), r.network
+
+
+def test_nonkey_frame_cost(benchmark):
+    """Sec. 3.3: a non-key frame is 100-10000x cheaper than inference."""
+    system = ASVSystem()
+    nonkey = once(benchmark, system.nonkey_frame)
+    for net in ("DispNet", "GC-Net"):
+        key = system.dnn_frame(net, "baseline")
+        assert 10 < key.cycles / nonkey.cycles < 100_000

@@ -1,0 +1,35 @@
+"""Fig. 13 — ASV vs Eyeriss vs mobile GPU.
+
+Shape assertions: the full ASV system is many times faster than
+Eyeriss at a small fraction of its energy; Eyeriss itself benefits
+from the (software!) deconvolution transformation; the GPU is both the
+slowest and the most energy-hungry system.
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation import format_fig13, run_fig13
+
+
+def test_fig13_eyeriss_gpu(benchmark, save_table):
+    points = once(benchmark, run_fig13)
+    save_table("fig13_eyeriss_gpu", format_fig13(points))
+    by_name = {p.system: p for p in points}
+
+    full = by_name["ASV-DCO+ISM"]
+    assert 5.0 < full.speedup_vs_eyeriss < 14.0   # paper: 8.2x
+    assert full.norm_energy < 0.25                # paper: 0.16
+
+    dct = by_name["Eyeriss+DCT"]
+    assert 1.2 < dct.speedup_vs_eyeriss < 2.2     # paper: 1.6x
+    assert dct.norm_energy < 0.9                  # paper: 0.69
+
+    gpu = by_name["GPU"]
+    assert gpu.speedup_vs_eyeriss < 1.0           # slowest platform
+    assert gpu.norm_energy > 1.5                  # most energy-hungry
+
+    # variant ordering holds against Eyeriss too
+    assert (
+        by_name["ASV-DCO"].speedup_vs_eyeriss
+        < by_name["ASV-ISM"].speedup_vs_eyeriss
+        < full.speedup_vs_eyeriss
+    )

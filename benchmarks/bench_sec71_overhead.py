@@ -1,0 +1,18 @@
+"""Sec. 7.1 — hardware overhead of the ASV extensions.
+
+Shape assertions: the paper's per-PE figures (+6.3 % area, +2.3 %
+power) and the headline "total overhead below 0.5 %".
+"""
+
+from benchmarks.conftest import once
+from repro.evaluation import format_overhead, run_overhead
+
+
+def test_sec71_overhead(benchmark, save_table):
+    model, report = once(benchmark, run_overhead)
+    save_table("sec71_overhead", format_overhead(model, report))
+
+    assert abs(model.pe_area_overhead_pct() - 6.3) < 0.2
+    assert abs(model.pe_power_overhead_pct() - 2.3) < 0.2
+    assert report.area_overhead_pct < 0.5
+    assert report.power_overhead_pct < 0.5

@@ -1,0 +1,38 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark (a) regenerates one of the paper's evaluation figures as
+a text table, (b) asserts the paper's qualitative claims about that
+figure, and (c) writes the table to ``benchmarks/results/`` so the full
+set of reproduced figures survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered figure table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, table: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[saved to {path}]")
+
+    return _save
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are deterministic end-to-end model evaluations;
+    repeating them would only re-measure identical work, so every
+    figure bench uses a single round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

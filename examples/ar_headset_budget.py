@@ -1,0 +1,81 @@
+"""AR-headset scenario: depth under a hard power budget.
+
+Augmented-reality headsets (one of the paper's motivating platforms)
+give the whole perception stack a ~1 W power envelope.  This example
+asks the co-designed system model which configurations fit:
+
+* per-frame DNN inference vs ISM at several propagation windows,
+* the static PW policy vs the motion-adaptive policy on a scene with a
+  sudden camera movement,
+* a per-layer profile showing where the remaining time goes.
+
+Run:  python examples/ar_headset_budget.py
+"""
+
+import numpy as np
+
+from repro.core import ISM, ASVSystem, ISMConfig, MotionAdaptivePolicy
+from repro.datasets import sceneflow_scene
+from repro.evaluation.profiling import profile_network
+from repro.models.proxy import StereoDNNProxy
+from repro.stereo import error_rate
+
+POWER_BUDGET_W = 1.0
+TARGET_FPS = 30.0
+
+
+def power_table():
+    system = ASVSystem()
+    hw = system.hw
+    print(f"DispNet depth at {TARGET_FPS:.0f} FPS — {POWER_BUDGET_W:.1f} W budget")
+    print(f"  {'configuration':26s} {'ms/frame':>9} {'watts':>7}  fits?")
+    rows = [("DNN every frame", dict(use_ism=False, mode="baseline"))]
+    rows += [
+        (f"ISM PW-{pw} + DCO", dict(use_ism=True, mode="ilar", pw=pw))
+        for pw in (2, 4, 8)
+    ]
+    for label, kw in rows:
+        cost = system.frame_cost("DispNet", **kw)
+        watts = cost.energy_j * TARGET_FPS
+        ok = watts <= POWER_BUDGET_W and cost.fps(hw) >= TARGET_FPS
+        print(f"  {label:26s} {1e3 * cost.seconds(hw):9.1f} {watts:7.2f}"
+              f"  {'yes' if ok else 'no'}")
+
+
+def adaptive_policy_demo():
+    """A sequence with a sudden pan: the adaptive policy re-keys."""
+    scene = sceneflow_scene(seed=12, size=(140, 240), max_disp=40, max_speed=1.0)
+    frames = scene.sequence(3)
+    # splice in a hard camera pan: later frames from a shifted time
+    frames += scene.sequence(3, t0=9.0)
+
+    proxy = StereoDNNProxy("DispNet", seed=0)
+    static = ISM(proxy, ISMConfig(propagation_window=6))
+    adaptive = ISM(
+        proxy,
+        ISMConfig(propagation_window=6),
+        policy=MotionAdaptivePolicy(max_window=6, motion_threshold=3.0),
+    )
+    print("\nsudden-motion sequence: static PW-6 vs motion-adaptive policy")
+    for label, ism in (("static", static), ("adaptive", adaptive)):
+        result = ism.run_sequence(frames)
+        errs = [
+            error_rate(d, f.disparity)
+            for d, f in zip(result.disparities, frames)
+        ]
+        print(f"  {label:9s} keys at {[i for i, k in enumerate(result.key_frames) if k]}"
+              f"  mean error {np.mean(errs):5.2f}%  worst {max(errs):5.2f}%")
+
+
+def where_does_time_go():
+    print("\ntop-5 layers by cycle share (DispNet on the baseline):")
+    profiles = profile_network("DispNet", "baseline", size=(270, 480))
+    for p in sorted(profiles, key=lambda p: -p.cycle_share_pct)[:5]:
+        kind = "deconv" if p.is_deconv else "conv"
+        print(f"  {p.layer:22s} {kind:6s} {p.cycle_share_pct:5.1f}%  ({p.bound}-bound)")
+
+
+if __name__ == "__main__":
+    power_table()
+    adaptive_policy_demo()
+    where_does_time_go()

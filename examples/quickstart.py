@@ -1,0 +1,62 @@
+"""Quickstart: depth from stereo with the ASV reproduction.
+
+A five-minute tour of the public API:
+
+1. render a synthetic stereo pair with exact ground truth;
+2. estimate disparity with classic matchers and a stereo-DNN proxy;
+3. run the ISM algorithm over a short stereo video;
+4. ask the hardware model what each configuration costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ISM, ASVSystem, ISMConfig
+from repro.datasets import sceneflow_scene
+from repro.models.proxy import StereoDNNProxy
+from repro.stereo import block_match, error_rate, sgm
+
+
+def main():
+    # 1. a synthetic scene: textured objects at known disparities
+    scene = sceneflow_scene(seed=7, size=(160, 280), max_disp=48)
+    frame = scene.render(0)
+    print(f"stereo pair {frame.shape}, disparity range "
+          f"[{frame.disparity.min():.1f}, {frame.disparity.max():.1f}] px")
+
+    # 2. classic matchers vs a calibrated DNN proxy
+    print("\nsingle-frame disparity (three-pixel error):")
+    for name, disp in [
+        ("block matching", block_match(frame.left, frame.right, 48)),
+        ("SGM (8 paths)", sgm(frame.left, frame.right, 48)),
+        ("DispNet proxy", StereoDNNProxy("DispNet", seed=0)(frame)),
+    ]:
+        print(f"  {name:16s} {error_rate(disp, frame.disparity):5.2f}%")
+
+    # 3. ISM over a 4-frame video: DNN on frame 0, propagation after
+    video = scene.sequence(4)
+    ism = ISM(StereoDNNProxy("DispNet", seed=0),
+              config=ISMConfig(propagation_window=4))
+    result = ism.run_sequence(video)
+    print("\nISM over a 4-frame video (PW-4):")
+    for i, (disp, f, key) in enumerate(
+        zip(result.disparities, video, result.key_frames)
+    ):
+        tag = "key    " if key else "non-key"
+        print(f"  frame {i} [{tag}]  error {error_rate(disp, f.disparity):5.2f}%")
+
+    # 4. what does it cost on the accelerator?
+    system = ASVSystem()
+    base = system.frame_cost("DispNet", use_ism=False, mode="baseline")
+    asv = system.frame_cost("DispNet", use_ism=True, mode="ilar", pw=4)
+    hw = system.hw
+    print("\nper-frame cost on the 24x24 accelerator (DispNet, qHD):")
+    print(f"  baseline DNN every frame : {1e3 * base.seconds(hw):6.1f} ms "
+          f"({base.fps(hw):5.1f} FPS), {1e3 * base.energy_j:.1f} mJ")
+    print(f"  ASV (ISM PW-4 + DCO)     : {1e3 * asv.seconds(hw):6.1f} ms "
+          f"({asv.fps(hw):5.1f} FPS), {1e3 * asv.energy_j:.1f} mJ")
+    print(f"  speedup {base.cycles / asv.cycles:.1f}x, "
+          f"energy saving {100 * (1 - asv.energy_j / base.energy_j):.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""The paper's core contribution: ISM + the ASV system composition."""
+
+from repro.core.asv import MODES, ASVSystem, FrameCost
+from repro.core.depth import DepthEstimator, DepthFrame
+from repro.core.correspondence import (
+    compose_flows,
+    propagate_correspondences,
+    reconstruct_correspondences,
+    refine_correspondences,
+)
+from repro.core.ism import ISM, ISMConfig, ISMResult, nonkey_frame_ops
+from repro.core.keyframe import MotionAdaptivePolicy, StaticKeyFramePolicy
+
+__all__ = [
+    "ASVSystem",
+    "DepthEstimator",
+    "DepthFrame",
+    "FrameCost",
+    "compose_flows",
+    "ISM",
+    "ISMConfig",
+    "ISMResult",
+    "MODES",
+    "MotionAdaptivePolicy",
+    "StaticKeyFramePolicy",
+    "nonkey_frame_ops",
+    "propagate_correspondences",
+    "reconstruct_correspondences",
+    "refine_correspondences",
+]

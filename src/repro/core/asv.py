@@ -1,0 +1,181 @@
+"""System-level composition: the ASV accelerator running ISM + DCO.
+
+Couples the algorithmic side (ISM's key/non-key frame split) with the
+hardware side (the systolic accelerator model and the deconvolution
+optimizations) to produce per-frame latency and energy for any stereo
+network under any of the paper's execution modes:
+
+* ``baseline`` — naive deconvolutions, exhaustively-searched *static*
+  buffer partition (the paper's baseline accelerator);
+* ``dct``     — deconvolution-to-convolution transformation only,
+  still scheduled on the static-partition baseline;
+* ``convr``   — DCT + per-layer reuse optimization, no ILAR;
+* ``ilar``    — the full deconvolution optimization (DCO of Fig. 10).
+
+Non-key frames execute optical flow and guided block matching on the
+same hardware (Sec. 5.1's mapping): the convolution-shaped work
+(Gaussian/moment filters, SAD passes) runs on the PE array; the
+point-wise "Matrix Update" / "Compute Flow" stages run on the scalar
+unit, whose lanes implement each per-pixel update as one fused
+operation (Sec. 6.1); frame pixels and maps stream through DRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.ism import ISMConfig
+from repro.deconv.exhaustive import best_static_partition
+from repro.deconv.lowering import lower_network
+from repro.deconv.optimizer import optimize_layers
+from repro.flow.farneback import farneback_ops
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
+from repro.hw.systolic import LayerResult, RunResult, SystolicModel
+from repro.models.stereo_networks import QHD, network_specs
+from repro.stereo.block_matching import guided_block_match_ops
+
+__all__ = ["FrameCost", "ASVSystem", "MODES"]
+
+MODES = ("baseline", "dct", "convr", "ilar")
+
+
+@dataclass(frozen=True)
+class FrameCost:
+    """Average per-frame cost of a processing configuration."""
+
+    cycles: float
+    energy_j: float
+
+    def seconds(self, hw: HWConfig) -> float:
+        return self.cycles / hw.frequency_hz
+
+    def fps(self, hw: HWConfig) -> float:
+        return hw.frequency_hz / self.cycles
+
+
+class ASVSystem:
+    """The co-designed system on one hardware configuration."""
+
+    def __init__(self, hw: HWConfig = ASV_BASE, energy: EnergyModel = ENERGY_16NM):
+        self.hw = hw
+        self.energy = energy
+        self.model = SystolicModel(hw, energy)
+        self._dnn_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # key frames: stereo DNN inference
+    # ------------------------------------------------------------------
+    def dnn_frame(self, network: str, mode: str = "ilar", size=QHD) -> RunResult:
+        """Latency/energy of one full DNN inference under a mode."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        key = (network, mode, tuple(size))
+        if key not in self._dnn_cache:
+            specs = network_specs(network, size)
+            if mode == "baseline":
+                layers = lower_network(specs, transform=False)
+                _, schedules = best_static_partition(layers, self.hw, self.model)
+            elif mode == "dct":
+                layers = lower_network(specs, transform=True, ilar=False)
+                _, schedules = best_static_partition(layers, self.hw, self.model)
+            else:
+                layers = lower_network(
+                    specs, transform=True, ilar=(mode == "ilar")
+                )
+                schedules = optimize_layers(layers, self.hw, self.model)
+            self._dnn_cache[key] = self.model.run_schedules(
+                schedules, validate=False
+            )
+        return self._dnn_cache[key]
+
+    # ------------------------------------------------------------------
+    # non-key frames: OF + guided BM on the same hardware
+    # ------------------------------------------------------------------
+    def nonkey_frame(self, size=QHD, config: ISMConfig | None = None) -> LayerResult:
+        """Latency/energy of one ISM non-key frame (Sec. 5.1 mapping)."""
+        config = config or ISMConfig()
+        h, w = size
+        hw = self.hw
+        # convolution-shaped work on the PE array: both flow streams'
+        # moment/window filters + the SAD passes of the guided search
+        conv_ops = 2 * farneback_ops(
+            h, w, levels=config.flow_levels, iterations=config.flow_iterations
+        )
+        search_ops = guided_block_match_ops(
+            h, w, radius=config.search_radius, block_size=config.block_size
+        )
+        pe_cycles = math.ceil((conv_ops + search_ops) / hw.pe_count)
+
+        # point-wise pixel updates on the scalar unit: matrix update +
+        # compute flow per pixel per iteration per stream, plus the WTA
+        # comparisons of the refinement
+        pixel_updates = (
+            2 * 2 * config.flow_iterations * h * w  # two stages, two streams
+            + (2 * config.search_radius + 1) * h * w  # WTA compares
+        )
+        scalar = self.model.scalar_op_result(
+            "ism-pointwise", ops=pixel_updates, elems_touched=pixel_updates
+        )
+
+        # DRAM streaming: current + key frame pixels for both views,
+        # two flow fields, in/out disparity maps
+        moved_elems = (4 + 4 + 2) * h * w
+        moved_bytes = moved_elems * hw.bytes_per_elem
+        mem_cycles = math.ceil(moved_bytes / hw.dram_bytes_per_cycle)
+
+        cycles = max(pe_cycles, mem_cycles) + scalar.cycles
+        seconds = cycles / hw.frequency_hz
+        energy = EnergyBreakdown(
+            mac_j=self.energy.compute(conv_ops + search_ops) + scalar.energy.mac_j,
+            sram_j=self.energy.sram(2 * moved_bytes),
+            rf_j=self.energy.rf(2 * (conv_ops + search_ops) * hw.bytes_per_elem),
+            dram_j=self.energy.dram(moved_bytes),
+            static_j=self.energy.static(seconds),
+        )
+        return LayerResult(
+            name="ism-nonkey",
+            cycles=cycles,
+            compute_cycles=pe_cycles + scalar.cycles,
+            memory_cycles=mem_cycles,
+            macs=conv_ops + search_ops,
+            dram_bytes=moved_bytes,
+            sram_bytes=2 * moved_bytes,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------
+    # system modes
+    # ------------------------------------------------------------------
+    def frame_cost(
+        self,
+        network: str,
+        use_ism: bool = True,
+        mode: str = "ilar",
+        pw: int = 4,
+        size=QHD,
+        ism_config: ISMConfig | None = None,
+    ) -> FrameCost:
+        """Average per-frame cost of a full configuration.
+
+        With ISM, one frame in ``pw`` runs the DNN (under ``mode``) and
+        the rest run the cheap non-key pipeline; without ISM every
+        frame runs the DNN.
+        """
+        key = self.dnn_frame(network, mode, size)
+        if not use_ism or pw == 1:
+            return FrameCost(cycles=float(key.cycles), energy_j=key.energy_j)
+        nonkey = self.nonkey_frame(size, ism_config)
+        cycles = (key.cycles + (pw - 1) * nonkey.cycles) / pw
+        energy = (key.energy_j + (pw - 1) * nonkey.energy_j) / pw
+        return FrameCost(cycles=cycles, energy_j=energy)
+
+    def speedup_over_baseline(
+        self, network: str, use_ism: bool, mode: str, pw: int = 4, size=QHD
+    ) -> tuple[float, float]:
+        """(speedup, energy-reduction-fraction) vs the paper's baseline:
+        the same accelerator running the unmodified DNN every frame."""
+        base = self.frame_cost(network, use_ism=False, mode="baseline", size=size)
+        ours = self.frame_cost(network, use_ism=use_ism, mode=mode, pw=pw, size=size)
+        return base.cycles / ours.cycles, 1.0 - ours.energy_j / base.energy_j

@@ -1,0 +1,122 @@
+"""The four ISM steps on correspondences (paper Sec. 3.2, Fig. 5).
+
+1. **DNN inference** produces the key frame's disparity map (the
+   caller supplies the network / proxy).
+2. **Reconstruct correspondences** — by Eq. 2, every left pixel
+   ``<x, y>`` with disparity ``d`` pairs with right pixel
+   ``<x + d, y>``; the disparity map *is* the correspondence set, so
+   reconstruction is a coordinate-view, provided here for clarity and
+   for tests.
+3. **Propagate correspondences** — dense optical flow on the left and
+   right video streams moves both endpoints; the propagated disparity
+   is the horizontal offset of the moved pair.
+4. **Refine correspondences** — local block matching seeded by the
+   propagated estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.datasets.scenes import StereoFrame
+from repro.flow.farneback import farneback_flow
+from repro.flow.warp import bilinear_sample, forward_warp_disparity
+from repro.stereo.block_matching import guided_block_match
+from repro.stereo.refine import fill_background, median_clean
+
+__all__ = [
+    "reconstruct_correspondences",
+    "compose_flows",
+    "propagate_correspondences",
+    "refine_correspondences",
+]
+
+
+def reconstruct_correspondences(
+    disparity: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Left/right pixel coordinate pairs implied by a disparity map.
+
+    Returns ``(left_xy, right_xy)`` as (H, W, 2) arrays of (y, x)
+    coordinates; ``right_xy[..., 1] = x + d`` per Eq. 2.
+    """
+    h, w = disparity.shape
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    left = np.stack([yy, xx], axis=-1)
+    right = np.stack([yy, xx + disparity], axis=-1)
+    return left, right
+
+
+def compose_flows(first: np.ndarray, then: np.ndarray) -> np.ndarray:
+    """Concatenate two motion fields: ``p -> p + first(p) + then(p + first(p))``.
+
+    Used to accumulate per-frame motion from the key frame so that the
+    key-frame correspondences (the trusted DNN output) can always be
+    propagated directly, instead of re-propagating already-refined
+    estimates and compounding their noise.
+    """
+    h, w = first.shape[:2]
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    my = yy + first[..., 0]
+    mx = xx + first[..., 1]
+    out = np.empty_like(first)
+    out[..., 0] = first[..., 0] + bilinear_sample(then[..., 0], my, mx)
+    out[..., 1] = first[..., 1] + bilinear_sample(then[..., 1], my, mx)
+    return out
+
+
+def propagate_correspondences(
+    prev: StereoFrame,
+    cur: StereoFrame,
+    prev_disparity: np.ndarray,
+    flow_kwargs: dict | None = None,
+    accumulated: tuple[np.ndarray, np.ndarray] | None = None,
+    key_disparity: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """ISM step 3: move the correspondence set to the next frame.
+
+    Estimates dense motion on the left and right streams separately
+    between consecutive frames, composes it with the motion
+    ``accumulated`` since the key frame, forward-warps the *key-frame*
+    disparity along the composed motion while adjusting it by the
+    differential horizontal motion of the right endpoints, and fills
+    pixels nothing landed on.
+
+    Returns ``(propagated_disparity, known_mask, accumulated_flows)``
+    where ``accumulated_flows`` is the ``(left, right)`` motion from
+    the key frame to ``cur``, to be passed back in on the next call.
+    """
+    kw = dict(levels=3, iterations=2, window_sigma=2.5)
+    if flow_kwargs:
+        kw.update(flow_kwargs)
+    median_size = kw.pop("median_size", 5)
+    flow_l = farneback_flow(prev.left, cur.left, **kw)
+    flow_r = farneback_flow(prev.right, cur.right, **kw)
+    if median_size:
+        # median filtering sharpens motion boundaries the Gaussian
+        # window of the flow estimator smears across object edges
+        for f in (flow_l, flow_r):
+            f[..., 0] = ndimage.median_filter(f[..., 0], size=median_size)
+            f[..., 1] = ndimage.median_filter(f[..., 1], size=median_size)
+    if accumulated is not None:
+        flow_l = compose_flows(accumulated[0], flow_l)
+        flow_r = compose_flows(accumulated[1], flow_r)
+    source = prev_disparity if key_disparity is None else key_disparity
+    disp, known = forward_warp_disparity(source, flow_l, flow_r)
+    # pixels nothing landed on are disocclusions: fill from background
+    disp = fill_background(disp, known)
+    return disp, known, (flow_l, flow_r)
+
+
+def refine_correspondences(
+    frame: StereoFrame,
+    initial: np.ndarray,
+    radius: int = 4,
+    block_size: int = 9,
+) -> np.ndarray:
+    """ISM step 4: local search around the propagated estimate."""
+    disp = guided_block_match(
+        frame.left, frame.right, initial, radius=radius, block_size=block_size
+    )
+    return median_clean(disp, size=3)

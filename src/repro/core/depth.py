@@ -1,0 +1,77 @@
+"""End-to-end metric depth estimation (disparity + triangulation).
+
+The paper's Fig. 2 pipeline: stereo matching produces a disparity map,
+triangulation turns it into metric depth.  :class:`DepthEstimator`
+packages the whole stack — any disparity backend (ISM, a proxy, a
+classic matcher) plus a :class:`~repro.stereo.triangulate.StereoCamera`
+— into the object an application would actually hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ism import ISM, ISMConfig
+from repro.datasets.scenes import StereoFrame
+from repro.stereo.triangulate import BUMBLEBEE2, StereoCamera
+
+__all__ = ["DepthFrame", "DepthEstimator"]
+
+
+@dataclass(frozen=True)
+class DepthFrame:
+    """Depth output for one stereo frame."""
+
+    disparity: np.ndarray
+    depth_m: np.ndarray
+    is_key_frame: bool
+
+    def nearest_m(self, region: tuple[slice, slice] | None = None) -> float:
+        """Robust nearest-surface distance (2nd percentile of depth)."""
+        depth = self.depth_m if region is None else self.depth_m[region]
+        finite = depth[np.isfinite(depth)]
+        if finite.size == 0:
+            return float("inf")
+        return float(np.percentile(finite, 2))
+
+
+class DepthEstimator:
+    """Continuous metric depth from a stereo video stream.
+
+    ``matcher`` is any callable mapping a :class:`StereoFrame` to a
+    disparity map; when ``ism_config`` is given the matcher is used as
+    the ISM key-frame network and non-key frames are propagated.
+    """
+
+    def __init__(
+        self,
+        matcher,
+        camera: StereoCamera = BUMBLEBEE2,
+        ism_config: ISMConfig | None = None,
+        max_depth_m: float = 200.0,
+    ):
+        self.camera = camera
+        self.max_depth_m = float(max_depth_m)
+        self._ism = ISM(matcher, ism_config) if ism_config else None
+        self._matcher = matcher
+
+    def _to_depth(self, disparity: np.ndarray) -> np.ndarray:
+        depth = self.camera.depth_from_disparity(disparity)
+        return np.minimum(depth, self.max_depth_m)
+
+    def process_frame(self, frame: StereoFrame) -> DepthFrame:
+        """Single-shot depth (no temporal propagation)."""
+        disp = np.asarray(self._matcher(frame), dtype=np.float64)
+        return DepthFrame(disp, self._to_depth(disp), is_key_frame=True)
+
+    def process_sequence(self, frames: list[StereoFrame]) -> list[DepthFrame]:
+        """Depth for a whole video; uses ISM when configured."""
+        if self._ism is None:
+            return [self.process_frame(f) for f in frames]
+        result = self._ism.run_sequence(frames)
+        return [
+            DepthFrame(d, self._to_depth(d), k)
+            for d, k in zip(result.disparities, result.key_frames)
+        ]

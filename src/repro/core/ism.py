@@ -1,0 +1,158 @@
+"""The invariant-based stereo matching (ISM) pipeline (paper Sec. 3).
+
+ISM exploits the *correspondence invariant*: two pixels that are
+projections of the same scene point remain a correspondence pair in
+every frame, even as their image locations move.  Expensive stereo
+DNN inference therefore only runs on key frames; in between, the
+key-frame correspondences are propagated by dense optical flow and
+refined by a cheap local block-matching search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correspondence import (
+    propagate_correspondences,
+    refine_correspondences,
+)
+from repro.core.keyframe import StaticKeyFramePolicy
+from repro.datasets.scenes import StereoFrame
+from repro.flow.farneback import farneback_ops
+from repro.stereo.block_matching import guided_block_match_ops
+
+__all__ = ["ISMConfig", "ISMResult", "ISM", "nonkey_frame_ops"]
+
+
+@dataclass(frozen=True)
+class ISMConfig:
+    """Algorithm parameters (defaults follow Sec. 3.3 / Sec. 7.2)."""
+
+    propagation_window: int = 4   # PW-k
+    search_radius: int = 4        # half-width of the guided 1-D search
+    block_size: int = 9           # SAD block for the refinement
+    flow_levels: int = 3
+    flow_iterations: int = 2
+
+    def __post_init__(self):
+        if self.propagation_window < 1:
+            raise ValueError("propagation window must be >= 1")
+        if self.search_radius < 1 or self.block_size < 3:
+            raise ValueError("invalid search parameters")
+
+
+@dataclass
+class ISMResult:
+    """Outputs of a sequence run."""
+
+    disparities: list[np.ndarray] = field(default_factory=list)
+    key_frames: list[bool] = field(default_factory=list)
+
+    @property
+    def n_key_frames(self) -> int:
+        return sum(self.key_frames)
+
+
+class ISM:
+    """Stereo over video with key-frame DNN + propagation.
+
+    ``dnn`` is any callable mapping a :class:`StereoFrame` to a
+    disparity map — a :class:`repro.models.proxy.StereoDNNProxy`, a
+    classic matcher, or a real network.
+
+    The estimator is *stateful and online*: :meth:`step` consumes one
+    frame at a time (the shape a robot control loop needs);
+    :meth:`run_sequence` is the batch convenience over it.  Motion is
+    estimated between consecutive frames (cheap, small displacements)
+    but composed back to the key frame, so every non-key frame
+    propagates the *key frame's* correspondences — the invariant the
+    algorithm is named after — rather than re-propagating
+    already-refined estimates.
+    """
+
+    def __init__(self, dnn, config: ISMConfig | None = None, policy=None):
+        self.dnn = dnn
+        self.config = config or ISMConfig()
+        self.policy = policy or StaticKeyFramePolicy(self.config.propagation_window)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all temporal state (start of a new video)."""
+        self._index = 0
+        self._prev_frame: StereoFrame | None = None
+        self._key_disp: np.ndarray | None = None
+        self._accumulated = None
+        self._context: dict = {}
+
+    def step(self, frame: StereoFrame) -> tuple[np.ndarray, bool]:
+        """Process the next frame; returns ``(disparity, is_key_frame)``."""
+        is_key = self._key_disp is None or self.policy.is_key(
+            self._index, self._context
+        )
+        if is_key:
+            disp = np.asarray(self.dnn(frame), dtype=np.float64)
+            self._key_disp = disp
+            self._accumulated = None
+        else:
+            initial, _, self._accumulated = propagate_correspondences(
+                self._prev_frame,
+                frame,
+                self._key_disp,
+                flow_kwargs=dict(
+                    levels=self.config.flow_levels,
+                    iterations=self.config.flow_iterations,
+                ),
+                accumulated=self._accumulated,
+                key_disparity=self._key_disp,
+            )
+            self._context["last_flow"] = self._accumulated[0]
+            disp = refine_correspondences(
+                frame,
+                initial,
+                radius=self.config.search_radius,
+                block_size=self.config.block_size,
+            )
+        self._prev_frame = frame
+        self._index += 1
+        return disp, is_key
+
+    def run_sequence(self, frames: list[StereoFrame]) -> ISMResult:
+        """Process a stereo video, returning per-frame disparities."""
+        self.reset()
+        result = ISMResult()
+        for frame in frames:
+            disp, is_key = self.step(frame)
+            result.disparities.append(disp)
+            result.key_frames.append(is_key)
+        return result
+
+
+def nonkey_frame_ops(
+    height: int, width: int, config: ISMConfig | None = None
+) -> dict[str, int]:
+    """Arithmetic-operation budget of one non-key frame (Sec. 3.3).
+
+    Returns the per-component counts: motion estimation runs on *both*
+    video streams; the refinement search is a ``2r+1``-wide guided
+    block matching.  At qHD this totals on the order of 10^8
+    operations versus 10^10-10^12 MACs for the stereo DNNs — the
+    2-4 orders-of-magnitude gap the paper reports.
+    """
+    config = config or ISMConfig()
+    flow = 2 * farneback_ops(
+        height, width,
+        levels=config.flow_levels, iterations=config.flow_iterations,
+    )
+    search = guided_block_match_ops(
+        height, width, radius=config.search_radius, block_size=config.block_size
+    )
+    reconstruct = height * width      # coordinate arithmetic
+    propagate_misc = 4 * height * width  # warps + fills
+    return {
+        "motion_estimation": flow,
+        "correspondence_search": search,
+        "bookkeeping": reconstruct + propagate_misc,
+        "total": flow + search + reconstruct + propagate_misc,
+    }

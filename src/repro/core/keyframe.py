@@ -1,0 +1,65 @@
+"""Key-frame selection policies (paper Sec. 5.2, "Control").
+
+The paper's micro-sequencer picks key frames with a *static
+propagation window*: with PW-k, every k-th frame is a key frame and
+the correspondence invariant is propagated across the k-1 frames in
+between.  The paper notes adaptive schemes (EVA2/Euphrates-style) are
+possible but finds the static policy sufficient (Sec. 7.2); an
+adaptive policy is provided as the natural extension point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StaticKeyFramePolicy", "MotionAdaptivePolicy"]
+
+
+class StaticKeyFramePolicy:
+    """PW-k: frames 0, k, 2k, ... are key frames."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("propagation window must be >= 1")
+        self.window = window
+
+    def is_key(self, index: int, context: dict | None = None) -> bool:
+        """Whether frame ``index`` must run full DNN inference."""
+        return index % self.window == 0
+
+    def __repr__(self):
+        return f"PW-{self.window}"
+
+
+class MotionAdaptivePolicy:
+    """Re-key when the mean motion magnitude exceeds a threshold.
+
+    An example of the adaptive schemes the paper cites: large inter-
+    frame motion degrades propagated correspondences, so the policy
+    forces a key frame when the previous frame's mean optical-flow
+    magnitude crosses ``motion_threshold`` (pixels), and otherwise
+    behaves like PW-``max_window``.
+    """
+
+    def __init__(self, max_window: int = 8, motion_threshold: float = 4.0):
+        if max_window < 1:
+            raise ValueError("max_window must be >= 1")
+        self.max_window = max_window
+        self.motion_threshold = motion_threshold
+        self._since_key = 0
+
+    def is_key(self, index: int, context: dict | None = None) -> bool:
+        if index == 0 or self._since_key + 1 >= self.max_window:
+            self._since_key = 0
+            return True
+        flow = (context or {}).get("last_flow")
+        if flow is not None:
+            magnitude = float(np.hypot(flow[..., 0], flow[..., 1]).mean())
+            if magnitude > self.motion_threshold:
+                self._since_key = 0
+                return True
+        self._since_key += 1
+        return False
+
+    def __repr__(self):
+        return f"Adaptive(max={self.max_window}, thr={self.motion_threshold})"

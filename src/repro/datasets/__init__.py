@@ -1,0 +1,19 @@
+"""Procedural stereo datasets with exact ground truth."""
+
+from repro.datasets.kitti import kitti_pairs, kitti_scene_pair
+from repro.datasets.scenes import SceneObject, StereoFrame, StereoScene, make_texture
+from repro.datasets.sceneflow import sceneflow_scene, sceneflow_videos
+from repro.datasets.stress import repetitive_scene, textureless_scene
+
+__all__ = [
+    "SceneObject",
+    "StereoFrame",
+    "StereoScene",
+    "kitti_pairs",
+    "kitti_scene_pair",
+    "make_texture",
+    "repetitive_scene",
+    "sceneflow_scene",
+    "sceneflow_videos",
+    "textureless_scene",
+]

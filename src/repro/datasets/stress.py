@@ -1,0 +1,72 @@
+"""Stress scenes: the classic failure modes of stereo matching.
+
+Real evaluations (KITTI reflective regions, Middlebury textureless
+walls) stress matchers in ways random-texture scenes do not.  These
+generators isolate the two canonical failure modes so the library's
+algorithm zoo can be characterised against them:
+
+* **textureless regions** — local SAD has no signal inside a flat
+  patch; global/semi-global smoothness (SGM) and prior-based matchers
+  (ELAS) are expected to fill them, plain BM is not;
+* **repetitive texture** — periodic patterns alias the 1-D search;
+  uniqueness-aware support points (ELAS) and smoothness costs help.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.scenes import SceneObject, StereoScene, make_texture
+
+__all__ = ["textureless_scene", "repetitive_scene"]
+
+
+def textureless_scene(
+    seed: int = 0,
+    size: tuple[int, int] = (120, 200),
+    max_disp: int = 32,
+    patch_fraction: float = 0.35,
+) -> StereoScene:
+    """A normal scene with a large flat (constant-intensity) object.
+
+    The flat object covers ``patch_fraction`` of the width at a known
+    disparity; matchers without smoothness or priors have no evidence
+    inside it.
+    """
+    rng = np.random.default_rng(seed)
+    h, w = size
+    flat = SceneObject(
+        center=(h * 0.5, w * 0.5),
+        size=(int(h * 0.5), int(w * patch_fraction)),
+        disparity=float(max_disp * 0.6),
+        texture=np.full((int(h * 0.5) + 8, int(w * patch_fraction) + 8), 0.42),
+    )
+    side = SceneObject(
+        center=(h * 0.3, w * 0.15),
+        size=(h // 4, w // 6),
+        disparity=float(max_disp * 0.3),
+        texture_seed=int(rng.integers(0, 2**31)),
+    )
+    return StereoScene(h, w, [side, flat], background_disparity=2.0, seed=seed)
+
+
+def repetitive_scene(
+    seed: int = 0,
+    size: tuple[int, int] = (120, 200),
+    max_disp: int = 32,
+    period_px: int = 11,
+) -> StereoScene:
+    """A scene whose foreground carries a horizontally periodic stripe
+    pattern with period smaller than the search range: every multiple
+    of the period is a plausible (aliased) match."""
+    h, w = size
+    oh, ow = int(h * 0.5), int(w * 0.45)
+    ys, xs = np.mgrid[0 : oh + 8, 0 : ow + 8]
+    stripes = np.sin(2 * np.pi * xs / period_px)
+    striped = SceneObject(
+        center=(h * 0.5, w * 0.5),
+        size=(oh, ow),
+        disparity=float(max_disp * 0.55),
+        texture=0.8 * stripes,
+    )
+    return StereoScene(h, w, [striped], background_disparity=3.0, seed=seed)

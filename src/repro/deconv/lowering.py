@@ -1,0 +1,199 @@
+"""Lowering layer geometry (:class:`ConvSpec`) to schedulable work.
+
+Three lowering modes correspond to the paper's execution strategies:
+
+* ``lower_conv`` / ``lower_naive_deconv`` — the baseline accelerator's
+  view.  A deconvolution is executed *naively*: the zero-stuffed,
+  border-padded ifmap is materialised and a dense stride-1 convolution
+  runs over it, paying both the redundant MACs and the redundant
+  memory traffic for the structural zeros (Sec. 4.1's motivation).
+* ``lower_transformed`` — after the deconvolution-to-convolution
+  transformation: one :class:`LayerWork` *group* whose sub-convolutions
+  share the original (small) ifmap.  With ``ilar=True`` the group is
+  scheduled jointly so each ifmap fetch serves every sub-kernel; with
+  ``ilar=False`` each sub-convolution becomes its own group (ConvR in
+  the paper's ablation — conventional reuse only).
+
+Spatial flattening
+------------------
+``LayerWork`` tiles a (rows x cols) view of the feature map: ``cols``
+is the innermost spatial axis and ``rows`` flattens all outer spatial
+axes.  For 3-D cost volumes the kernel reach along the flattened row
+axis is ``(KD - 1) * H + KH`` — the exact span of one output's
+receptive field in flattened coordinates — and the per-output-row input
+advance is ``SD * SH`` (exact in aggregate).  Tiles large relative to
+one ``H`` run make the flattening approximation negligible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.deconv.transform import decompose_geometry
+from repro.hw.schedule import LayerWork, SubConvWork
+from repro.nn.workload import ConvSpec
+
+__all__ = [
+    "lower_conv",
+    "lower_naive_deconv",
+    "lower_transformed",
+    "lower_spec",
+    "lower_network",
+]
+
+
+def _row_geometry(kernel, stride, input_size):
+    """Flattened (extent, stride) along the row axis for any rank."""
+    if len(kernel) == 1:
+        return 1, 1
+    if len(kernel) == 2:
+        return kernel[0], stride[0]
+    # 3-D: rows flatten (D, H); one output needs KD slices of H plus KH
+    extent = (kernel[0] - 1) * input_size[1] + kernel[1]
+    return extent, stride[0] * stride[1]
+
+
+def _split_spatial(size):
+    """(rows, cols) view of a spatial shape: cols = innermost axis."""
+    if len(size) == 1:
+        return 1, size[0]
+    return math.prod(size[:-1]), size[-1]
+
+
+def lower_conv(spec: ConvSpec) -> LayerWork:
+    """A convolution layer as a single-sub-convolution group."""
+    if spec.deconv:
+        raise ValueError(f"{spec.name} is a deconvolution; use a deconv lowering")
+    in_rows, in_cols = _split_spatial(spec.input_size)
+    out_rows, out_cols = _split_spatial(spec.output_size)
+    extent, stride = _row_geometry(spec.kernel, spec.stride, spec.input_size)
+    sub = SubConvWork(
+        name=spec.name,
+        taps=math.prod(spec.kernel),
+        filters=spec.out_channels,
+        out_rows=out_rows,
+        out_cols=out_cols,
+        tile_kernel_extent=min(extent, in_rows),
+        tile_stride=stride,
+        col_kernel_extent=min(spec.kernel[-1], in_cols),
+        col_stride=spec.stride[-1],
+    )
+    return LayerWork(
+        name=spec.name,
+        in_channels=spec.in_channels,
+        ifmap_rows=in_rows,
+        ifmap_cols=in_cols,
+        subconvs=(sub,),
+        share_ifmap=True,
+        repeat=spec.repeat,
+    )
+
+
+def lower_naive_deconv(spec: ConvSpec) -> LayerWork:
+    """A deconvolution executed the baseline way: dense over the
+    zero-stuffed map (redundant zeros included in compute *and*
+    traffic)."""
+    if not spec.deconv:
+        raise ValueError(f"{spec.name} is not a deconvolution")
+    up = spec.upsampled_size
+    in_rows, in_cols = _split_spatial(up)
+    out_rows, out_cols = _split_spatial(spec.output_size)
+    ones = (1,) * spec.ndim
+    extent, stride = _row_geometry(spec.kernel, ones, up)
+    sub = SubConvWork(
+        name=spec.name,
+        taps=math.prod(spec.kernel),
+        filters=spec.out_channels,
+        out_rows=out_rows,
+        out_cols=out_cols,
+        tile_kernel_extent=min(extent, in_rows),
+        tile_stride=stride,
+        col_kernel_extent=min(spec.kernel[-1], in_cols),
+        col_stride=1,
+    )
+    return LayerWork(
+        name=f"{spec.name}[naive]",
+        in_channels=spec.in_channels,
+        ifmap_rows=in_rows,
+        ifmap_cols=in_cols,
+        subconvs=(sub,),
+        share_ifmap=True,
+        repeat=spec.repeat,
+    )
+
+
+def lower_transformed(spec: ConvSpec, ilar: bool = True) -> list[LayerWork]:
+    """A deconvolution after the transformation of Sec. 4.1.
+
+    Returns one shared-ifmap group when ``ilar`` is set, otherwise one
+    independent group per sub-convolution (each re-fetching the ifmap).
+    """
+    if not spec.deconv:
+        raise ValueError(f"{spec.name} is not a deconvolution")
+    in_rows, in_cols = _split_spatial(spec.input_size)
+    geoms = decompose_geometry(
+        spec.kernel, spec.stride, spec.padding, spec.input_size
+    )
+    ones = (1,) * spec.ndim
+    subs = []
+    for i, g in enumerate(geoms):
+        out_rows, out_cols = _split_spatial(g.out_size)
+        extent, _ = _row_geometry(g.kernel, ones, spec.input_size)
+        subs.append(
+            SubConvWork(
+                name=f"{spec.name}/sub{i}",
+                taps=g.taps,
+                filters=spec.out_channels,
+                out_rows=out_rows,
+                out_cols=out_cols,
+                tile_kernel_extent=min(extent, in_rows),
+                tile_stride=1,
+                col_kernel_extent=min(g.kernel[-1], in_cols),
+                col_stride=1,
+            )
+        )
+    if ilar:
+        return [
+            LayerWork(
+                name=f"{spec.name}[dct+ilar]",
+                in_channels=spec.in_channels,
+                ifmap_rows=in_rows,
+                ifmap_cols=in_cols,
+                subconvs=tuple(subs),
+                share_ifmap=True,
+                repeat=spec.repeat,
+            )
+        ]
+    return [
+        LayerWork(
+            name=f"{spec.name}[dct]/sub{i}",
+            in_channels=spec.in_channels,
+            ifmap_rows=in_rows,
+            ifmap_cols=in_cols,
+            subconvs=(sub,),
+            share_ifmap=True,
+            repeat=spec.repeat,
+        )
+        for i, sub in enumerate(subs)
+    ]
+
+
+def lower_spec(
+    spec: ConvSpec, transform: bool = True, ilar: bool = True
+) -> list[LayerWork]:
+    """Lower any layer under the chosen execution strategy."""
+    if not spec.deconv:
+        return [lower_conv(spec)]
+    if not transform:
+        return [lower_naive_deconv(spec)]
+    return lower_transformed(spec, ilar=ilar)
+
+
+def lower_network(
+    specs, transform: bool = True, ilar: bool = True
+) -> list[LayerWork]:
+    """Lower a full layer table in order."""
+    out = []
+    for spec in specs:
+        out.extend(lower_spec(spec, transform=transform, ilar=ilar))
+    return out

@@ -1,0 +1,57 @@
+"""Runnable transformed layers: execute a network with DCT applied.
+
+:func:`repro.deconv.transform.deconv_via_subconvolutions` proves the
+transformation on raw arrays; this module packages it as a drop-in
+:class:`~repro.nn.layers.Layer`, so a whole runnable
+:class:`~repro.nn.network.Sequential` can be rewritten with
+:func:`transform_network` and executed — useful for end-to-end numeric
+verification and for the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deconv.transform import deconv_via_subconvolutions
+from repro.nn.layers import Deconv, Layer
+from repro.nn.network import Sequential
+
+__all__ = ["TransformedDeconv", "transform_network"]
+
+
+class TransformedDeconv(Layer):
+    """A deconvolution executed as dense sub-convolutions + gather.
+
+    Numerically identical to the wrapped :class:`Deconv` (same weights,
+    same output), but every MAC it performs touches real data — the
+    runnable counterpart of the scheduling-level transformation.
+    """
+
+    def __init__(self, original: Deconv):
+        if not isinstance(original, Deconv):
+            raise TypeError("TransformedDeconv wraps a Deconv layer")
+        self.original = original
+        self.name = f"{original.name}[dct]"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = deconv_via_subconvolutions(
+            x,
+            self.original.weight,
+            stride=self.original.stride,
+            padding=self.original.padding,
+            output_padding=self.original.output_padding,
+        )
+        if self.original.bias is not None:
+            out += self.original.bias.reshape((-1,) + (1,) * (out.ndim - 1))
+        return out
+
+    def output_shape(self, input_shape):
+        return self.original.output_shape(input_shape)
+
+
+def transform_network(net: Sequential) -> Sequential:
+    """Copy of a network with every deconvolution transformed."""
+    layers = [
+        TransformedDeconv(l) if isinstance(l, Deconv) else l for l in net.layers
+    ]
+    return Sequential(layers, name=f"{net.name}[dct]")

@@ -1,0 +1,247 @@
+"""Deconvolution-to-convolution transformation (paper Sec. 4.1, App. A).
+
+A stride-``s`` deconvolution is inherently sparse: the input is
+zero-stuffed before the dense convolution, so for ``s = 2`` roughly 75 %
+(2-D) or 87.5 % (3-D) of the MACs touch a structural zero.  The paper's
+key transformation rewrites the deconvolution as ``prod(s)`` *dense*
+convolutions of the **original** (un-stuffed) ifmap with sub-kernels
+drawn from the stride-parity classes of the original kernel, followed by
+a gather that interleaves the sub-outputs.
+
+Derivation used throughout this module
+--------------------------------------
+Let ``b = K - 1 - p`` be the zero border added by the standard path and
+``up`` the stuffed map (``up[b + s*t] = x[t]``).  For output position
+``o``::
+
+    out[o] = sum_k up[o + k] * K[k]
+
+Only taps with ``(o + k - b) % s == 0`` hit a real input element.  For
+fixed ``o`` these taps share the parity ``delta = (b - o) % s``, so
+
+    out[o] = sum_kappa x[m + kappa] * K[s*kappa + delta],
+    m = (o + delta - b) / s
+
+which is a stride-1 convolution of ``x`` with the sub-kernel
+``S_delta = K[delta::s]``.  Outputs of parity class ``delta`` occupy
+positions ``o ≡ r (mod s)`` with ``r = (b - delta) % s``, and the
+sub-convolution needs a left pad of ``q = floor((b - delta) / s)``.
+
+The same algebra holds per spatial dimension, which yields App. A's
+general N-dimensional decomposition into ``prod(stride)`` sub-kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product as iproduct
+
+import numpy as np
+
+from repro.nn.ops import convnd, deconv_output_size, pad_spatial
+from repro.nn.workload import ConvSpec
+
+__all__ = [
+    "SubConvGeometry",
+    "decompose_geometry",
+    "decompose_kernel",
+    "deconv_via_subconvolutions",
+    "transformed_specs",
+]
+
+
+@dataclass(frozen=True)
+class SubConvGeometry:
+    """Geometry of one sub-convolution produced by the transformation.
+
+    All tuples are per-spatial-dimension.  The sub-convolution is a
+    stride-1 dense convolution of the original ifmap (padded by
+    ``pad_lo``/``pad_hi``) with a ``kernel``-shaped sub-kernel; its
+    outputs land at positions ``offset + stride * j`` of the gathered
+    deconvolution output.
+    """
+
+    delta: tuple[int, ...]
+    kernel: tuple[int, ...]
+    offset: tuple[int, ...]
+    out_size: tuple[int, ...]
+    pad_lo: tuple[int, ...]  # negative means the ifmap is cropped instead
+    pad_hi: tuple[int, ...]
+
+    @property
+    def taps(self) -> int:
+        """Kernel taps per output element (per in/out channel pair)."""
+        return math.prod(self.kernel)
+
+    @property
+    def outputs(self) -> int:
+        """Spatial output element count."""
+        return math.prod(self.out_size)
+
+
+def _per_dim_geometry(delta, k, s, p, op, in_size):
+    """Solve the single-dimension gather geometry for one parity class."""
+    b = k - 1 - p
+    sub_size = len(range(delta, k, s))
+    if sub_size == 0:
+        return None
+    out = deconv_output_size(in_size, k, s, p, op)
+    r = (b - delta) % s
+    n = math.ceil((out - r) / s) if out > r else 0
+    if n == 0:
+        return None
+    q = (b - delta) // s
+    # rightmost window start is (n-1) - q; it must reach index m + sub-1
+    right_need = (n - 1) - q + sub_size - 1
+    pad_hi = max(0, right_need - (in_size - 1))
+    return sub_size, r, n, q, pad_hi
+
+
+def decompose_geometry(
+    kernel, stride, padding, input_size, output_padding=0
+) -> list[SubConvGeometry]:
+    """Enumerate the sub-convolutions for a deconvolution's geometry.
+
+    Returns one :class:`SubConvGeometry` per non-empty parity class
+    (``prod(stride)`` classes at most; classes whose sub-kernel or
+    output range is empty are dropped, which can happen for kernels
+    smaller than the stride).
+    """
+    ndim = len(kernel)
+    stride = (stride,) * ndim if isinstance(stride, int) else tuple(stride)
+    padding = (padding,) * ndim if isinstance(padding, int) else tuple(padding)
+    output_padding = (
+        (output_padding,) * ndim
+        if isinstance(output_padding, int)
+        else tuple(output_padding)
+    )
+    input_size = tuple(input_size)
+    subs = []
+    for delta in iproduct(*(range(s) for s in stride)):
+        dims = [
+            _per_dim_geometry(d, k, s, p, op, n)
+            for d, k, s, p, op, n in zip(
+                delta, kernel, stride, padding, output_padding, input_size
+            )
+        ]
+        if any(dim is None for dim in dims):
+            continue
+        subs.append(
+            SubConvGeometry(
+                delta=delta,
+                kernel=tuple(d[0] for d in dims),
+                offset=tuple(d[1] for d in dims),
+                out_size=tuple(d[2] for d in dims),
+                pad_lo=tuple(d[3] for d in dims),
+                pad_hi=tuple(d[4] for d in dims),
+            )
+        )
+    return subs
+
+
+def decompose_kernel(w: np.ndarray, stride) -> dict[tuple[int, ...], np.ndarray]:
+    """Split a dense deconvolution kernel into its parity sub-kernels.
+
+    ``w`` is ``(F, C, *K)``; the result maps each parity ``delta`` to
+    the sub-kernel ``w[..., delta_0::s_0, delta_1::s_1, ...]``.  The
+    sub-kernels exactly partition the elements of ``w``.
+    """
+    ndim = w.ndim - 2
+    stride = (stride,) * ndim if isinstance(stride, int) else tuple(stride)
+    out = {}
+    for delta in iproduct(*(range(s) for s in stride)):
+        slicer = (slice(None), slice(None)) + tuple(
+            slice(d, None, s) for d, s in zip(delta, stride)
+        )
+        sub = w[slicer]
+        if 0 in sub.shape:
+            continue
+        out[delta] = sub
+    return out
+
+
+def deconv_via_subconvolutions(
+    x: np.ndarray, w: np.ndarray, stride=1, padding=0, output_padding=0
+) -> np.ndarray:
+    """Numerically execute a deconvolution as dense sub-convolutions.
+
+    This is the paper's Fig. 6 "Our Algorithm" path: decompose, run each
+    sub-convolution over the *original* ifmap, and gather.  Bit-exact
+    with :func:`repro.nn.ops.deconvnd` (tested by property tests).
+    """
+    ndim = w.ndim - 2
+    stride_t = (stride,) * ndim if isinstance(stride, int) else tuple(stride)
+    padding_t = (padding,) * ndim if isinstance(padding, int) else tuple(padding)
+    op_t = (
+        (output_padding,) * ndim
+        if isinstance(output_padding, int)
+        else tuple(output_padding)
+    )
+    kernel = w.shape[2:]
+    in_size = x.shape[1:]
+    out_size = tuple(
+        deconv_output_size(n, k, s, p, op)
+        for n, k, s, p, op in zip(in_size, kernel, stride_t, padding_t, op_t)
+    )
+    subs = decompose_geometry(kernel, stride_t, padding_t, in_size, op_t)
+    sub_kernels = decompose_kernel(w, stride_t)
+    out = np.zeros((w.shape[0],) + out_size, dtype=np.result_type(x, w))
+    for geom in subs:
+        sub_w = sub_kernels[geom.delta]
+        # a negative pad_lo is a crop: those leading ifmap elements never
+        # contribute to this parity class
+        crop = tuple(max(0, -lo) for lo in geom.pad_lo)
+        x_window = x[(slice(None),) + tuple(slice(c, None) for c in crop)]
+        pads = tuple(
+            (max(0, lo), hi) for lo, hi in zip(geom.pad_lo, geom.pad_hi)
+        )
+        padded = pad_spatial(x_window, pads)
+        y = convnd(padded, sub_w, stride=1, padding=0)
+        # the input may extend past the last needed window; keep exactly
+        # the out_size outputs the gather consumes
+        y = y[(slice(None),) + tuple(slice(0, n) for n in geom.out_size)]
+        slicer = (slice(None),) + tuple(
+            slice(r, r + n * s, s)
+            for r, n, s in zip(geom.offset, geom.out_size, stride_t)
+        )
+        out[slicer] = y
+    return out
+
+
+def transformed_specs(spec: ConvSpec) -> list[ConvSpec]:
+    """Rewrite a deconvolution :class:`ConvSpec` as sub-convolution specs.
+
+    Each returned spec is a stride-1 *convolution* over the original
+    ifmap, named ``<layer>/sub<i>``.  Convolution specs pass through
+    unchanged (returned as a single-element list) so callers can map any
+    layer table uniformly.
+    """
+    if not spec.deconv:
+        return [spec]
+    subs = decompose_geometry(spec.kernel, spec.stride, spec.padding, spec.input_size)
+    out = []
+    for i, geom in enumerate(subs):
+        # Express the sub-convolution exactly: a stride-1 valid conv
+        # whose input is the (padded) window the gather actually reads.
+        # A valid conv producing out_size outputs with a sub-kernel of
+        # size k reads exactly out_size + k - 1 input elements per dim,
+        # so the output size and MAC count stay exact.
+        padded_size = tuple(
+            n + k - 1 for n, k in zip(geom.out_size, geom.kernel)
+        )
+        out.append(
+            ConvSpec(
+                name=f"{spec.name}/sub{i}",
+                in_channels=spec.in_channels,
+                out_channels=spec.out_channels,
+                kernel=geom.kernel,
+                input_size=padded_size,
+                stride=(1,) * spec.ndim,
+                padding=(0,) * spec.ndim,
+                deconv=False,
+                stage=spec.stage,
+                repeat=spec.repeat,
+            )
+        )
+    return out

@@ -1,0 +1,39 @@
+"""Per-figure experiment drivers (one per paper evaluation figure)."""
+
+from repro.evaluation.common import ExperimentScale, default_scale, render_table
+from repro.evaluation.fig1 import format_fig1, run_fig1
+from repro.evaluation.fig3 import format_fig3, run_fig3
+from repro.evaluation.fig4 import format_fig4, run_fig4
+from repro.evaluation.fig9 import format_fig9, run_fig9
+from repro.evaluation.fig10 import format_fig10, run_fig10
+from repro.evaluation.fig11 import format_fig11, run_fig11
+from repro.evaluation.fig12 import format_fig12, run_fig12
+from repro.evaluation.fig13 import format_fig13, run_fig13
+from repro.evaluation.fig14 import format_fig14, run_fig14
+from repro.evaluation.overhead import format_overhead, run_overhead
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "format_fig1",
+    "format_fig10",
+    "format_fig11",
+    "format_fig12",
+    "format_fig13",
+    "format_fig14",
+    "format_fig3",
+    "format_fig4",
+    "format_fig9",
+    "format_overhead",
+    "render_table",
+    "run_fig1",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig3",
+    "run_fig4",
+    "run_fig9",
+    "run_overhead",
+]

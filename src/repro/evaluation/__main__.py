@@ -1,0 +1,72 @@
+"""Command-line entry point: regenerate the paper's evaluation figures.
+
+Usage::
+
+    python -m repro.evaluation                 # every figure
+    python -m repro.evaluation fig10 fig13     # a subset
+    python -m repro.evaluation profile DispNet baseline
+
+Figures print as text tables (the same ones the benchmark harness
+writes to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.evaluation import (
+    format_fig1, format_fig3, format_fig4, format_fig9, format_fig10,
+    format_fig11, format_fig12, format_fig13, format_fig14, format_overhead,
+    run_fig1, run_fig3, run_fig4, run_fig9, run_fig10, run_fig11, run_fig12,
+    run_fig13, run_fig14, run_overhead,
+)
+from repro.evaluation.ablation import (
+    format_bandwidth_sweep, format_pw_sweep, format_scheduler_ablation,
+    run_bandwidth_sweep, run_pw_sweep, run_scheduler_ablation,
+)
+from repro.models.summary import zoo_summary
+
+FIGURES = {
+    "fig1": lambda: format_fig1(run_fig1()),
+    "fig3": lambda: format_fig3(run_fig3()),
+    "fig4": lambda: format_fig4(run_fig4()),
+    "fig9": lambda: format_fig9(run_fig9()),
+    "fig10": lambda: format_fig10(run_fig10()),
+    "fig11": lambda: format_fig11(run_fig11()),
+    "fig12": lambda: format_fig12(run_fig12()),
+    "fig13": lambda: format_fig13(run_fig13()),
+    "fig14": lambda: format_fig14(run_fig14()),
+    "overhead": lambda: format_overhead(*run_overhead()),
+    "ablation-scheduler": lambda: format_scheduler_ablation(
+        run_scheduler_ablation()
+    ),
+    "ablation-pw": lambda: format_pw_sweep(run_pw_sweep()),
+    "ablation-bandwidth": lambda: format_bandwidth_sweep(run_bandwidth_sweep()),
+    "zoo": lambda: zoo_summary(),
+}
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "profile":
+        from repro.evaluation.profiling import format_profile, profile_network
+
+        network = argv[1] if len(argv) > 1 else "DispNet"
+        mode = argv[2] if len(argv) > 2 else "baseline"
+        print(format_profile(network, mode, profile_network(network, mode)))
+        return 0
+
+    targets = argv or list(FIGURES)
+    unknown = [t for t in targets if t not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; choose from {sorted(FIGURES)}")
+        return 2
+    for name in targets:
+        t0 = time.time()
+        print(FIGURES[name]())
+        print(f"[{name} in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

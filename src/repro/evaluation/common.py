@@ -1,0 +1,47 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every driver returns plain data (lists of rows) plus a rendered text
+table whose rows correspond to the series the paper plots, so the
+benchmark harness can both assert on the numbers and print the table.
+
+Scale knobs
+-----------
+The paper's accuracy experiments use 26 SceneFlow videos and 200 KITTI
+pairs at qHD; the procedural equivalents are configurable and default
+to a smaller population so the full benchmark suite runs in minutes.
+Set ``REPRO_FULL=1`` in the environment to run paper-scale populations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.tables import render_table
+
+__all__ = ["ExperimentScale", "default_scale", "render_table"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Population sizes for the statistical experiments."""
+
+    n_sceneflow_videos: int = 4
+    n_sceneflow_frames: int = 4
+    n_kitti_scenes: int = 6
+    accuracy_size: tuple[int, int] = (180, 320)
+    accuracy_max_disp: int = 48
+    seed: int = 0
+
+
+def default_scale() -> ExperimentScale:
+    """Reduced scale by default; paper scale with ``REPRO_FULL=1``."""
+    if os.environ.get("REPRO_FULL"):
+        return ExperimentScale(
+            n_sceneflow_videos=26,
+            n_sceneflow_frames=4,
+            n_kitti_scenes=200,
+        )
+    return ExperimentScale()
+
+

@@ -1,0 +1,91 @@
+"""Fig. 10 — speedup and energy reduction of the three ASV variants.
+
+For each network: ISM only, DCO only, and ISM+DCO, all against the
+baseline accelerator running the unmodified DNN every frame.  Paper
+averages: ISM 3.3x / 75 %, DCO 1.57x / 38 %, combined 4.9x / 85 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import ASVSystem
+from repro.evaluation.common import render_table
+from repro.hw.config import HWConfig
+from repro.models import STEREO_NETWORKS
+
+__all__ = ["AblationRow", "run_fig10", "format_fig10"]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    network: str
+    dco_speedup: float
+    dco_energy_red_pct: float
+    ism_speedup: float
+    ism_energy_red_pct: float
+    combined_speedup: float
+    combined_energy_red_pct: float
+
+
+VARIANTS = {
+    "dco": dict(use_ism=False, mode="ilar"),
+    "ism": dict(use_ism=True, mode="baseline"),
+    "combined": dict(use_ism=True, mode="ilar"),
+}
+
+
+def run_fig10(
+    hw: HWConfig | None = None, pw: int = 4, networks=None
+) -> list[AblationRow]:
+    system = ASVSystem(hw) if hw else ASVSystem()
+    rows = []
+    for net in networks or STEREO_NETWORKS:
+        vals = {}
+        for label, kw in VARIANTS.items():
+            sp, er = system.speedup_over_baseline(net, pw=pw, **kw)
+            vals[label] = (sp, 100.0 * er)
+        rows.append(
+            AblationRow(
+                network=net,
+                dco_speedup=vals["dco"][0],
+                dco_energy_red_pct=vals["dco"][1],
+                ism_speedup=vals["ism"][0],
+                ism_energy_red_pct=vals["ism"][1],
+                combined_speedup=vals["combined"][0],
+                combined_energy_red_pct=vals["combined"][1],
+            )
+        )
+    return rows
+
+
+def averages(rows: list[AblationRow]) -> AblationRow:
+    n = len(rows)
+    return AblationRow(
+        network="AVG",
+        dco_speedup=sum(r.dco_speedup for r in rows) / n,
+        dco_energy_red_pct=sum(r.dco_energy_red_pct for r in rows) / n,
+        ism_speedup=sum(r.ism_speedup for r in rows) / n,
+        ism_energy_red_pct=sum(r.ism_energy_red_pct for r in rows) / n,
+        combined_speedup=sum(r.combined_speedup for r in rows) / n,
+        combined_energy_red_pct=sum(r.combined_energy_red_pct for r in rows) / n,
+    )
+
+
+def format_fig10(rows: list[AblationRow]) -> str:
+    rows = rows + [averages(rows)]
+    table = [
+        [
+            r.network,
+            r.dco_speedup, r.dco_energy_red_pct,
+            r.ism_speedup, r.ism_energy_red_pct,
+            r.combined_speedup, r.combined_energy_red_pct,
+        ]
+        for r in rows
+    ]
+    return render_table(
+        "Fig. 10 — ASV variants vs baseline accelerator (PW-4)",
+        ["network", "DCO x", "DCO E-red %", "ISM x", "ISM E-red %",
+         "DCO+ISM x", "DCO+ISM E-red %"],
+        table,
+    )

@@ -1,0 +1,131 @@
+"""Fig. 11 — dissecting the deconvolution optimizations.
+
+Three cumulative variants against the naive baseline:
+
+* **DCT**  — the deconvolution-to-convolution transformation alone,
+  still scheduled by the baseline static-partition scheduler;
+* **ConvR** — DCT plus the per-layer constrained-optimization reuse
+  scheduler, but each sub-convolution scheduled independently
+  (conventional reuse only);
+* **ILAR** — ConvR plus inter-layer activation reuse: the
+  sub-convolutions of each transformed deconvolution are co-scheduled
+  around one shared ifmap.
+
+Reported both for the deconvolution layers alone (Fig. 11a) and for
+whole networks (Fig. 11b).  Expected shapes: DCT alone ~3.9x on
+deconvolutions (the MAC reduction); reuse optimization raises it
+further; ConvR ~ ILAR in *speed* but ILAR clearly better in *energy*
+(DRAM traffic), with 3-D networks gaining the most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deconv.exhaustive import best_static_partition
+from repro.deconv.lowering import lower_network
+from repro.deconv.optimizer import optimize_layers
+from repro.evaluation.common import render_table
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.systolic import SystolicModel
+from repro.models import QHD, STEREO_NETWORKS, network_specs
+
+__all__ = ["DeconvOptRow", "run_fig11", "format_fig11"]
+
+VARIANTS = ("dct", "convr", "ilar")
+
+
+@dataclass(frozen=True)
+class DeconvOptRow:
+    network: str
+    variant: str
+    deconv_speedup: float
+    deconv_energy_red_pct: float
+    network_speedup: float
+    network_energy_red_pct: float
+    deconv_dram_bytes: int
+
+
+def _is_deconv_layer(name: str) -> bool:
+    return "[naive]" in name or "[dct" in name
+
+
+def _totals(results):
+    cycles = sum(r.cycles for r in results)
+    energy = sum(r.energy_j for r in results)
+    dram = sum(r.dram_bytes for r in results)
+    return cycles, energy, dram
+
+
+def _run_variant(specs, variant: str, hw: HWConfig, model: SystolicModel):
+    if variant == "baseline":
+        layers = lower_network(specs, transform=False)
+        _, schedules = best_static_partition(layers, hw, model)
+    elif variant == "dct":
+        layers = lower_network(specs, transform=True, ilar=False)
+        _, schedules = best_static_partition(layers, hw, model)
+    elif variant == "convr":
+        layers = lower_network(specs, transform=True, ilar=False)
+        schedules = optimize_layers(layers, hw, model)
+    elif variant == "ilar":
+        layers = lower_network(specs, transform=True, ilar=True)
+        schedules = optimize_layers(layers, hw, model)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    results = [model.run_schedule(s, validate=False) for s in schedules]
+    deconv = [r for r in results if _is_deconv_layer(r.name)]
+    return _totals(results), _totals(deconv)
+
+
+def run_fig11(
+    hw: HWConfig = ASV_BASE, size=QHD, networks=None
+) -> list[DeconvOptRow]:
+    model = SystolicModel(hw)
+    rows = []
+    for net in networks or STEREO_NETWORKS:
+        specs = network_specs(net, size)
+        (b_all, b_e, _), (b_dc, b_dce, _) = _run_variant(specs, "baseline", hw, model)
+        for variant in VARIANTS:
+            (v_all, v_e, _), (v_dc, v_dce, v_dram) = _run_variant(
+                specs, variant, hw, model
+            )
+            rows.append(
+                DeconvOptRow(
+                    network=net,
+                    variant=variant,
+                    deconv_speedup=b_dc / v_dc,
+                    deconv_energy_red_pct=100.0 * (1 - v_dce / b_dce),
+                    network_speedup=b_all / v_all,
+                    network_energy_red_pct=100.0 * (1 - v_e / b_e),
+                    deconv_dram_bytes=v_dram,
+                )
+            )
+    return rows
+
+
+def format_fig11(rows: list[DeconvOptRow]) -> str:
+    table = [
+        [
+            r.network, r.variant.upper(),
+            r.deconv_speedup, r.deconv_energy_red_pct,
+            r.network_speedup, r.network_energy_red_pct,
+        ]
+        for r in rows
+    ]
+    for variant in VARIANTS:
+        sub = [r for r in rows if r.variant == variant]
+        table.append(
+            [
+                "AVG", variant.upper(),
+                sum(r.deconv_speedup for r in sub) / len(sub),
+                sum(r.deconv_energy_red_pct for r in sub) / len(sub),
+                sum(r.network_speedup for r in sub) / len(sub),
+                sum(r.network_energy_red_pct for r in sub) / len(sub),
+            ]
+        )
+    return render_table(
+        "Fig. 11 — deconvolution optimizations (a: deconv layers, b: whole net)",
+        ["network", "variant", "deconv x", "deconv E-red %",
+         "net x", "net E-red %"],
+        table,
+    )

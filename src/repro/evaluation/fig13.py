@@ -1,0 +1,90 @@
+"""Fig. 13 — ASV versus Eyeriss and a mobile GPU.
+
+All systems process the same four stereo networks per frame; results
+are geometric compositions over the networks, normalised to the
+Eyeriss baseline (as the paper plots).  Series:
+
+* Eyeriss (row-stationary, naive deconvolutions) — the 1.0x reference;
+* Eyeriss+DCT — the simulator extended with the transformation
+  (the paper reports 1.6x / 31 % energy saving);
+* GPU — the Jetson TX2 roofline model;
+* ASV DCO / ISM / DCO+ISM — the co-designed system
+  (the paper reports 8.2x at 16 % of Eyeriss's energy for the full
+  system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import ASVSystem
+from repro.evaluation.common import render_table
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.eyeriss import EyerissModel
+from repro.hw.gpu import JETSON_TX2
+from repro.models import QHD, STEREO_NETWORKS, network_specs
+
+__all__ = ["SystemPoint", "run_fig13", "format_fig13"]
+
+
+@dataclass(frozen=True)
+class SystemPoint:
+    system: str
+    speedup_vs_eyeriss: float
+    norm_energy: float  # energy / Eyeriss energy (lower is better)
+
+
+def run_fig13(
+    hw: HWConfig = ASV_BASE, size=QHD, pw: int = 4, networks=None
+) -> list[SystemPoint]:
+    networks = list(networks or STEREO_NETWORKS)
+    eyeriss = EyerissModel(hw)
+    asv = ASVSystem(hw)
+
+    eye_secs, eye_js = 0.0, 0.0
+    eye_dct_secs, eye_dct_js = 0.0, 0.0
+    gpu_secs, gpu_js = 0.0, 0.0
+    asv_variants = {
+        "ASV-DCO": dict(use_ism=False, mode="ilar"),
+        "ASV-ISM": dict(use_ism=True, mode="baseline"),
+        "ASV-DCO+ISM": dict(use_ism=True, mode="ilar"),
+    }
+    asv_secs = {k: 0.0 for k in asv_variants}
+    asv_js = {k: 0.0 for k in asv_variants}
+
+    for net in networks:
+        specs = network_specs(net, size)
+        base = eyeriss.run_network(specs, transform=False)
+        eye_secs += base.seconds(hw)
+        eye_js += base.energy_j
+        dct = eyeriss.run_network(specs, transform=True)
+        eye_dct_secs += dct.seconds(hw)
+        eye_dct_js += dct.energy_j
+        gpu_secs += JETSON_TX2.network_seconds(specs)
+        gpu_js += JETSON_TX2.network_energy_j(specs)
+        for label, kw in asv_variants.items():
+            cost = asv.frame_cost(net, pw=pw, size=size, **kw)
+            asv_secs[label] += cost.seconds(hw)
+            asv_js[label] += cost.energy_j
+
+    points = [
+        SystemPoint("Eyeriss", 1.0, 1.0),
+        SystemPoint("Eyeriss+DCT", eye_secs / eye_dct_secs, eye_dct_js / eye_js),
+        SystemPoint("GPU", eye_secs / gpu_secs, gpu_js / eye_js),
+    ]
+    for label in asv_variants:
+        points.append(
+            SystemPoint(
+                label, eye_secs / asv_secs[label], asv_js[label] / eye_js
+            )
+        )
+    return points
+
+
+def format_fig13(points: list[SystemPoint]) -> str:
+    rows = [[p.system, p.speedup_vs_eyeriss, p.norm_energy] for p in points]
+    return render_table(
+        "Fig. 13 — speedup and normalised energy vs Eyeriss",
+        ["system", "speedup (x)", "norm. energy"],
+        rows,
+    )

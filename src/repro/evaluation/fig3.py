@@ -1,0 +1,69 @@
+"""Fig. 3 — arithmetic-operation distribution over the stereo pipeline.
+
+For each network, the share of dense MACs in Feature Extraction (conv),
+Matching Optimization (conv) and Disparity Refinement (deconv), plus
+everything else.  The paper's headline numbers: conv+deconv > 99 % of
+all operations; deconvolution averages 38.2 % with a 50 % maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.common import render_table
+from repro.models import QHD, STEREO_NETWORKS
+from repro.nn.workload import Stage, macs_by_stage, total_macs
+
+__all__ = ["StageShare", "run_fig3", "format_fig3"]
+
+
+@dataclass(frozen=True)
+class StageShare:
+    network: str
+    total_gmacs: float
+    fe_pct: float
+    mo_pct: float
+    dr_pct: float
+    other_pct: float
+
+
+def run_fig3(size=QHD) -> list[StageShare]:
+    out = []
+    for name, builder in STEREO_NETWORKS.items():
+        specs = builder(size)
+        dist = macs_by_stage(specs)
+        total = total_macs(specs)
+        out.append(
+            StageShare(
+                network=name,
+                total_gmacs=total / 1e9,
+                fe_pct=100.0 * dist[Stage.FE] / total,
+                mo_pct=100.0 * dist[Stage.MO] / total,
+                dr_pct=100.0 * dist[Stage.DR] / total,
+                other_pct=100.0 * dist[Stage.OTHER] / total,
+            )
+        )
+    return out
+
+
+def average_dr_share(shares: list[StageShare]) -> float:
+    return sum(s.dr_pct for s in shares) / len(shares)
+
+
+def format_fig3(shares: list[StageShare]) -> str:
+    rows = [
+        [s.network, s.total_gmacs, s.fe_pct, s.mo_pct, s.dr_pct, s.other_pct]
+        for s in shares
+    ]
+    rows.append(
+        ["AVG", sum(s.total_gmacs for s in shares) / len(shares),
+         sum(s.fe_pct for s in shares) / len(shares),
+         sum(s.mo_pct for s in shares) / len(shares),
+         average_dr_share(shares),
+         sum(s.other_pct for s in shares) / len(shares)]
+    )
+    return render_table(
+        "Fig. 3 — MAC distribution per pipeline stage (qHD input)",
+        ["network", "GMACs", "FE conv %", "MO conv %", "DR deconv %", "other %"],
+        rows,
+    )

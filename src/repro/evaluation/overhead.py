@@ -1,0 +1,35 @@
+"""Sec. 7.1 — hardware overhead of the ASV extensions."""
+
+from __future__ import annotations
+
+from repro.evaluation.common import render_table
+from repro.hw.area import AreaPowerModel
+from repro.hw.config import ASV_BASE, HWConfig
+
+__all__ = ["run_overhead", "format_overhead"]
+
+
+def run_overhead(hw: HWConfig = ASV_BASE, model: AreaPowerModel | None = None):
+    model = model or AreaPowerModel()
+    report = model.overhead(hw)
+    return model, report
+
+
+def format_overhead(model: AreaPowerModel, report) -> str:
+    rows = [
+        ["per-PE abs-diff extension (area)", f"+{model.pe_area_overhead_pct():.1f}%",
+         f"{model.pe_ext_area_um2} um^2"],
+        ["per-PE abs-diff extension (power)", f"+{model.pe_power_overhead_pct():.1f}%",
+         f"{model.pe_ext_power_mw} mW"],
+        ["scalar-unit extension (area)", "-", f"{model.scalar_ext_area_um2} um^2"],
+        ["scalar-unit extension (power)", "-", f"{model.scalar_ext_power_mw} mW"],
+        ["total ASV area overhead", f"{report.area_overhead_pct:.2f}%",
+         f"{report.added_area_mm2:.4f} mm^2 of {report.total_area_mm2} mm^2"],
+        ["total ASV power overhead", f"{report.power_overhead_pct:.2f}%",
+         f"{1e3 * report.added_power_w:.1f} mW of {report.total_power_w} W"],
+    ]
+    return render_table(
+        "Sec. 7.1 — hardware overhead of the ASV extensions",
+        ["component", "relative", "absolute"],
+        rows,
+    )

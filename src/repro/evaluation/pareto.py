@@ -1,0 +1,31 @@
+"""Pareto-frontier analysis of the Fig. 1 design space.
+
+The paper's framing of Fig. 1 is exactly a Pareto argument: classic
+algorithms and DNNs trace an accuracy/performance frontier, and ASV's
+contribution is a point that *dominates* a stretch of it.  This module
+extracts the non-dominated set from frontier points so that claim can
+be asserted rather than eyeballed.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.fig1 import FrontierPoint
+
+__all__ = ["dominates", "pareto_frontier"]
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both axes
+    (lower error, higher FPS) and strictly better on one."""
+    as_good = a.error_pct <= b.error_pct and a.fps >= b.fps
+    strictly = a.error_pct < b.error_pct or a.fps > b.fps
+    return as_good and strictly
+
+
+def pareto_frontier(points: list[FrontierPoint]) -> list[FrontierPoint]:
+    """The non-dominated subset, sorted by error rate."""
+    frontier = [
+        p for p in points
+        if not any(dominates(q, p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: p.error_pct)

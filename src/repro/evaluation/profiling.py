@@ -1,0 +1,85 @@
+"""Per-layer profiling of a network on the accelerator.
+
+Accelerator papers live and die by per-layer breakdowns; this driver
+produces the table the paper's evaluation implies but never prints:
+for every layer of a stereo network, its share of cycles, DRAM
+traffic, and energy, under any execution mode — which is also how one
+*sees* that deconvolutions dominate the baseline and stop dominating
+after the transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deconv.exhaustive import best_static_partition
+from repro.deconv.lowering import lower_network
+from repro.deconv.optimizer import optimize_layers
+from repro.evaluation.common import render_table
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.systolic import SystolicModel
+from repro.models import QHD, network_specs
+
+__all__ = ["LayerProfile", "profile_network", "format_profile"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    layer: str
+    is_deconv: bool
+    cycles: int
+    cycle_share_pct: float
+    dram_mb: float
+    energy_mj: float
+    bound: str  # "compute" | "memory"
+
+
+def profile_network(
+    network: str,
+    mode: str = "baseline",
+    hw: HWConfig = ASV_BASE,
+    size=QHD,
+) -> list[LayerProfile]:
+    """Per-layer profile under a mode (see :data:`repro.core.MODES`)."""
+    model = SystolicModel(hw)
+    specs = network_specs(network, size)
+    if mode == "baseline":
+        layers = lower_network(specs, transform=False)
+        _, schedules = best_static_partition(layers, hw, model)
+    elif mode == "dct":
+        layers = lower_network(specs, transform=True, ilar=False)
+        _, schedules = best_static_partition(layers, hw, model)
+    elif mode in ("convr", "ilar"):
+        layers = lower_network(specs, transform=True, ilar=(mode == "ilar"))
+        schedules = optimize_layers(layers, hw, model)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    results = [model.run_schedule(s, validate=False) for s in schedules]
+    total = sum(r.cycles for r in results) or 1
+    return [
+        LayerProfile(
+            layer=r.name,
+            is_deconv="[naive]" in r.name or "[dct" in r.name,
+            cycles=r.cycles,
+            cycle_share_pct=100.0 * r.cycles / total,
+            dram_mb=r.dram_bytes / 1e6,
+            energy_mj=1e3 * r.energy_j,
+            bound="memory" if r.memory_cycles > r.compute_cycles else "compute",
+        )
+        for r in results
+    ]
+
+
+def format_profile(network: str, mode: str, profiles: list[LayerProfile]) -> str:
+    rows = [
+        [p.layer, "deconv" if p.is_deconv else "conv", p.cycles,
+         p.cycle_share_pct, p.dram_mb, p.energy_mj, p.bound]
+        for p in profiles
+    ]
+    deconv_share = sum(p.cycle_share_pct for p in profiles if p.is_deconv)
+    rows.append(["TOTAL deconv share", "", "", deconv_share, "", "", ""])
+    return render_table(
+        f"Per-layer profile — {network} [{mode}]",
+        ["layer", "kind", "cycles", "share %", "DRAM MB", "energy mJ", "bound"],
+        rows,
+    )

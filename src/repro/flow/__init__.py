@@ -1,0 +1,29 @@
+"""Dense optical flow substrate (paper Sec. 3.3's motion estimation)."""
+
+from repro.flow.farneback import (
+    farneback_flow,
+    farneback_ops,
+    flow_iteration,
+    poly_expansion,
+)
+from repro.flow.gaussian import (
+    downsample2,
+    gaussian_blur,
+    gaussian_blur_ops,
+    gaussian_kernel1d,
+)
+from repro.flow.warp import bilinear_sample, forward_warp_disparity, warp_backward
+
+__all__ = [
+    "bilinear_sample",
+    "downsample2",
+    "farneback_flow",
+    "farneback_ops",
+    "flow_iteration",
+    "forward_warp_disparity",
+    "gaussian_blur",
+    "gaussian_blur_ops",
+    "gaussian_kernel1d",
+    "poly_expansion",
+    "warp_backward",
+]

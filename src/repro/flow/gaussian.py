@@ -1,0 +1,39 @@
+"""Separable Gaussian filtering (the OF stage the paper maps to a conv
+layer: "Gaussian blur is inherently a convolution operation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["gaussian_kernel1d", "gaussian_blur", "downsample2", "gaussian_blur_ops"]
+
+
+def gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
+    """Normalised 1-D Gaussian taps."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if radius is None:
+        radius = max(1, int(round(3.0 * sigma)))
+    x = np.arange(-radius, radius + 1, dtype=np.float64)
+    k = np.exp(-0.5 * (x / sigma) ** 2)
+    return k / k.sum()
+
+
+def gaussian_blur(img: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with edge replication."""
+    return ndimage.gaussian_filter(
+        np.asarray(img, dtype=np.float64), sigma=sigma, mode="nearest"
+    )
+
+
+def downsample2(img: np.ndarray) -> np.ndarray:
+    """Anti-aliased 2x downsampling (pyramid construction)."""
+    return gaussian_blur(img, 1.0)[::2, ::2]
+
+
+def gaussian_blur_ops(h: int, w: int, sigma: float) -> int:
+    """MAC count of a separable blur (two 1-D passes)."""
+    taps = 2 * max(1, int(round(3.0 * sigma))) + 1
+    return 2 * taps * h * w

@@ -1,0 +1,76 @@
+"""Image warping and correspondence propagation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bilinear_sample", "warp_backward", "forward_warp_disparity"]
+
+
+def bilinear_sample(img: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Sample ``img`` at float coordinates with bilinear interpolation
+    and edge clamping."""
+    h, w = img.shape[:2]
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    fy = ys - y0
+    fx = xs - x0
+    top = img[y0, x0] * (1 - fx) + img[y0, x1] * fx
+    bot = img[y1, x0] * (1 - fx) + img[y1, x1] * fx
+    return top * (1 - fy) + bot * fy
+
+
+def warp_backward(img: np.ndarray, flow: np.ndarray) -> np.ndarray:
+    """``out(p) = img(p + flow(p))`` — warp ``img`` towards the frame
+    the flow was computed on."""
+    h, w = img.shape[:2]
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    return bilinear_sample(img, yy + flow[..., 0], xx + flow[..., 1])
+
+
+def forward_warp_disparity(
+    disp: np.ndarray,
+    flow_left: np.ndarray,
+    flow_right: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Propagate a disparity map along per-pixel motion (ISM step 3).
+
+    Each left-frame pixel ``p`` with disparity ``d`` moves to
+    ``p + flow_left(p)``; its right-image correspondence moves by
+    ``flow_right`` sampled at the corresponding right-image pixel, so
+    the propagated disparity is ``d + flow_right_x - flow_left_x``
+    (the horizontal offset between the two moved pixels).  Collisions
+    keep the larger disparity (nearer surface), matching a z-buffer.
+
+    Returns ``(disparity, known_mask)`` for the next frame; pixels no
+    correspondence landed on are marked unknown.
+    """
+    h, w = disp.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    ty = np.rint(yy + flow_left[..., 0]).astype(int)
+    tx = np.rint(xx + flow_left[..., 1]).astype(int)
+
+    if flow_right is None:
+        new_d = disp
+    else:
+        # sample the right-frame motion at the correspondence <x + d, y>
+        rx = np.clip(np.rint(xx + disp).astype(int), 0, w - 1)
+        dx_right = flow_right[yy, rx, 1]
+        dx_left = flow_left[..., 1]
+        new_d = disp + (dx_right - dx_left)
+
+    inside = (ty >= 0) & (ty < h) & (tx >= 0) & (tx < w)
+    out = np.full((h, w), -1.0)
+    flat = ty[inside] * w + tx[inside]
+    vals = new_d[inside]
+    # z-buffer: larger disparity (nearer) wins; maximum.at resolves
+    # collisions without ordering artefacts
+    buf = np.full(h * w, -1.0)
+    np.maximum.at(buf, flat, vals)
+    out = buf.reshape(h, w)
+    known = out >= 0
+    return np.where(known, out, 0.0), known

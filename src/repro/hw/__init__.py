@@ -1,0 +1,49 @@
+"""Analytic hardware models (paper Sec. 5.2/6.1).
+
+* :mod:`repro.hw.config` — accelerator resource descriptions.
+* :mod:`repro.hw.schedule` — the execution-schedule IR + feasibility checks.
+* :mod:`repro.hw.systolic` — the systolic-array latency/energy model (Eq. 5-9).
+* :mod:`repro.hw.energy` — the 16 nm per-event energy table.
+"""
+
+from repro.hw.area import AreaPowerModel, OverheadReport
+from repro.hw.cycle_sim import CycleSimResult, simulate_conv_cycles, utilization
+from repro.hw.config import ASV_BASE, BYTES_PER_ELEM, HWConfig
+from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
+from repro.hw.eyeriss import EyerissModel
+from repro.hw.gannx import GannxModel
+from repro.hw.gpu import JETSON_TX2, GPUModel
+from repro.hw.schedule import (
+    LayerWork,
+    RoundPlan,
+    Schedule,
+    SubAllocation,
+    SubConvWork,
+)
+from repro.hw.systolic import LayerResult, RunResult, SystolicModel
+
+__all__ = [
+    "ASV_BASE",
+    "AreaPowerModel",
+    "EyerissModel",
+    "GPUModel",
+    "GannxModel",
+    "JETSON_TX2",
+    "OverheadReport",
+    "BYTES_PER_ELEM",
+    "CycleSimResult",
+    "simulate_conv_cycles",
+    "utilization",
+    "ENERGY_16NM",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "HWConfig",
+    "LayerResult",
+    "LayerWork",
+    "RoundPlan",
+    "RunResult",
+    "Schedule",
+    "SubAllocation",
+    "SubConvWork",
+    "SystolicModel",
+]

@@ -1,0 +1,68 @@
+"""Hardware configuration for the ASV accelerator model.
+
+The defaults mirror the paper's Sec. 6.1 prototype: a 24x24 systolic PE
+array at 1 GHz, a 1.5 MB unified on-chip SRAM banked at 128 KB and split
+in half for double buffering, an 8-lane scalar unit at 250 MHz, and four
+Micron 16 Gb LPDDR3-1600 channels of off-chip memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["HWConfig", "ASV_BASE", "BYTES_PER_ELEM"]
+
+BYTES_PER_ELEM = 2  # 16-bit fixed point activations and weights
+
+
+@dataclass(frozen=True)
+class HWConfig:
+    """Resource description of a systolic DNN accelerator (Θ, R* in Eq. 4)."""
+
+    name: str = "asv-base"
+    pe_rows: int = 24
+    pe_cols: int = 24
+    frequency_hz: float = 1.0e9
+    buffer_bytes: int = int(1.5 * 1024 * 1024)
+    bank_bytes: int = 128 * 1024
+    dram_bytes_per_sec: float = 25.6e9  # 4x LPDDR3-1600 channels
+    scalar_lanes: int = 8
+    scalar_frequency_hz: float = 250.0e6
+    bytes_per_elem: int = BYTES_PER_ELEM
+
+    def __post_init__(self):
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dimensions must be positive")
+        if self.buffer_bytes < 2 * self.bank_bytes:
+            raise ValueError("buffer must hold at least two banks (double buffering)")
+        if self.frequency_hz <= 0 or self.dram_bytes_per_sec <= 0:
+            raise ValueError("frequency and bandwidth must be positive")
+
+    @property
+    def pe_count(self) -> int:
+        """A* of Eq. 6 — MACs the array retires per cycle."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def usable_buffer_bytes(self) -> int:
+        """Per-round working-set capacity (Buf*): half the SRAM,
+        because the other half is the double-buffer filling section."""
+        return self.buffer_bytes // 2
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """B* of Eq. 8/9 expressed in bytes per accelerator cycle."""
+        return self.dram_bytes_per_sec / self.frequency_hz
+
+    @property
+    def peak_macs_per_sec(self) -> float:
+        """Raw throughput; 24x24 @ 1 GHz gives the paper's 1.152 Top/s
+        (counting each MAC as two operations)."""
+        return self.pe_count * self.frequency_hz
+
+    def with_resources(self, **updates) -> "HWConfig":
+        """Copy with replaced fields (used by the Fig. 12 sweeps)."""
+        return replace(self, **updates)
+
+
+ASV_BASE = HWConfig()

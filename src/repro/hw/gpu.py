@@ -1,0 +1,60 @@
+"""Mobile-GPU roofline model (the paper's Jetson TX2 Pascal baseline).
+
+The paper characterises the four stereo DNNs on the Pascal GPU of the
+16 nm Nvidia Parker SoC (Jetson TX2) and measures power with the
+board's sensing circuitry.  Offline we model the GPU as a roofline:
+
+* peak FP16 throughput 1.33 Tops/s (256 CUDA cores @ 1.30 GHz, 2-wide
+  FP16 MAD) derated by a DNN kernel efficiency factor — convolution
+  kernels on mobile Pascal typically sustain 25-45 % of peak;
+* LPDDR4 memory at 58.3 GB/s (shared with the CPU complex);
+* a board-level GPU-rail power draw of ~9.5 W under sustained load.
+
+Deconvolutions run dense (cuDNN-style ``conv_transpose``), i.e. the GPU
+pays the zero-stuffed cost like any accelerator without the
+transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.workload import ConvSpec
+
+__all__ = ["GPUModel", "JETSON_TX2"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Roofline execution model of a mobile GPU."""
+
+    name: str = "jetson-tx2-pascal"
+    peak_macs_per_sec: float = 0.665e12   # 1.33 Tops/s = 0.665 TMAC/s
+    kernel_efficiency: float = 0.33
+    dram_bytes_per_sec: float = 58.3e9
+    power_w: float = 5.0                  # sustained GPU-rail draw
+    bytes_per_elem: int = 2  # FP16
+
+    def layer_seconds(self, spec: ConvSpec) -> float:
+        """Roofline time of one layer: max(compute, memory)."""
+        compute = spec.macs / (self.peak_macs_per_sec * self.kernel_efficiency)
+        moved = (
+            spec.ifmap_elems + spec.ofmap_elems + spec.params
+        ) * self.bytes_per_elem
+        memory = moved / self.dram_bytes_per_sec
+        return max(compute, memory)
+
+    def network_seconds(self, specs) -> float:
+        """Layer-wise execution time of a layer table."""
+        return sum(self.layer_seconds(s) for s in specs)
+
+    def network_energy_j(self, specs) -> float:
+        """Energy = sustained rail power x execution time."""
+        return self.network_seconds(specs) * self.power_w
+
+    def fps(self, specs) -> float:
+        """Frames per second for one inference per frame."""
+        return 1.0 / self.network_seconds(specs)
+
+
+JETSON_TX2 = GPUModel()

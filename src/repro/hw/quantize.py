@@ -1,0 +1,74 @@
+"""Fixed-point quantization model for the 16-bit datapath.
+
+The accelerator computes in 16-bit fixed point (Sec. 5.2: "two 16-bit
+input registers, a 16-bit fixed-point MAC unit with a 32-bit
+accumulator").  This module models that datapath so the accuracy
+impact of the precision choice is *checkable*: quantizing images,
+weights and disparity maps to Q-format and measuring the three-pixel
+error shows the 16-bit choice is accuracy-neutral for stereo (the
+tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "Q8_8", "Q2_13", "quantize", "quantization_error"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``int_bits``.``frac_bits``."""
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.int_bits < 1 or self.frac_bits < 0:
+            raise ValueError("need >= 1 integer bit and >= 0 fraction bits")
+        if self.total_bits > 32:
+            raise ValueError("formats beyond 32 bits are not modelled")
+
+    @property
+    def total_bits(self) -> int:
+        return self.int_bits + self.frac_bits + 1  # + sign
+
+    @property
+    def scale(self) -> float:
+        return float(1 << self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return ((1 << (self.int_bits + self.frac_bits)) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -float(1 << (self.int_bits + self.frac_bits)) / self.scale
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+
+#: disparity maps: up to 255 px with 1/256 px resolution
+Q8_8 = FixedPointFormat(int_bits=8, frac_bits=7)
+#: normalised activations/weights: +/-4 range, fine resolution
+Q2_13 = FixedPointFormat(int_bits=2, frac_bits=13)
+
+
+def quantize(x: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Round-to-nearest quantization with saturation."""
+    x = np.asarray(x, dtype=np.float64)
+    q = np.rint(x * fmt.scale) / fmt.scale
+    return np.clip(q, fmt.min_value, fmt.max_value)
+
+
+def quantization_error(x: np.ndarray, fmt: FixedPointFormat) -> float:
+    """Max absolute quantization error over in-range values."""
+    x = np.asarray(x, dtype=np.float64)
+    in_range = (x >= fmt.min_value) & (x <= fmt.max_value)
+    if not in_range.any():
+        return float("inf")
+    return float(np.abs(quantize(x, fmt) - x)[in_range].max())

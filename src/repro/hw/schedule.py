@@ -1,0 +1,379 @@
+"""Execution-schedule IR shared by the software optimizers and the
+hardware models.
+
+The paper's software stack emits, per layer, an *execution schedule*
+(Fig. 8) that the accelerator consumes at runtime: a sequence of
+double-buffered **rounds**, each describing which ifmap tile, which
+filters and which partial sums are resident, what is fetched from DRAM,
+and what is written back.  The structures here are that schedule, plus
+the feasibility checks of the constrained-optimization formulation:
+
+* Eq. 10 — the round's working set fits the usable (half) buffer;
+* Eq. 11 — across rounds, every filter of every sub-kernel is used and
+  every output element is produced exactly once.
+
+Tiling model
+------------
+Feature maps are tiled along three axes:
+
+* **rows** — the flattened outer spatial axes (``H`` for 2-D maps,
+  ``D*H`` for 3-D cost volumes).  A sub-convolution's reach along this
+  axis is ``tile_kernel_extent`` and its advance per output row is
+  ``tile_stride`` (both flattened the same way).
+* **cols** — the innermost spatial axis (``W``), split into strips.
+* **input channels** — chunked with partial sums accumulated in the
+  on-chip buffer; the ofmap tile is written to DRAM once, when the
+  last chunk finishes.
+
+A round's ifmap tile always spans one (row-tile, col-strip, IC-chunk)
+block; halo rows/cols between neighbouring tiles are re-fetched, as in
+conventional DNN tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.config import HWConfig
+
+__all__ = ["SubConvWork", "LayerWork", "SubAllocation", "RoundPlan", "Schedule"]
+
+
+@dataclass(frozen=True)
+class SubConvWork:
+    """Total work of one dense (sub-)convolution within a layer group."""
+
+    name: str
+    taps: int              # kernel elements per (in-channel, filter) pair
+    filters: int           # output channels (C of Eq. 11)
+    out_rows: int          # output extent along the flattened row axis
+    out_cols: int          # output extent along the innermost axis
+    tile_kernel_extent: int = 1  # kernel reach along the row axis (flattened)
+    tile_stride: int = 1         # input advance per output row (flattened)
+    col_kernel_extent: int = 1   # kernel reach along the column axis
+    col_stride: int = 1          # input advance per output column
+
+    def __post_init__(self):
+        if min(self.taps, self.filters, self.out_rows, self.out_cols) < 1:
+            raise ValueError(f"{self.name}: work quantities must be positive")
+        if (
+            min(
+                self.tile_kernel_extent,
+                self.tile_stride,
+                self.col_kernel_extent,
+                self.col_stride,
+            )
+            < 1
+        ):
+            raise ValueError(f"{self.name}: tile geometry must be positive")
+
+    @property
+    def total_out_elems(self) -> int:
+        return self.filters * self.out_rows * self.out_cols
+
+    def rows_for(self, out_rows: int) -> int:
+        """Ifmap rows (incl. halo) needed for ``out_rows`` output rows."""
+        if out_rows <= 0:
+            return 0
+        return (out_rows - 1) * self.tile_stride + self.tile_kernel_extent
+
+    def cols_for(self, out_cols: int) -> int:
+        """Ifmap columns (incl. halo) needed for ``out_cols`` columns."""
+        if out_cols <= 0:
+            return 0
+        return (out_cols - 1) * self.col_stride + self.col_kernel_extent
+
+    def macs_for(self, in_channels: int, filters: int, out_rows: int, out_cols: int) -> int:
+        """MACs for a (filters, rows, cols) block over ``in_channels``."""
+        return self.taps * in_channels * filters * out_rows * out_cols
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """A schedulable unit: one (transformed) layer sharing a single ifmap.
+
+    A conventional convolution is a group with one sub-convolution.  A
+    transformed deconvolution is a group of up to ``prod(stride)``
+    sub-convolutions; when ``share_ifmap`` is set, one ifmap fetch
+    serves every sub-convolution in the round — the paper's inter-layer
+    activation reuse (ILAR).
+    """
+
+    name: str
+    in_channels: int
+    ifmap_rows: int   # flattened outer spatial extent of the ifmap
+    ifmap_cols: int   # innermost spatial extent of the ifmap
+    subconvs: tuple[SubConvWork, ...]
+    share_ifmap: bool = True
+    repeat: int = 1
+
+    def __post_init__(self):
+        if not self.subconvs:
+            raise ValueError(f"{self.name}: a layer group needs >= 1 sub-convolution")
+        if self.ifmap_rows < 1 or self.ifmap_cols < 1 or self.in_channels < 1:
+            raise ValueError(f"{self.name}: ifmap extent must be positive")
+        if self.repeat < 1:
+            raise ValueError(f"{self.name}: repeat must be positive")
+
+    @property
+    def total_macs(self) -> int:
+        """MACs of one instance (``repeat`` applied by the hw model)."""
+        return sum(
+            s.macs_for(self.in_channels, s.filters, s.out_rows, s.out_cols)
+            for s in self.subconvs
+        )
+
+    @property
+    def ifmap_elems(self) -> int:
+        return self.in_channels * self.ifmap_rows * self.ifmap_cols
+
+    @property
+    def weight_elems(self) -> int:
+        return sum(s.taps * self.in_channels * s.filters for s in self.subconvs)
+
+    @property
+    def ofmap_elems(self) -> int:
+        return sum(s.total_out_elems for s in self.subconvs)
+
+
+@dataclass(frozen=True)
+class SubAllocation:
+    """One sub-convolution's share of a round."""
+
+    sub_index: int
+    filters: int
+    out_rows: int
+    out_cols: int
+    in_channels: int
+
+    def __post_init__(self):
+        if min(self.filters, self.out_rows, self.out_cols, self.in_channels) < 0:
+            raise ValueError("allocations must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.filters > 0
+            and self.out_rows > 0
+            and self.out_cols > 0
+            and self.in_channels > 0
+        )
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One double-buffered round (the ``i`` index of Eq. 5)."""
+
+    allocations: tuple[SubAllocation, ...]
+    ifmap_resident_elems: int
+    ifmap_loads_elems: int     # ΔIF — fetched from DRAM this round
+    weight_resident_elems: int
+    weight_loads_elems: int    # ΣΔW
+    psum_resident_elems: int   # partial-sum (ofmap tile) held in buffer
+    output_store_elems: int    # ΣΔOF — written to DRAM this round
+
+    def macs_per_sub(self, layer: LayerWork) -> tuple[int, ...]:
+        """The per-sub-kernel MAC terms of Eq. 6 for this round."""
+        out = []
+        for alloc in self.allocations:
+            sub = layer.subconvs[alloc.sub_index]
+            out.append(
+                sub.macs_for(
+                    alloc.in_channels, alloc.filters, alloc.out_rows, alloc.out_cols
+                )
+            )
+        return tuple(out)
+
+    @property
+    def computed_out_elems(self) -> int:
+        """Output elements touched (accumulated) this round."""
+        return sum(
+            a.filters * a.out_rows * a.out_cols for a in self.allocations if a.active
+        )
+
+    def buffer_elems(self, layer: LayerWork) -> int:
+        """Working-set size (Eq. 10 left-hand side), in elements."""
+        return (
+            self.ifmap_resident_elems
+            + self.weight_resident_elems
+            + self.psum_resident_elems
+        )
+
+
+@dataclass
+class Schedule:
+    """A layer's complete round sequence plus provenance metadata.
+
+    Identical consecutive rounds are stored once with a multiplicity in
+    ``counts`` (same length as ``rounds``); every aggregate below and
+    every consumer honours the multiplicities.  Latency composition is
+    order-independent (Eq. 5 is a plain sum of per-round maxima), so
+    aggregation loses nothing.
+    """
+
+    layer: LayerWork
+    rounds: list[RoundPlan] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [1] * len(self.rounds)
+        if len(self.counts) != len(self.rounds):
+            raise ValueError("counts must parallel rounds")
+
+    @property
+    def n_rounds(self) -> int:
+        return sum(self.counts)
+
+    def add(self, plan: RoundPlan, count: int = 1) -> None:
+        """Append ``count`` copies of a round."""
+        if count < 1:
+            return
+        self.rounds.append(plan)
+        self.counts.append(count)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(
+            n * sum(r.macs_per_sub(self.layer))
+            for r, n in zip(self.rounds, self.counts)
+        )
+
+    @property
+    def dram_load_elems(self) -> int:
+        return sum(
+            n * (r.ifmap_loads_elems + r.weight_loads_elems)
+            for r, n in zip(self.rounds, self.counts)
+        )
+
+    @property
+    def dram_store_elems(self) -> int:
+        return sum(n * r.output_store_elems for r, n in zip(self.rounds, self.counts))
+
+    @property
+    def dram_traffic_elems(self) -> int:
+        return self.dram_load_elems + self.dram_store_elems
+
+    def check_feasible(self, hw: HWConfig) -> None:
+        """Raise if any round violates the Eq. 10 buffer constraint."""
+        cap = hw.usable_buffer_bytes
+        for i, rnd in enumerate(self.rounds):
+            used = rnd.buffer_elems(self.layer) * hw.bytes_per_elem
+            if used > cap:
+                raise ValueError(
+                    f"{self.layer.name} round {i}: working set {used} B "
+                    f"exceeds usable buffer {cap} B"
+                )
+
+    def check_complete(self) -> None:
+        """Raise unless the rounds cover the layer exactly (Eq. 11).
+
+        Coverage is validated in aggregate: the scheduled MACs and the
+        stored output elements must equal the layer totals.
+        """
+        macs = self.total_macs
+        if macs != self.layer.total_macs:
+            raise ValueError(
+                f"{self.layer.name}: scheduled {macs} MACs, "
+                f"layer requires {self.layer.total_macs}"
+            )
+        stored = self.dram_store_elems
+        if stored != self.layer.ofmap_elems:
+            raise ValueError(
+                f"{self.layer.name}: stored {stored} output elements, "
+                f"layer produces {self.layer.ofmap_elems}"
+            )
+
+    def validate(self, hw: HWConfig) -> "Schedule":
+        """Run all invariant checks and return self (builder epilogue)."""
+        self.check_feasible(hw)
+        self.check_complete()
+        return self
+
+    # ------------------------------------------------------------------
+    # serialization: the schedule is the artifact the software stack
+    # hands to the hardware (paper Fig. 8), so it must round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form of the schedule (JSON-serialisable)."""
+        return {
+            "label": self.label,
+            "layer": {
+                "name": self.layer.name,
+                "in_channels": self.layer.in_channels,
+                "ifmap_rows": self.layer.ifmap_rows,
+                "ifmap_cols": self.layer.ifmap_cols,
+                "share_ifmap": self.layer.share_ifmap,
+                "repeat": self.layer.repeat,
+                "subconvs": [
+                    {
+                        "name": s.name,
+                        "taps": s.taps,
+                        "filters": s.filters,
+                        "out_rows": s.out_rows,
+                        "out_cols": s.out_cols,
+                        "tile_kernel_extent": s.tile_kernel_extent,
+                        "tile_stride": s.tile_stride,
+                        "col_kernel_extent": s.col_kernel_extent,
+                        "col_stride": s.col_stride,
+                    }
+                    for s in self.layer.subconvs
+                ],
+            },
+            "rounds": [
+                {
+                    "count": n,
+                    "ifmap_resident_elems": r.ifmap_resident_elems,
+                    "ifmap_loads_elems": r.ifmap_loads_elems,
+                    "weight_resident_elems": r.weight_resident_elems,
+                    "weight_loads_elems": r.weight_loads_elems,
+                    "psum_resident_elems": r.psum_resident_elems,
+                    "output_store_elems": r.output_store_elems,
+                    "allocations": [
+                        {
+                            "sub_index": a.sub_index,
+                            "filters": a.filters,
+                            "out_rows": a.out_rows,
+                            "out_cols": a.out_cols,
+                            "in_channels": a.in_channels,
+                        }
+                        for a in r.allocations
+                    ],
+                }
+                for r, n in zip(self.rounds, self.counts)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        """Inverse of :meth:`to_dict`."""
+        lw = data["layer"]
+        layer = LayerWork(
+            name=lw["name"],
+            in_channels=lw["in_channels"],
+            ifmap_rows=lw["ifmap_rows"],
+            ifmap_cols=lw["ifmap_cols"],
+            share_ifmap=lw["share_ifmap"],
+            repeat=lw["repeat"],
+            subconvs=tuple(SubConvWork(**s) for s in lw["subconvs"]),
+        )
+        rounds = []
+        counts = []
+        for r in data["rounds"]:
+            counts.append(r["count"])
+            rounds.append(
+                RoundPlan(
+                    allocations=tuple(
+                        SubAllocation(**a) for a in r["allocations"]
+                    ),
+                    ifmap_resident_elems=r["ifmap_resident_elems"],
+                    ifmap_loads_elems=r["ifmap_loads_elems"],
+                    weight_resident_elems=r["weight_resident_elems"],
+                    weight_loads_elems=r["weight_loads_elems"],
+                    psum_resident_elems=r["psum_resident_elems"],
+                    output_store_elems=r["output_store_elems"],
+                )
+            )
+        return cls(layer=layer, rounds=rounds, counts=counts,
+                   label=data.get("label", ""))

@@ -1,0 +1,199 @@
+"""Analytic latency/energy model of the systolic-array accelerator.
+
+Implements the paper's per-round latency formulation:
+
+* Eq. 6 — compute time: each sub-kernel occupies the PE array in turn,
+  so the round's compute latency is the sum of per-sub-kernel ceilings
+  ``ceil(macs_k / A*)``.
+* Eq. 7–9 — memory time: the round's DRAM traffic (ifmap/weight loads
+  chosen by the schedule's reuse order, plus ofmap stores) divided by
+  the available bandwidth ``B*``.
+* Eq. 5 — with double buffering, a round takes ``max(compute, memory)``
+  and a layer is the sum of its rounds.
+
+Energy is accounted per event (see :mod:`repro.hw.energy`): MACs,
+register-file operand traffic, SRAM traffic (fills + array reads +
+output drains), DRAM traffic, and leakage over the execution window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hw.config import HWConfig
+from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
+from repro.hw.schedule import Schedule
+
+__all__ = ["LayerResult", "RunResult", "SystolicModel"]
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Latency/energy of one scheduled layer."""
+
+    name: str
+    cycles: int
+    compute_cycles: int
+    memory_cycles: int
+    macs: int
+    dram_bytes: int
+    sram_bytes: int
+    energy: EnergyBreakdown
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+
+@dataclass
+class RunResult:
+    """Aggregate of a sequence of layers (layer-wise execution model)."""
+
+    layers: list[LayerResult] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    @property
+    def macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(l.dram_bytes for l in self.layers)
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for l in self.layers:
+            total = total + l.energy
+        return total
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+    def seconds(self, hw: HWConfig) -> float:
+        return self.cycles / hw.frequency_hz
+
+    def __add__(self, other: "RunResult") -> "RunResult":
+        return RunResult(self.layers + other.layers)
+
+
+class SystolicModel:
+    """Evaluates execution schedules on a :class:`HWConfig`."""
+
+    def __init__(self, hw: HWConfig, energy: EnergyModel = ENERGY_16NM):
+        self.hw = hw
+        self.energy = energy
+
+    def run_schedule(self, sched: Schedule, validate: bool = True) -> LayerResult:
+        """Latency and energy of one layer's round sequence."""
+        if validate:
+            sched.validate(self.hw)
+        hw = self.hw
+        layer = sched.layer
+        bpe = hw.bytes_per_elem
+        bw = hw.dram_bytes_per_cycle
+
+        cycles = 0
+        compute_cycles = 0
+        memory_cycles = 0
+        macs_total = 0
+        dram_bytes = 0
+        sram_bytes = 0
+
+        for rnd, n in zip(sched.rounds, sched.counts):
+            per_sub = rnd.macs_per_sub(layer)
+            l_c = sum(math.ceil(m / hw.pe_count) for m in per_sub if m)
+            moved = (
+                rnd.ifmap_loads_elems + rnd.weight_loads_elems + rnd.output_store_elems
+            ) * bpe
+            l_m = math.ceil(moved / bw)
+            cycles += n * max(l_c, l_m)
+            compute_cycles += n * l_c
+            memory_cycles += n * l_m
+            macs_total += n * sum(per_sub)
+            dram_bytes += n * moved
+
+            # SRAM traffic: DRAM fills are written once; the array reads
+            # the resident ifmap tile once per active sub-kernel, reads
+            # each active weight once per round, accumulates partial
+            # sums (read-modify-write) and drains stored outputs.
+            fills = (rnd.ifmap_loads_elems + rnd.weight_loads_elems) * bpe
+            active = sum(1 for a in rnd.allocations if a.active)
+            tile_reads = active * rnd.ifmap_resident_elems * bpe
+            weight_reads = rnd.weight_resident_elems * bpe
+            psum_traffic = 2 * rnd.computed_out_elems * bpe
+            drains = rnd.output_store_elems * bpe
+            sram_bytes += n * (
+                fills + tile_reads + weight_reads + psum_traffic + drains
+            )
+
+        # a layer instantiated `repeat` times runs the same schedule
+        # back-to-back (e.g. GC-Net's residual tower)
+        rep = layer.repeat
+        cycles *= rep
+        compute_cycles *= rep
+        memory_cycles *= rep
+        macs_total *= rep
+        dram_bytes *= rep
+        sram_bytes *= rep
+
+        rf_bytes = 2 * macs_total * bpe
+        seconds = cycles / hw.frequency_hz
+        energy = EnergyBreakdown(
+            mac_j=self.energy.compute(macs_total),
+            sram_j=self.energy.sram(sram_bytes),
+            rf_j=self.energy.rf(rf_bytes),
+            dram_j=self.energy.dram(dram_bytes),
+            static_j=self.energy.static(seconds),
+        )
+        return LayerResult(
+            name=sched.layer.name,
+            cycles=cycles,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            macs=macs_total,
+            dram_bytes=dram_bytes,
+            sram_bytes=sram_bytes,
+            energy=energy,
+        )
+
+    def run_schedules(self, schedules, validate: bool = True) -> RunResult:
+        """Layer-wise execution: a layer starts when the previous ends."""
+        return RunResult([self.run_schedule(s, validate=validate) for s in schedules])
+
+    def scalar_op_result(
+        self, name: str, ops: int, elems_touched: int
+    ) -> LayerResult:
+        """Cost of point-wise work on the scalar unit (OF/BM support ops).
+
+        ``ops`` point operations run on ``scalar_lanes`` lanes at the
+        scalar clock; the touched elements move through the SRAM once.
+        Cycles are expressed in *accelerator* cycles so results compose.
+        """
+        hw = self.hw
+        lane_cycles = math.ceil(ops / hw.scalar_lanes)
+        seconds = lane_cycles / hw.scalar_frequency_hz
+        cycles = math.ceil(seconds * hw.frequency_hz)
+        sram_bytes = elems_touched * hw.bytes_per_elem
+        energy = EnergyBreakdown(
+            mac_j=self.energy.compute(ops),
+            sram_j=self.energy.sram(sram_bytes),
+            rf_j=0.0,
+            dram_j=0.0,
+            static_j=self.energy.static(seconds),
+        )
+        return LayerResult(
+            name=name,
+            cycles=cycles,
+            compute_cycles=cycles,
+            memory_cycles=0,
+            macs=ops,
+            dram_bytes=0,
+            sram_bytes=sram_bytes,
+            energy=energy,
+        )

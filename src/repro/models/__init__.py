@@ -1,0 +1,27 @@
+"""Stereo DNN and GAN model zoo (layer tables + accuracy proxies)."""
+
+from repro.models.gans import GAN_NETWORKS, gan_specs
+from repro.models.summary import network_summary, zoo_summary
+from repro.models.stereo_networks import (
+    QHD,
+    STEREO_NETWORKS,
+    dispnet,
+    flownetc,
+    gcnet,
+    network_specs,
+    psmnet,
+)
+
+__all__ = [
+    "GAN_NETWORKS",
+    "QHD",
+    "STEREO_NETWORKS",
+    "dispnet",
+    "flownetc",
+    "gan_specs",
+    "gcnet",
+    "network_specs",
+    "network_summary",
+    "psmnet",
+    "zoo_summary",
+]

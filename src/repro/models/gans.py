@@ -1,0 +1,123 @@
+"""Generator layer tables of the six GANs used in the GANNX comparison.
+
+Sec. 7.6 applies the deconvolution optimizations to the GAN suite of
+the GANNX paper (Yazdanbakhsh et al., ISCA'18): DCGAN, GP-GAN, ArtGAN,
+MAGAN, 3D-GAN and DiscoGAN.  Only the generators matter — they are the
+deconvolution-heavy half — and their architectures follow the original
+publications:
+
+* **DCGAN** — project z to 4x4x1024, then four 4x4 stride-2
+  deconvolutions up to 64x64x3.
+* **GP-GAN** — encoder-decoder blending network at 64x64.
+* **ArtGAN** — z to 1024-wide 4x4 seed, deconv stack to 64x64 with
+  intermediate convs.
+* **MAGAN** — DCGAN-style generator at 128x128 output.
+* **3D-GAN** — four 4x4x4 stride-2 *3-D* deconvolutions from a
+  4^3 x 512 seed to a 64^3 voxel grid.
+* **DiscoGAN** — conv encoder + deconv decoder at 64x64 (image-to-image
+  translation).
+"""
+
+from __future__ import annotations
+
+from repro.nn.workload import ConvSpec, Stage
+
+__all__ = ["GAN_NETWORKS", "gan_specs"]
+
+
+def dcgan() -> list[ConvSpec]:
+    return [
+        ConvSpec("g1", 100, 1024, (4, 4), (1, 1), 1, 0, deconv=True, stage=Stage.DR),
+        ConvSpec("g2", 1024, 512, (4, 4), (4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g3", 512, 256, (4, 4), (8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g4", 256, 128, (4, 4), (16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g5", 128, 3, (4, 4), (32, 32), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+
+
+def gp_gan() -> list[ConvSpec]:
+    enc = [
+        ConvSpec("e1", 3, 64, (4, 4), (64, 64), 2, 1, stage=Stage.FE),
+        ConvSpec("e2", 64, 128, (4, 4), (32, 32), 2, 1, stage=Stage.FE),
+        ConvSpec("e3", 128, 256, (4, 4), (16, 16), 2, 1, stage=Stage.FE),
+        ConvSpec("e4", 256, 512, (4, 4), (8, 8), 2, 1, stage=Stage.FE),
+        ConvSpec("e5", 512, 4000, (4, 4), (4, 4), 1, 0, stage=Stage.FE),
+    ]
+    dec = [
+        ConvSpec("d1", 4000, 512, (4, 4), (1, 1), 1, 0, deconv=True, stage=Stage.DR),
+        ConvSpec("d2", 512, 256, (4, 4), (4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d3", 256, 128, (4, 4), (8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d4", 128, 64, (4, 4), (16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d5", 64, 3, (4, 4), (32, 32), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+    return enc + dec
+
+
+def artgan() -> list[ConvSpec]:
+    return [
+        ConvSpec("fc_seed", 110, 1024, (4, 4), (1, 1), 1, 0, deconv=True, stage=Stage.DR),
+        ConvSpec("g1", 1024, 512, (4, 4), (4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g1c", 512, 512, (3, 3), (8, 8), 1, 1, stage=Stage.MO),
+        ConvSpec("g2", 512, 256, (4, 4), (8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g2c", 256, 256, (3, 3), (16, 16), 1, 1, stage=Stage.MO),
+        ConvSpec("g3", 256, 128, (4, 4), (16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g3c", 128, 128, (3, 3), (32, 32), 1, 1, stage=Stage.MO),
+        ConvSpec("g4", 128, 3, (4, 4), (32, 32), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+
+
+def magan() -> list[ConvSpec]:
+    return [
+        ConvSpec("g1", 100, 1024, (4, 4), (1, 1), 1, 0, deconv=True, stage=Stage.DR),
+        ConvSpec("g2", 1024, 512, (4, 4), (4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g3", 512, 256, (4, 4), (8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g4", 256, 128, (4, 4), (16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g5", 128, 64, (4, 4), (32, 32), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g6", 64, 3, (4, 4), (64, 64), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+
+
+def gan3d() -> list[ConvSpec]:
+    return [
+        ConvSpec("g1", 200, 512, (4, 4, 4), (1, 1, 1), 1, 0, deconv=True, stage=Stage.DR),
+        ConvSpec("g2", 512, 256, (4, 4, 4), (4, 4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g3", 256, 128, (4, 4, 4), (8, 8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g4", 128, 64, (4, 4, 4), (16, 16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("g5", 64, 1, (4, 4, 4), (32, 32, 32), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+
+
+def discogan() -> list[ConvSpec]:
+    enc = [
+        ConvSpec("e1", 3, 64, (4, 4), (64, 64), 2, 1, stage=Stage.FE),
+        ConvSpec("e2", 64, 128, (4, 4), (32, 32), 2, 1, stage=Stage.FE),
+        ConvSpec("e3", 128, 256, (4, 4), (16, 16), 2, 1, stage=Stage.FE),
+        ConvSpec("e4", 256, 512, (4, 4), (8, 8), 2, 1, stage=Stage.FE),
+    ]
+    dec = [
+        ConvSpec("d1", 512, 256, (4, 4), (4, 4), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d2", 256, 128, (4, 4), (8, 8), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d3", 128, 64, (4, 4), (16, 16), 2, 1, deconv=True, stage=Stage.DR),
+        ConvSpec("d4", 64, 3, (4, 4), (32, 32), 2, 1, deconv=True, stage=Stage.DR),
+    ]
+    return enc + dec
+
+
+GAN_NETWORKS = {
+    "DCGAN": dcgan,
+    "GP-GAN": gp_gan,
+    "ArtGAN": artgan,
+    "MAGAN": magan,
+    "3D-GAN": gan3d,
+    "DiscoGAN": discogan,
+}
+
+
+def gan_specs(name: str) -> list[ConvSpec]:
+    """Generator layer table of a GAN by name."""
+    try:
+        return GAN_NETWORKS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown GAN {name!r}; choose from {sorted(GAN_NETWORKS)}"
+        ) from None

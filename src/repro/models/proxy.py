@@ -1,0 +1,89 @@
+"""Accuracy proxies for the trained stereo DNNs.
+
+No trained DispNet/FlowNetC/GC-Net/PSMNet weights can exist in this
+offline reproduction, so key-frame "DNN inference" is emulated by a
+*calibrated error model* applied to the exact ground truth the
+synthetic datasets provide.  The proxy reproduces the error structure
+that matters to the ISM evaluation:
+
+* **boundary fattening** — stereo DNN errors concentrate at disparity
+  discontinuities; the proxy blends disparities across a band around
+  ground-truth edges;
+* **gross outliers** — a small fraction of pixels receive a wrong
+  disparity (mis-matches / ambiguous texture);
+* **sub-pixel noise** — everywhere-on Gaussian regression noise.
+
+Per-network profiles are calibrated so the *three-pixel error rate* of
+each proxy matches the published operating point of the corresponding
+network (PSMNet < GC-Net < DispNet < FlowNetC), which is what Figs. 1
+and 9 need; no claim is made about any other property of the real
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.datasets.scenes import StereoFrame
+
+__all__ = ["DNNAccuracyProfile", "StereoDNNProxy", "DNN_PROFILES"]
+
+
+@dataclass(frozen=True)
+class DNNAccuracyProfile:
+    """Error-model knobs for one network."""
+
+    name: str
+    boundary_width: int       # half-width (px) of the discontinuity band
+    boundary_miss_rate: float  # fraction of band pixels that get fattened
+    boundary_error_px: float  # error magnitude inside the band
+    outlier_rate: float       # fraction of gross mismatches
+    outlier_scale_px: float   # magnitude of gross mismatches
+    noise_sigma: float        # sub-pixel regression noise
+
+
+#: Calibrated so proxy three-pixel error rates land near the published
+#: SceneFlow/KITTI operating points of each network (see Fig. 9).
+DNN_PROFILES = {
+    "DispNet": DNNAccuracyProfile("DispNet", 2, 0.30, 5.0, 0.012, 12.0, 0.45),
+    "FlowNetC": DNNAccuracyProfile("FlowNetC", 3, 0.38, 6.0, 0.018, 14.0, 0.55),
+    "GC-Net": DNNAccuracyProfile("GC-Net", 1, 0.20, 4.0, 0.006, 10.0, 0.35),
+    "PSMNet": DNNAccuracyProfile("PSMNet", 1, 0.16, 3.5, 0.005, 9.0, 0.30),
+}
+
+
+class StereoDNNProxy:
+    """Callable that emulates one stereo DNN's disparity output."""
+
+    def __init__(self, profile: DNNAccuracyProfile | str, seed: int = 0):
+        if isinstance(profile, str):
+            profile = DNN_PROFILES[profile]
+        self.profile = profile
+        self._rng = np.random.default_rng(seed)
+
+    def infer(self, frame: StereoFrame) -> np.ndarray:
+        """Disparity prediction for one stereo pair."""
+        p = self.profile
+        gt = frame.disparity
+        rng = self._rng
+        disp = gt + rng.normal(0.0, p.noise_sigma, size=gt.shape)
+
+        # boundary fattening: inside the discontinuity band a fraction of
+        # pixels take the cross-edge blurred disparity plus jitter
+        grad = np.hypot(*np.gradient(gt))
+        band = ndimage.binary_dilation(grad > 1.0, iterations=p.boundary_width)
+        fattened = band & (rng.random(gt.shape) < p.boundary_miss_rate)
+        blurred = ndimage.uniform_filter(gt, size=2 * p.boundary_width + 3)
+        jitter = rng.uniform(-p.boundary_error_px, p.boundary_error_px, gt.shape)
+        disp = np.where(fattened, blurred + jitter, disp)
+
+        # gross outliers
+        outliers = rng.random(gt.shape) < p.outlier_rate
+        wrong = gt + rng.normal(0.0, p.outlier_scale_px, size=gt.shape)
+        disp = np.where(outliers, wrong, disp)
+        return np.maximum(disp, 0.0)
+
+    __call__ = infer

@@ -1,0 +1,70 @@
+"""Runnable miniature stereo networks.
+
+The layer tables in :mod:`repro.models.stereo_networks` describe the
+published architectures at full scale for the cost models; the
+miniatures here are *executable* scaled-down versions built on
+:class:`repro.nn.Graph` (random weights — inference quality comes from
+the calibrated proxies, see DESIGN.md).  They exist to close the loop
+between the model zoo and the numeric stack: a network built from the
+same topology can be run forward, its deconvolutions transformed with
+:func:`repro.deconv.runtime.TransformedDeconv`, and the outputs checked
+for exact equality — which the tests do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import Conv, Deconv, LeakyReLU
+
+__all__ = ["mini_dispnet_graph", "mini_flownetc_graph"]
+
+
+def mini_dispnet_graph(seed: int = 0, base_channels: int = 8) -> Graph:
+    """A miniature DispNet: siamese-free encoder, two upconv levels
+    with skip connections and a disparity head.
+
+    Input: a ``(2, H, W)`` stack of the two grayscale views (H, W
+    divisible by 8).
+    """
+    rng = np.random.default_rng(seed)
+    c = base_channels
+    g = Graph("mini-dispnet")
+    g.add("conv1", Conv(2, c, 7, stride=2, padding=3, name="conv1", rng=rng))
+    g.add("act1", LeakyReLU(), inputs="conv1")
+    g.add("conv2", Conv(c, 2 * c, 5, stride=2, padding=2, name="conv2", rng=rng),
+          inputs="act1")
+    g.add("act2", LeakyReLU(), inputs="conv2")
+    g.add("conv3", Conv(2 * c, 4 * c, 3, stride=2, padding=1, name="conv3", rng=rng),
+          inputs="act2")
+    g.add("act3", LeakyReLU(), inputs="conv3")
+    g.add("upconv2", Deconv(4 * c, 2 * c, 4, stride=2, padding=1,
+                            name="upconv2", rng=rng), inputs="act3")
+    g.add("iconv2", Conv(4 * c, 2 * c, 3, padding=1, name="iconv2", rng=rng),
+          inputs=("upconv2", "act2"))
+    g.add("upconv1", Deconv(2 * c, c, 4, stride=2, padding=1,
+                            name="upconv1", rng=rng), inputs="iconv2")
+    g.add("iconv1", Conv(2 * c, c, 3, padding=1, name="iconv1", rng=rng),
+          inputs=("upconv1", "act1"))
+    g.add("pr", Deconv(c, 1, 4, stride=2, padding=1, name="pr", rng=rng),
+          inputs="iconv1")
+    return g
+
+
+def mini_flownetc_graph(seed: int = 0, base_channels: int = 8) -> Graph:
+    """A miniature FlowNetC-style decoder: encoder + direct deconv
+    stack without iconv merge layers (the deconv-heavy topology)."""
+    rng = np.random.default_rng(seed)
+    c = base_channels
+    g = Graph("mini-flownetc")
+    g.add("conv1", Conv(2, c, 7, stride=2, padding=3, name="conv1", rng=rng))
+    g.add("act1", LeakyReLU(), inputs="conv1")
+    g.add("conv2", Conv(c, 2 * c, 5, stride=2, padding=2, name="conv2", rng=rng),
+          inputs="act1")
+    g.add("act2", LeakyReLU(), inputs="conv2")
+    g.add("deconv1", Deconv(2 * c, c, 4, stride=2, padding=1,
+                            name="deconv1", rng=rng), inputs="act2")
+    g.add("deconv0", Deconv(2 * c, 1, 4, stride=2, padding=1,
+                            name="deconv0", rng=rng), inputs=("deconv1", "act1"))
+    return g

@@ -1,0 +1,254 @@
+"""Layer tables of the four stereo DNNs the paper evaluates.
+
+The performance/energy side of the reproduction only needs each
+network's *layer geometry* (the paper likewise schedules shapes onto
+its accelerator model), so the networks are described as
+:class:`~repro.nn.workload.ConvSpec` tables following the published
+architectures:
+
+* **DispNet(C)** — Mayer et al., CVPR'16: siamese conv encoder,
+  1-D correlation, conv decoder with 4x4 stride-2 *upconvolutions*
+  interleaved with iconv merge layers.
+* **FlowNetC** — Dosovitskiy et al., ICCV'15 (the paper uses it for
+  disparity): like DispNet but the decoder concatenates skip inputs
+  directly into the next deconvolution, making deconvolution ~half of
+  all MACs — the largest DR share of the four.
+* **GC-Net** — Kendall et al., ICCV'17: 2-D residual feature towers, a
+  4-D concatenation cost volume at half resolution, a 3-D conv
+  encoder, and five 3-D stride-2 deconvolutions back to full
+  resolution (the final one produces the full D x H x W volume).
+* **PSMNet** — Chang & Chen, CVPR'18: CNN + SPP feature extractor at
+  quarter resolution, then three stacked-hourglass 3-D conv/deconv
+  towers over the cost volume.
+
+Stage tags (Sec. 2.2): FE = feature extraction, MO = matching
+optimization (correlation / cost-volume convolutions / merge layers),
+DR = disparity refinement (all deconvolutions).  MAC distributions over
+these stages reproduce the paper's Fig. 3 (DR ~38 % on average, ~50 %
+max for FlowNetC, conv+deconv > 99 % of all operations).
+
+All tables are generated for a configurable input resolution; the
+default is the paper's qHD (960 x 540).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.workload import ConvSpec, Stage
+
+__all__ = [
+    "dispnet",
+    "flownetc",
+    "gcnet",
+    "psmnet",
+    "STEREO_NETWORKS",
+    "network_specs",
+    "QHD",
+]
+
+QHD = (540, 960)  # (H, W)
+
+
+def _half(size):
+    return tuple(math.ceil(s / 2) for s in size)
+
+
+def _down(size, times):
+    for _ in range(times):
+        size = _half(size)
+    return tuple(size)
+
+
+def _siamese_encoder_2d(size, max_disp):
+    """Shared DispNet/FlowNetC front end: two-stream convs + correlation."""
+    s1 = _half(size)       # 1/2
+    s2 = _half(s1)         # 1/4
+    d = max_disp // 4 + 1  # correlation displacements at 1/4 resolution
+    return s1, s2, d
+
+
+def dispnet(size=QHD, max_disp=160) -> list[ConvSpec]:
+    """DispNetC layer table."""
+    s1, s2, d = _siamese_encoder_2d(size, max_disp)
+    s3 = _half(s2)
+    s4 = _half(s3)
+    s5 = _half(s4)
+    s6 = _half(s5)
+    L = []
+    # feature extraction (both images -> repeat=2)
+    L.append(ConvSpec("conv1", 3, 64, (7, 7), size, 2, 3, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("conv2", 64, 128, (5, 5), s1, 2, 2, stage=Stage.FE, repeat=2))
+    # matching: 1-D correlation (as a 1x1 pseudo-conv) + redirect
+    L.append(ConvSpec("corr1d", 128, d, (1, 1), s2, 1, 0, stage=Stage.MO))
+    L.append(ConvSpec("conv_redir", 128, 64, (1, 1), s2, 1, 0, stage=Stage.MO))
+    L.append(ConvSpec("conv3", d + 64, 256, (5, 5), s2, 2, 2, stage=Stage.MO))
+    L.append(ConvSpec("conv3_1", 256, 256, (3, 3), s3, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv4", 256, 512, (3, 3), s3, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv4_1", 512, 512, (3, 3), s4, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv5", 512, 512, (3, 3), s4, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv5_1", 512, 512, (3, 3), s5, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv6", 512, 1024, (3, 3), s5, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv6_1", 1024, 1024, (3, 3), s6, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("pr6", 1024, 1, (3, 3), s6, 1, 1, stage=Stage.MO))
+    # refinement: upconv + iconv + pr at each scale
+    chans = [(1024, 512, 512), (512, 256, 512), (256, 128, 256),
+             (128, 64, 128), (64, 32, 64)]
+    scale_in = [s6, s5, s4, s3, s2]
+    for i, ((cin, cout, skip), sz) in enumerate(zip(chans, scale_in)):
+        lvl = 5 - i
+        L.append(
+            ConvSpec(f"upconv{lvl}", cin, cout, (4, 4), sz, 2, 1,
+                     deconv=True, stage=Stage.DR)
+        )
+        out = tuple(n * 2 for n in sz)  # 4x4 s2 p1 doubles each extent
+        L.append(
+            ConvSpec(f"iconv{lvl}", cout + skip + 1, cout, (3, 3), out, 1, 1,
+                     stage=Stage.MO)
+        )
+        L.append(ConvSpec(f"pr{lvl}", cout, 1, (3, 3), out, 1, 1, stage=Stage.MO))
+    return L
+
+
+def flownetc(size=QHD, max_disp=160) -> list[ConvSpec]:
+    """FlowNetC layer table (used for disparity as in the paper)."""
+    s1, s2, d = _siamese_encoder_2d(size, max_disp)
+    s3 = _half(s2)
+    s4 = _half(s3)
+    s5 = _half(s4)
+    s6 = _half(s5)
+    L = []
+    L.append(ConvSpec("conv1", 3, 64, (7, 7), size, 2, 3, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("conv2", 64, 128, (5, 5), s1, 2, 2, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("conv3", 128, 256, (5, 5), s2, 2, 2, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("corr", 256, d, (1, 1), s3, 1, 0, stage=Stage.MO))
+    L.append(ConvSpec("conv_redir", 256, 32, (1, 1), s3, 1, 0, stage=Stage.MO))
+    L.append(ConvSpec("conv3_1", d + 32, 256, (3, 3), s3, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv4", 256, 512, (3, 3), s3, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv4_1", 512, 512, (3, 3), s4, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv5", 512, 512, (3, 3), s4, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv5_1", 512, 512, (3, 3), s5, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv6", 512, 1024, (3, 3), s5, 2, 1, stage=Stage.MO))
+    # refinement: deconvs fed by concat(previous deconv, skip, flow)
+    L.append(
+        ConvSpec("deconv5", 1024, 512, (4, 4), s6, 2, 1, deconv=True, stage=Stage.DR)
+    )
+    L.append(
+        ConvSpec("deconv4", 512 + 512 + 1, 256, (4, 4), s5, 2, 1,
+                 deconv=True, stage=Stage.DR)
+    )
+    L.append(
+        ConvSpec("deconv3", 256 + 512 + 1, 128, (4, 4), s4, 2, 1,
+                 deconv=True, stage=Stage.DR)
+    )
+    L.append(
+        ConvSpec("deconv2", 128 + 256 + 1, 64, (4, 4), s3, 2, 1,
+                 deconv=True, stage=Stage.DR)
+    )
+    # per-scale predictors
+    for lvl, (cin, sz) in enumerate(
+        [(1024, s6), (1025, s5), (769, s4), (385, s3), (193, s2)]
+    ):
+        L.append(
+            ConvSpec(f"predict{6 - lvl}", cin, 1, (3, 3), sz, 1, 1, stage=Stage.MO)
+        )
+    return L
+
+
+def gcnet(size=QHD, max_disp=192) -> list[ConvSpec]:
+    """GC-Net layer table (3-D cost-volume network)."""
+    s1 = _half(size)          # 1/2: feature + cost volume resolution
+    d1 = max_disp // 2
+    cv1 = (d1,) + s1          # (D/2, H/2, W/2)
+    cv2 = tuple(math.ceil(c / 2) for c in cv1)
+    cv3 = tuple(math.ceil(c / 2) for c in cv2)
+    cv4 = tuple(math.ceil(c / 2) for c in cv3)
+    cv5 = tuple(math.ceil(c / 2) for c in cv4)
+    L = []
+    # 2-D feature towers (both images)
+    L.append(ConvSpec("conv1", 3, 32, (5, 5), size, 2, 2, stage=Stage.FE, repeat=2))
+    L.append(
+        ConvSpec("res_tower", 32, 32, (3, 3), s1, 1, 1, stage=Stage.FE, repeat=32)
+    )
+    L.append(ConvSpec("conv18", 32, 32, (3, 3), s1, 1, 1, stage=Stage.FE, repeat=2))
+    # 3-D matching encoder over the concatenation cost volume (64 ch)
+    L.append(ConvSpec("conv19", 64, 32, (3, 3, 3), cv1, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv20", 32, 32, (3, 3, 3), cv1, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv21", 64, 64, (3, 3, 3), cv1, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv22_23", 64, 64, (3, 3, 3), cv2, 1, 1, stage=Stage.MO, repeat=2))
+    L.append(ConvSpec("conv24", 64, 64, (3, 3, 3), cv2, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv25_26", 64, 64, (3, 3, 3), cv3, 1, 1, stage=Stage.MO, repeat=2))
+    L.append(ConvSpec("conv27", 64, 64, (3, 3, 3), cv3, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv28_29", 64, 64, (3, 3, 3), cv4, 1, 1, stage=Stage.MO, repeat=2))
+    L.append(ConvSpec("conv30", 64, 128, (3, 3, 3), cv4, 2, 1, stage=Stage.MO))
+    L.append(ConvSpec("conv31_32", 128, 128, (3, 3, 3), cv5, 1, 1, stage=Stage.MO, repeat=2))
+    # 3-D refinement decoder: five stride-2 deconvolutions
+    L.append(ConvSpec("deconv33", 128, 64, (3, 3, 3), cv5, 2, 1, deconv=True, stage=Stage.DR))
+    L.append(ConvSpec("deconv34", 64, 64, (3, 3, 3), cv4, 2, 1, deconv=True, stage=Stage.DR))
+    L.append(ConvSpec("deconv35", 64, 64, (3, 3, 3), cv3, 2, 1, deconv=True, stage=Stage.DR))
+    L.append(ConvSpec("deconv36", 64, 32, (3, 3, 3), cv2, 2, 1, deconv=True, stage=Stage.DR))
+    L.append(ConvSpec("deconv37", 32, 1, (3, 3, 3), cv1, 2, 1, deconv=True, stage=Stage.DR))
+    return L
+
+
+def psmnet(size=QHD, max_disp=192) -> list[ConvSpec]:
+    """PSMNet layer table (SPP features + stacked hourglass)."""
+    s1 = _half(size)
+    s2 = _half(s1)            # 1/4: feature and cost-volume resolution
+    d2 = max_disp // 4
+    cv = (d2,) + s2           # (D/4, H/4, W/4)
+    cvh = tuple(math.ceil(c / 2) for c in cv)
+    cvq = tuple(math.ceil(c / 2) for c in cvh)
+    L = []
+    # CNN feature extractor (both images)
+    L.append(ConvSpec("conv0_1", 3, 32, (3, 3), size, 2, 1, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("conv0_2_3", 32, 32, (3, 3), s1, 1, 1, stage=Stage.FE, repeat=4))
+    L.append(ConvSpec("layer1", 32, 32, (3, 3), s1, 1, 1, stage=Stage.FE, repeat=6))
+    L.append(ConvSpec("layer2_down", 32, 64, (3, 3), s1, 2, 1, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("layer2", 64, 64, (3, 3), s2, 1, 1, stage=Stage.FE, repeat=62))
+    L.append(ConvSpec("layer3", 64, 128, (3, 3), s2, 1, 1, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("layer3_4", 128, 128, (3, 3), s2, 1, 1, stage=Stage.FE, repeat=22))
+    # SPP branches + fusion
+    L.append(ConvSpec("spp_branches", 128, 32, (1, 1), s2, 1, 0, stage=Stage.FE, repeat=8))
+    L.append(ConvSpec("fusion1", 320, 128, (3, 3), s2, 1, 1, stage=Stage.FE, repeat=2))
+    L.append(ConvSpec("fusion2", 128, 32, (1, 1), s2, 1, 0, stage=Stage.FE, repeat=2))
+    # 3-D matching: dres + 3 hourglasses
+    L.append(ConvSpec("dres0", 64, 32, (3, 3, 3), cv, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("dres0_1", 32, 32, (3, 3, 3), cv, 1, 1, stage=Stage.MO))
+    L.append(ConvSpec("dres1", 32, 32, (3, 3, 3), cv, 1, 1, stage=Stage.MO, repeat=2))
+    for h in (1, 2, 3):
+        L.append(ConvSpec(f"hg{h}_conv1", 32, 64, (3, 3, 3), cv, 2, 1, stage=Stage.MO))
+        L.append(ConvSpec(f"hg{h}_conv2", 64, 64, (3, 3, 3), cvh, 1, 1, stage=Stage.MO))
+        L.append(ConvSpec(f"hg{h}_conv3", 64, 64, (3, 3, 3), cvh, 2, 1, stage=Stage.MO))
+        L.append(ConvSpec(f"hg{h}_conv4", 64, 64, (3, 3, 3), cvq, 1, 1, stage=Stage.MO))
+        L.append(
+            ConvSpec(f"hg{h}_deconv5", 64, 64, (3, 3, 3), cvq, 2, 1,
+                     deconv=True, stage=Stage.DR)
+        )
+        L.append(
+            ConvSpec(f"hg{h}_deconv6", 64, 32, (3, 3, 3), cvh, 2, 1,
+                     deconv=True, stage=Stage.DR)
+        )
+    # classification heads
+    L.append(ConvSpec("classif_a", 32, 32, (3, 3, 3), cv, 1, 1, stage=Stage.MO, repeat=3))
+    L.append(ConvSpec("classif_b", 32, 1, (3, 3, 3), cv, 1, 1, stage=Stage.MO, repeat=3))
+    return L
+
+
+STEREO_NETWORKS = {
+    "DispNet": dispnet,
+    "FlowNetC": flownetc,
+    "GC-Net": gcnet,
+    "PSMNet": psmnet,
+}
+
+
+def network_specs(name: str, size=QHD) -> list[ConvSpec]:
+    """Layer table of a stereo network by name."""
+    try:
+        builder = STEREO_NETWORKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown network {name!r}; choose from {sorted(STEREO_NETWORKS)}"
+        ) from None
+    return builder(size)

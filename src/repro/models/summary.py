@@ -1,0 +1,59 @@
+"""Human-readable layer tables for the model zoo."""
+
+from __future__ import annotations
+
+from repro.tables import render_table
+from repro.models.gans import gan_specs
+from repro.models.stereo_networks import QHD, STEREO_NETWORKS, network_specs
+from repro.nn.workload import total_macs
+
+__all__ = ["network_summary", "zoo_summary"]
+
+
+def network_summary(name: str, size=QHD) -> str:
+    """Per-layer table of one stereo network (or GAN) by name."""
+    try:
+        specs = network_specs(name, size)
+        title = f"{name} at {size[1]}x{size[0]}"
+    except ValueError:
+        specs = gan_specs(name)
+        title = f"{name} (generator)"
+    rows = []
+    for s in specs:
+        rows.append(
+            [
+                s.name,
+                "deconv" if s.deconv else "conv",
+                s.stage,
+                f"{s.in_channels}->{s.out_channels}",
+                "x".join(map(str, s.kernel)),
+                "x".join(map(str, s.input_size)),
+                s.repeat,
+                s.macs / 1e9,
+            ]
+        )
+    rows.append(["TOTAL", "", "", "", "", "", "", total_macs(specs) / 1e9])
+    return render_table(
+        title,
+        ["layer", "kind", "stage", "channels", "kernel", "input", "rep",
+         "GMACs"],
+        rows,
+    )
+
+
+def zoo_summary(size=QHD) -> str:
+    """One-line-per-network overview of the stereo zoo."""
+    rows = []
+    for name in STEREO_NETWORKS:
+        specs = network_specs(name, size)
+        dense = total_macs(specs)
+        eff = total_macs(specs, effective=True)
+        rows.append(
+            [name, len(specs), dense / 1e9, eff / 1e9, dense / eff]
+        )
+    return render_table(
+        f"Stereo network zoo at {size[1]}x{size[0]}",
+        ["network", "layer entries", "dense GMACs", "transformed GMACs",
+         "DCT reduction (x)"],
+        rows,
+    )

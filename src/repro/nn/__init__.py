@@ -1,0 +1,73 @@
+"""Minimal numpy neural-network framework.
+
+Provides the numeric (de)convolution ops used to verify the paper's
+deconvolution transformation, runnable layer/network containers for the
+examples, and the :class:`~repro.nn.workload.ConvSpec` geometry
+descriptor consumed by the scheduling and hardware models.
+"""
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv,
+    Deconv,
+    Layer,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.graph import Graph, Node
+from repro.nn.network import Sequential
+from repro.nn.ops import (
+    avg_pool2d,
+    batchnorm,
+    conv2d,
+    conv3d,
+    conv_output_size,
+    convnd,
+    correlation2d,
+    deconv2d,
+    deconv3d,
+    deconv_output_size,
+    deconvnd,
+    leaky_relu,
+    relu,
+    sigmoid,
+    tanh,
+    upsample_zero,
+)
+from repro.nn.workload import ConvSpec, Stage, macs_by_stage, total_macs
+
+__all__ = [
+    "BatchNorm",
+    "Conv",
+    "ConvSpec",
+    "Deconv",
+    "Graph",
+    "Node",
+    "Layer",
+    "LeakyReLU",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Stage",
+    "Tanh",
+    "avg_pool2d",
+    "batchnorm",
+    "conv2d",
+    "conv3d",
+    "conv_output_size",
+    "convnd",
+    "correlation2d",
+    "deconv2d",
+    "deconv3d",
+    "deconv_output_size",
+    "deconvnd",
+    "leaky_relu",
+    "macs_by_stage",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "total_macs",
+    "upsample_zero",
+]

@@ -1,0 +1,110 @@
+"""A small DAG network container with skip connections.
+
+:class:`~repro.nn.network.Sequential` covers the cost-model use cases;
+the encoder–decoder stereo networks additionally concatenate encoder
+activations into the decoder (skip connections).  :class:`Graph` makes
+such networks *runnable*: nodes are named, each consumes one or more
+named inputs, and multi-input nodes concatenate along the channel axis
+— enough to execute a miniature DispNet end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Conv, Layer
+
+__all__ = ["Node", "Graph"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One graph node: a layer applied to named inputs."""
+
+    name: str
+    layer: Layer
+    inputs: tuple[str, ...]
+
+
+class Graph:
+    """A feed-forward DAG of named layers.
+
+    Nodes execute in insertion order; every node's inputs must already
+    be produced (topological insertion is the caller's contract and is
+    validated).  Multi-input nodes concatenate along axis 0 (channels).
+    """
+
+    INPUT = "input"
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: list[Node] = []
+        self._names = {self.INPUT}
+
+    def add(self, name: str, layer: Layer, inputs=("input",)) -> "Graph":
+        """Append a node; ``inputs`` name earlier nodes (or 'input')."""
+        if name in self._names:
+            raise ValueError(f"duplicate node name {name!r}")
+        inputs = (inputs,) if isinstance(inputs, str) else tuple(inputs)
+        for src in inputs:
+            if src not in self._names:
+                raise ValueError(f"node {name!r} consumes unknown input {src!r}")
+        self.nodes.append(Node(name, layer, inputs))
+        self._names.add(name)
+        return self
+
+    def forward(self, x: np.ndarray, return_all: bool = False):
+        """Execute the graph; returns the last node's output."""
+        values: dict[str, np.ndarray] = {self.INPUT: x}
+        for node in self.nodes:
+            tensors = [values[src] for src in node.inputs]
+            if len(tensors) == 1:
+                inp = tensors[0]
+            else:
+                spatial = tensors[0].shape[1:]
+                for t in tensors[1:]:
+                    if t.shape[1:] != spatial:
+                        raise ValueError(
+                            f"{node.name}: cannot concatenate spatial shapes "
+                            f"{[t.shape for t in tensors]}"
+                        )
+                inp = np.concatenate(tensors, axis=0)
+            values[node.name] = node.layer.forward(inp)
+        if return_all:
+            return values
+        return values[self.nodes[-1].name]
+
+    __call__ = forward
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Propagate shapes through the DAG."""
+        shapes = {self.INPUT: tuple(input_shape)}
+        for node in self.nodes:
+            ins = [shapes[src] for src in node.inputs]
+            if len(ins) == 1:
+                shape = ins[0]
+            else:
+                spatial = ins[0][1:]
+                for s in ins[1:]:
+                    if s[1:] != spatial:
+                        raise ValueError(f"{node.name}: spatial mismatch {ins}")
+                shape = (sum(s[0] for s in ins),) + spatial
+            shapes[node.name] = node.layer.output_shape(shape)
+        return shapes[self.nodes[-1].name]
+
+    def conv_specs(self, input_shape: tuple[int, ...]):
+        """ConvSpec geometry of every (de)convolution node."""
+        shapes = {self.INPUT: tuple(input_shape)}
+        specs = []
+        for node in self.nodes:
+            ins = [shapes[src] for src in node.inputs]
+            if len(ins) == 1:
+                shape = ins[0]
+            else:
+                shape = (sum(s[0] for s in ins),) + ins[0][1:]
+            if isinstance(node.layer, Conv):
+                specs.append(node.layer.spec(shape[1:]))
+            shapes[node.name] = node.layer.output_shape(shape)
+        return specs

@@ -1,0 +1,206 @@
+"""Runnable layer objects for small numpy networks.
+
+The model zoo in :mod:`repro.models` describes the four stereo DNNs as
+:class:`~repro.nn.workload.ConvSpec` tables (geometry only).  The layer
+classes here additionally carry weights and a ``forward`` so that
+examples and tests can execute small end-to-end networks — in
+particular the numeric verification that a transformed deconvolution
+network computes exactly what the original did.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.workload import ConvSpec, Stage
+
+__all__ = [
+    "Layer",
+    "Conv",
+    "Deconv",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "BatchNorm",
+]
+
+
+class Layer:
+    """Base class: a callable with shape inference."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of ``forward``'s result for an input of ``input_shape``."""
+        return input_shape
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    fan_in = math.prod(shape[1:])
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape).astype(np.float64)
+
+
+class Conv(Layer):
+    """N-D convolution layer with owned weights.
+
+    ``weight`` has shape ``(out_channels, in_channels, *kernel)``.
+    """
+
+    deconv = False
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel,
+        stride=1,
+        padding=0,
+        *,
+        name: str = "conv",
+        stage: str = Stage.FE,
+        weight: np.ndarray | None = None,
+        bias: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        kernel = (kernel,) * 2 if isinstance(kernel, int) else tuple(kernel)
+        ndim = len(kernel)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = (stride,) * ndim if isinstance(stride, int) else tuple(stride)
+        self.padding = (padding,) * ndim if isinstance(padding, int) else tuple(padding)
+        self.name = name
+        self.stage = stage
+        if weight is None:
+            rng = rng or np.random.default_rng(0)
+            weight = _he_init(rng, (out_channels, in_channels) + kernel)
+        expected = (out_channels, in_channels) + kernel
+        if weight.shape != expected:
+            raise ValueError(f"{name}: weight shape {weight.shape} != {expected}")
+        self.weight = weight
+        self.bias = bias
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = ops.convnd(x, self.weight, stride=self.stride, padding=self.padding)
+        if self.bias is not None:
+            out += self.bias.reshape((-1,) + (1,) * (out.ndim - 1))
+        return out
+
+    def output_shape(self, input_shape):
+        c, *spatial = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: got {c} channels, expected {self.in_channels}")
+        out_spatial = tuple(
+            ops.conv_output_size(n, k, s, p)
+            for n, k, s, p in zip(spatial, self.kernel, self.stride, self.padding)
+        )
+        return (self.out_channels,) + out_spatial
+
+    def spec(self, input_size) -> ConvSpec:
+        """Geometry descriptor for the scheduling/hardware models."""
+        return ConvSpec(
+            name=self.name,
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            kernel=self.kernel,
+            input_size=tuple(input_size),
+            stride=self.stride,
+            padding=self.padding,
+            deconv=self.deconv,
+            stage=self.stage,
+        )
+
+
+class Deconv(Conv):
+    """N-D transposed-convolution layer (paper semantics, see ops)."""
+
+    deconv = True
+
+    def __init__(self, *args, output_padding=0, **kwargs):
+        kwargs.setdefault("stage", Stage.DR)
+        super().__init__(*args, **kwargs)
+        self.output_padding = (
+            (output_padding,) * len(self.kernel)
+            if isinstance(output_padding, int)
+            else tuple(output_padding)
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = ops.deconvnd(
+            x,
+            self.weight,
+            stride=self.stride,
+            padding=self.padding,
+            output_padding=self.output_padding,
+        )
+        if self.bias is not None:
+            out += self.bias.reshape((-1,) + (1,) * (out.ndim - 1))
+        return out
+
+    def output_shape(self, input_shape):
+        c, *spatial = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: got {c} channels, expected {self.in_channels}")
+        out_spatial = tuple(
+            ops.deconv_output_size(n, k, s, p, op)
+            for n, k, s, p, op in zip(
+                spatial, self.kernel, self.stride, self.padding, self.output_padding
+            )
+        )
+        return (self.out_channels,) + out_spatial
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x):
+        return ops.relu(x)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable slope."""
+
+    def __init__(self, negative_slope: float = 0.1):
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return ops.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def forward(self, x):
+        return ops.sigmoid(x)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def forward(self, x):
+        return ops.tanh(x)
+
+
+class BatchNorm(Layer):
+    """Inference-mode batch normalisation with owned statistics."""
+
+    def __init__(self, channels: int, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.mean = np.zeros(channels)
+        self.var = np.ones(channels)
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+
+    def forward(self, x):
+        if x.shape[0] != self.channels:
+            raise ValueError(f"BatchNorm expected {self.channels} channels, got {x.shape[0]}")
+        return ops.batchnorm(x, self.mean, self.var, self.gamma, self.beta)

@@ -1,0 +1,67 @@
+"""A small sequential network container with shape and MAC accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv, Layer
+from repro.nn.workload import ConvSpec
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """Ordered list of layers executed one after another.
+
+    Skip connections in the real stereo networks are irrelevant to the
+    reproduction's cost models (they only define layer *input shapes*,
+    which the model zoo pins explicitly), so a sequential container is
+    all the runnable examples need.
+    """
+
+    def __init__(self, layers: list[Layer], name: str = "net"):
+        self.layers = list(layers)
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run all layers in order."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Propagate a ``(C, *spatial)`` shape through every layer."""
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def conv_specs(self, input_shape: tuple[int, ...]) -> list[ConvSpec]:
+        """Geometry of every (de)convolution layer, for the cost models."""
+        shape = tuple(input_shape)
+        specs = []
+        for layer in self.layers:
+            if isinstance(layer, Conv):
+                specs.append(layer.spec(shape[1:]))
+            shape = layer.output_shape(shape)
+        return specs
+
+    def summary(self, input_shape: tuple[int, ...]) -> str:
+        """Human-readable per-layer table."""
+        shape = tuple(input_shape)
+        rows = [f"{self.name}: input {shape}"]
+        for layer in self.layers:
+            out = layer.output_shape(shape)
+            label = getattr(layer, "name", type(layer).__name__)
+            if isinstance(layer, Conv):
+                spec = layer.spec(shape[1:])
+                rows.append(
+                    f"  {label:<16} {shape!s:>20} -> {out!s:<20} "
+                    f"k={spec.kernel} s={spec.stride} MACs={spec.macs:,}"
+                )
+            else:
+                rows.append(f"  {label:<16} {shape!s:>20} -> {out!s:<20}")
+            shape = out
+        return "\n".join(rows)

@@ -1,0 +1,278 @@
+"""Functional neural-network operations on numpy arrays.
+
+These are the *numeric* building blocks of the reproduction.  They are
+deliberately written for clarity and correctness rather than raw speed:
+the performance results of the paper come from the analytic hardware
+models in :mod:`repro.hw`, while these ops provide ground truth for the
+deconvolution-transformation equivalence proofs and power the runnable
+examples.
+
+Array conventions
+-----------------
+* 2-D feature maps are ``(C, H, W)``; 2-D kernels are ``(F, C, KH, KW)``.
+* 3-D feature maps are ``(C, D, H, W)``; 3-D kernels are
+  ``(F, C, KD, KH, KW)``.
+* "Convolution" follows the deep-learning convention, i.e. it is a
+  cross-correlation (no kernel flip).  The paper uses the same
+  convention (Fig. 6: ``ofmap(1,1) = A*e``).
+
+Deconvolution semantics
+-----------------------
+``deconv(x, k, stride=s, padding=p)`` is defined exactly as the paper
+defines it: the input is zero-stuffed by the stride (``s - 1`` zeros
+between neighbouring elements), padded with a border of ``K - 1 - p``
+zeros, and then convolved (stride 1, valid).  The output size per
+spatial dim is ``(N - 1) * s - 2p + K + output_padding``, matching the
+usual transposed-convolution shape formula.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "conv_output_size",
+    "deconv_output_size",
+    "pad_spatial",
+    "conv2d",
+    "conv3d",
+    "convnd",
+    "upsample_zero",
+    "deconv2d",
+    "deconv3d",
+    "deconvnd",
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "batchnorm",
+    "correlation2d",
+    "avg_pool2d",
+]
+
+
+def _tuplify(value, n: int) -> tuple[int, ...]:
+    """Broadcast an int (or short sequence) to an ``n``-tuple of ints."""
+    if np.isscalar(value):
+        return (int(value),) * n
+    value = tuple(int(v) for v in value)
+    if len(value) != n:
+        raise ValueError(f"expected {n} values, got {value!r}")
+    return value
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a strided convolution."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def deconv_output_size(
+    size: int, kernel: int, stride: int, padding: int, output_padding: int = 0
+) -> int:
+    """Spatial output size of a transposed convolution."""
+    out = (size - 1) * stride - 2 * padding + kernel + output_padding
+    if out <= 0:
+        raise ValueError(
+            f"deconvolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def pad_spatial(x: np.ndarray, pads: tuple[tuple[int, int], ...]) -> np.ndarray:
+    """Zero-pad the trailing ``len(pads)`` (spatial) axes of ``x``."""
+    n_lead = x.ndim - len(pads)
+    full = ((0, 0),) * n_lead + tuple(pads)
+    if all(lo == 0 and hi == 0 for lo, hi in pads):
+        return x
+    return np.pad(x, full)
+
+
+def convnd(x: np.ndarray, w: np.ndarray, stride=1, padding=0) -> np.ndarray:
+    """N-dimensional convolution (cross-correlation).
+
+    ``x`` is ``(C, *spatial)`` and ``w`` is ``(F, C, *kernel)``; the
+    number of spatial dims is inferred from ``w``.
+    """
+    ndim = w.ndim - 2
+    if x.ndim != ndim + 1:
+        raise ValueError(f"input has {x.ndim - 1} spatial dims, kernel has {ndim}")
+    if x.shape[0] != w.shape[1]:
+        raise ValueError(f"channel mismatch: input {x.shape[0]}, kernel {w.shape[1]}")
+    strides = _tuplify(stride, ndim)
+    pads = _tuplify(padding, ndim)
+
+    x = pad_spatial(x, tuple((p, p) for p in pads))
+    kshape = w.shape[2:]
+    for size, k in zip(x.shape[1:], kshape):
+        if size < k:
+            raise ValueError(f"kernel {kshape} larger than padded input {x.shape[1:]}")
+    # windows: (C, *out_full, *kernel)
+    windows = sliding_window_view(x, kshape, axis=tuple(range(1, ndim + 1)))
+    slicer = (slice(None),) + tuple(slice(None, None, s) for s in strides)
+    windows = windows[slicer]
+    # contract channel + kernel dims: out[f, *o] = sum_{c,k} win[c, *o, *k] w[f, c, *k]
+    w_axes = [1] + list(range(2, ndim + 2))
+    win_axes = [0] + list(range(ndim + 1, 2 * ndim + 1))
+    return np.tensordot(w, windows, axes=(w_axes, win_axes))
+
+
+def conv2d(x: np.ndarray, w: np.ndarray, stride=1, padding=0) -> np.ndarray:
+    """2-D convolution of ``(C, H, W)`` with ``(F, C, KH, KW)``."""
+    return convnd(x, w, stride=stride, padding=padding)
+
+
+def conv3d(x: np.ndarray, w: np.ndarray, stride=1, padding=0) -> np.ndarray:
+    """3-D convolution of ``(C, D, H, W)`` with ``(F, C, KD, KH, KW)``."""
+    return convnd(x, w, stride=stride, padding=padding)
+
+
+def upsample_zero(x: np.ndarray, stride, border, ndim: int | None = None) -> np.ndarray:
+    """Zero-stuff spatial axes by ``stride`` and add a zero ``border``.
+
+    This is the "upsample with zero padding" step of standard
+    deconvolution in the paper's Fig. 6: between every two neighbouring
+    input elements ``stride - 1`` zeros are inserted, and each spatial
+    side is padded with ``border`` zeros.  ``border`` may be an int, a
+    per-dim int sequence, or a per-dim ``(lo, hi)`` sequence.
+    """
+    if ndim is None:
+        ndim = x.ndim - 1
+    strides = _tuplify(stride, ndim)
+    if np.isscalar(border):
+        borders = (((int(border),) * 2),) * ndim
+    else:
+        borders = tuple(
+            (int(b), int(b)) if np.isscalar(b) else (int(b[0]), int(b[1]))
+            for b in border
+        )
+    spatial = x.shape[x.ndim - ndim :]
+    stuffed_shape = x.shape[: x.ndim - ndim] + tuple(
+        (n - 1) * s + 1 for n, s in zip(spatial, strides)
+    )
+    out = np.zeros(stuffed_shape, dtype=x.dtype)
+    slicer = (slice(None),) * (x.ndim - ndim) + tuple(
+        slice(None, None, s) for s in strides
+    )
+    out[slicer] = x
+    return pad_spatial(out, borders)
+
+
+def deconvnd(
+    x: np.ndarray, w: np.ndarray, stride=1, padding=0, output_padding=0
+) -> np.ndarray:
+    """Reference N-D transposed convolution via explicit zero-stuffing.
+
+    This is the *standard deconvolution* path of the paper (Fig. 6,
+    left): upsample with zero padding, then run a dense stride-1
+    convolution.  It is intentionally naive — the whole point of the
+    paper's Sec. 4.1 is that ~75 % (2-D) / ~87.5 % (3-D) of the MACs
+    executed here touch a stuffed zero.  The optimized equivalent lives
+    in :func:`repro.deconv.transform.deconv_via_subconvolutions`.
+    """
+    ndim = w.ndim - 2
+    strides = _tuplify(stride, ndim)
+    pads = _tuplify(padding, ndim)
+    out_pads = _tuplify(output_padding, ndim)
+    kshape = w.shape[2:]
+    for k, p, op, s in zip(kshape, pads, out_pads, strides):
+        if k - 1 - p < 0:
+            raise ValueError(f"padding {p} exceeds kernel-1 ({k - 1})")
+        if op >= s:
+            raise ValueError(f"output_padding {op} must be < stride {s}")
+    borders = tuple(
+        (k - 1 - p, k - 1 - p + op)
+        for k, p, op in zip(kshape, pads, out_pads)
+    )
+    up = upsample_zero(x, strides, borders, ndim=ndim)
+    return convnd(up, w, stride=1, padding=0)
+
+
+def deconv2d(
+    x: np.ndarray, w: np.ndarray, stride=1, padding=0, output_padding=0
+) -> np.ndarray:
+    """2-D transposed convolution of ``(C, H, W)`` with ``(F, C, KH, KW)``."""
+    return deconvnd(x, w, stride=stride, padding=padding, output_padding=output_padding)
+
+
+def deconv3d(
+    x: np.ndarray, w: np.ndarray, stride=1, padding=0, output_padding=0
+) -> np.ndarray:
+    """3-D transposed convolution of ``(C, D, H, W)``."""
+    return deconvnd(x, w, stride=stride, padding=padding, output_padding=output_padding)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.1) -> np.ndarray:
+    """Leaky ReLU (FlowNet/DispNet use slope 0.1)."""
+    return np.where(x >= 0, x, negative_slope * x)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def batchnorm(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray | None = None,
+    beta: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Inference-mode batch normalisation over the channel axis."""
+    shape = (x.shape[0],) + (1,) * (x.ndim - 1)
+    out = (x - mean.reshape(shape)) / np.sqrt(var.reshape(shape) + eps)
+    if gamma is not None:
+        out = out * gamma.reshape(shape)
+    if beta is not None:
+        out = out + beta.reshape(shape)
+    return out
+
+
+def correlation2d(
+    left: np.ndarray, right: np.ndarray, max_displacement: int, stride: int = 1
+) -> np.ndarray:
+    """FlowNetC-style correlation layer restricted to horizontal shifts.
+
+    For stereo matching only horizontal displacements matter (epipolar
+    geometry), so the output has one channel per displacement
+    ``d in [0, max_displacement]``; channel ``d`` holds the mean dot
+    product of the two feature vectors at horizontal offset ``d``.
+    """
+    if left.shape != right.shape:
+        raise ValueError("left/right feature maps must share a shape")
+    c, h, w = left.shape
+    n_disp = max_displacement // stride + 1
+    out = np.zeros((n_disp, h, w), dtype=np.result_type(left, right, np.float32))
+    for idx in range(n_disp):
+        d = idx * stride
+        if d == 0:
+            out[idx] = (left * right).mean(axis=0)
+        else:
+            out[idx, :, d:] = (left[:, :, d:] * right[:, :, :-d]).mean(axis=0)
+    return out
+
+
+def avg_pool2d(x: np.ndarray, size: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling over a ``(C, H, W)`` map."""
+    stride = size if stride is None else stride
+    windows = sliding_window_view(x, (size, size), axis=(1, 2))
+    return windows[:, ::stride, ::stride].mean(axis=(-1, -2))

@@ -1,0 +1,203 @@
+"""Layer workload descriptors.
+
+The performance side of the reproduction never executes real networks —
+exactly like the paper, which schedules *layer shapes* onto an analytic
+accelerator model.  :class:`ConvSpec` is that shape description.  It is
+shared by the model zoo (:mod:`repro.models`), the deconvolution
+optimizer (:mod:`repro.deconv`) and the hardware models
+(:mod:`repro.hw`).
+
+Stage tags follow the paper's Sec. 2.2 pipeline decomposition:
+
+* ``FE`` — feature extraction (convolution),
+* ``MO`` — matching optimization (convolution / correlation),
+* ``DR`` — disparity refinement (deconvolution),
+* ``OTHER`` — everything else (activations, arg-max, …).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.nn.ops import conv_output_size, deconv_output_size
+
+__all__ = ["Stage", "ConvSpec", "total_macs", "macs_by_stage"]
+
+
+class Stage:
+    """Pipeline-stage tags used across the reproduction."""
+
+    FE = "FE"
+    MO = "MO"
+    DR = "DR"
+    OTHER = "OTHER"
+    ALL = (FE, MO, DR, OTHER)
+
+
+def _as_tuple(value, ndim: int) -> tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,) * ndim
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Geometry of one convolution or deconvolution layer.
+
+    Spatial tuples may be 1-, 2- or 3-dimensional; 3-D entries describe
+    the cost-volume layers of GC-Net / PSMNet.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: tuple[int, ...]
+    input_size: tuple[int, ...]
+    stride: tuple[int, ...] = (1, 1)
+    padding: tuple[int, ...] = (0, 0)
+    deconv: bool = False
+    stage: str = Stage.FE
+    repeat: int = 1
+
+    def __post_init__(self):
+        ndim = len(self.kernel)
+        object.__setattr__(self, "kernel", _as_tuple(self.kernel, ndim))
+        object.__setattr__(self, "input_size", _as_tuple(self.input_size, ndim))
+        object.__setattr__(self, "stride", _as_tuple(self.stride, ndim))
+        object.__setattr__(self, "padding", _as_tuple(self.padding, ndim))
+        if not (len(self.input_size) == len(self.stride) == len(self.padding) == ndim):
+            raise ValueError(f"{self.name}: inconsistent spatial ranks")
+        if self.stage not in Stage.ALL:
+            raise ValueError(f"{self.name}: unknown stage {self.stage!r}")
+        if min(self.kernel) < 1 or min(self.stride) < 1:
+            raise ValueError(f"{self.name}: kernel/stride must be positive")
+        if self.in_channels < 1 or self.out_channels < 1 or self.repeat < 1:
+            raise ValueError(f"{self.name}: channels/repeat must be positive")
+
+    # ------------------------------------------------------------------
+    # shapes
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of spatial dimensions (2 for images, 3 for cost volumes)."""
+        return len(self.kernel)
+
+    @property
+    def output_size(self) -> tuple[int, ...]:
+        """Spatial output size."""
+        if self.deconv:
+            return tuple(
+                deconv_output_size(n, k, s, p)
+                for n, k, s, p in zip(
+                    self.input_size, self.kernel, self.stride, self.padding
+                )
+            )
+        return tuple(
+            conv_output_size(n, k, s, p)
+            for n, k, s, p in zip(self.input_size, self.kernel, self.stride, self.padding)
+        )
+
+    @property
+    def upsampled_size(self) -> tuple[int, ...]:
+        """Size of the zero-stuffed map a naive deconvolution convolves over."""
+        if not self.deconv:
+            return self.input_size
+        return tuple(
+            (n - 1) * s + 1 + 2 * (k - 1 - p)
+            for n, k, s, p in zip(self.input_size, self.kernel, self.stride, self.padding)
+        )
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> int:
+        """Weight count (no bias)."""
+        return self.in_channels * self.out_channels * math.prod(self.kernel) * self.repeat
+
+    @property
+    def macs(self) -> int:
+        """MACs executed by a *dense* mapping of this layer.
+
+        For a deconvolution this is the naive count over the
+        zero-stuffed input — the baseline every DNN accelerator without
+        deconvolution support pays, and the quantity Fig. 3 plots.
+        """
+        dense = (
+            math.prod(self.output_size)
+            * self.out_channels
+            * self.in_channels
+            * math.prod(self.kernel)
+        )
+        return dense * self.repeat
+
+    @property
+    def macs_effective(self) -> int:
+        """MACs that touch at least one non-zero operand.
+
+        Equal to :attr:`macs` for convolutions.  For a stride-``s``
+        deconvolution only ~``1/prod(s)`` of the dense MACs are
+        non-trivial; this is exactly the count executed after the
+        paper's deconvolution-to-convolution transformation.
+        """
+        if not self.deconv:
+            return self.macs
+        return self._exact_subconv_macs() * self.repeat
+
+    def _exact_subconv_macs(self) -> int:
+        """Exact MAC count of the transformed (dense) sub-convolutions."""
+        from itertools import product as iproduct
+
+        out = self.output_size
+        total = 0
+        for parity in iproduct(*(range(s) for s in self.stride)):
+            sub_kernel = []
+            n_outputs = []
+            for delta, k, s, p, o in zip(
+                parity, self.kernel, self.stride, self.padding, out
+            ):
+                size = len(range(delta, k, s))
+                if size == 0:
+                    break
+                sub_kernel.append(size)
+                border = k - 1 - p
+                r = (border - delta) % s
+                n_outputs.append(math.ceil((o - r) / s) if o > r else 0)
+            else:
+                total += (
+                    math.prod(sub_kernel)
+                    * math.prod(n_outputs)
+                    * self.in_channels
+                    * self.out_channels
+                )
+        return total
+
+    @property
+    def ifmap_elems(self) -> int:
+        """Input activation element count."""
+        return self.in_channels * math.prod(self.input_size) * self.repeat
+
+    @property
+    def ofmap_elems(self) -> int:
+        """Output activation element count."""
+        return self.out_channels * math.prod(self.output_size) * self.repeat
+
+    def scaled(self, **updates) -> "ConvSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **updates)
+
+
+def total_macs(specs, effective: bool = False) -> int:
+    """Sum dense (or transformed-effective) MACs over a layer table."""
+    if effective:
+        return sum(s.macs_effective for s in specs)
+    return sum(s.macs for s in specs)
+
+
+def macs_by_stage(specs) -> dict[str, int]:
+    """Dense MACs per pipeline stage, for the Fig. 3 distribution."""
+    out = {stage: 0 for stage in Stage.ALL}
+    for s in specs:
+        out[s.stage] += s.macs
+    return out

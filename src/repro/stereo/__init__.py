@@ -1,0 +1,54 @@
+"""Classic stereo matching substrate (paper Secs. 2.2, 3.3, Fig. 1)."""
+
+from repro.stereo.census import (
+    census_block_match,
+    census_transform,
+    hamming_cost_volume,
+)
+from repro.stereo.block_matching import (
+    block_match,
+    block_match_ops,
+    guided_block_match,
+    guided_block_match_ops,
+    sad_cost_volume,
+    shift_right_image,
+)
+from repro.stereo.elas import elas, interpolate_prior, support_points
+from repro.stereo.metrics import end_point_error, error_rate, three_pixel_error
+from repro.stereo.refine import (
+    fill_background,
+    fill_invalid,
+    left_right_check,
+    median_clean,
+)
+from repro.stereo.seeds import gcsf, grow_seeds
+from repro.stereo.sgm import sgm, sgm_ops
+from repro.stereo.triangulate import BUMBLEBEE2, StereoCamera
+
+__all__ = [
+    "BUMBLEBEE2",
+    "StereoCamera",
+    "block_match",
+    "census_block_match",
+    "census_transform",
+    "fill_background",
+    "hamming_cost_volume",
+    "block_match_ops",
+    "elas",
+    "end_point_error",
+    "error_rate",
+    "fill_invalid",
+    "gcsf",
+    "grow_seeds",
+    "guided_block_match",
+    "guided_block_match_ops",
+    "interpolate_prior",
+    "left_right_check",
+    "median_clean",
+    "sad_cost_volume",
+    "sgm",
+    "sgm_ops",
+    "shift_right_image",
+    "support_points",
+    "three_pixel_error",
+]

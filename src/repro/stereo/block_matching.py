@@ -1,0 +1,182 @@
+"""SAD block matching — the paper's local correspondence search.
+
+Disparity convention (paper Eq. 2): a left-image pixel ``<x, y>`` with
+disparity ``d`` corresponds to the right-image pixel ``<x + d, y>``.
+The synthetic datasets in :mod:`repro.datasets` render with the same
+convention, so all matchers here search in the ``+x`` direction of the
+right image.
+
+Two entry points:
+
+* :func:`block_match` — classic full-range search over
+  ``[0, max_disp)`` (the Fig. 1 "BM-class" baseline and the building
+  block of SGM's cost volume);
+* :func:`guided_block_match` — the ISM non-key-frame refinement
+  (Sec. 3.3): a *1-D window of +/- radius pixels centred on a per-pixel
+  initial estimate*, exactly the "correspondence search initialised
+  with the propagated correspondences" the paper describes.  Its cost
+  is ``O(2r + 1)`` instead of ``O(max_disp)`` passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "shift_right_image",
+    "sad_cost_volume",
+    "block_match",
+    "guided_block_match",
+    "block_match_ops",
+    "guided_block_match_ops",
+]
+
+_BIG = 1e9
+
+
+def _as_float(img: np.ndarray) -> np.ndarray:
+    img = np.asarray(img, dtype=np.float64)
+    if img.ndim == 3:  # collapse colour to luminance
+        img = img.mean(axis=2)
+    if img.ndim != 2:
+        raise ValueError(f"expected a (H, W) or (H, W, C) image, got {img.shape}")
+    return img
+
+
+def shift_right_image(right: np.ndarray, d: int) -> np.ndarray:
+    """``shifted[y, x] = right[y, x + d]`` with edge replication."""
+    if d == 0:
+        return right
+    out = np.empty_like(right)
+    if d > 0:
+        out[:, :-d] = right[:, d:]
+        out[:, -d:] = right[:, -1:]
+    else:
+        out[:, -d:] = right[:, :d]
+        out[:, : -d] = right[:, :1]
+    return out
+
+
+def sad_cost_volume(
+    left: np.ndarray, right: np.ndarray, max_disp: int, block_size: int = 9
+) -> np.ndarray:
+    """(D, H, W) sum-of-absolute-differences matching cost.
+
+    ``cost[d, y, x]`` is the SAD between the block around ``<x, y>`` in
+    the left image and the block around ``<x + d, y>`` in the right
+    image, matching the paper's convolution-like formulation of BM.
+    """
+    left = _as_float(left)
+    right = _as_float(right)
+    if left.shape != right.shape:
+        raise ValueError("left/right images must share a shape")
+    if max_disp < 1:
+        raise ValueError("max_disp must be >= 1")
+    cost = np.empty((max_disp, *left.shape))
+    for d in range(max_disp):
+        diff = np.abs(left - shift_right_image(right, d))
+        cost[d] = ndimage.uniform_filter(diff, size=block_size, mode="nearest")
+        if d:
+            # blocks that would read past the right edge are invalid
+            cost[d, :, left.shape[1] - d :] = _BIG
+    return cost
+
+
+def _subpixel_refine(cost: np.ndarray, disp: np.ndarray) -> np.ndarray:
+    """Parabola fit over the winning cost and its two neighbours."""
+    d_max, h, w = cost.shape
+    d = disp.astype(int)
+    inner = (d > 0) & (d < d_max - 1)
+    yy, xx = np.mgrid[0:h, 0:w]
+    c0 = cost[np.clip(d - 1, 0, d_max - 1), yy, xx]
+    c1 = cost[d, yy, xx]
+    c2 = cost[np.clip(d + 1, 0, d_max - 1), yy, xx]
+    denom = c0 - 2 * c1 + c2
+    offset = np.where(
+        inner & (np.abs(denom) > 1e-12), (c0 - c2) / (2 * np.maximum(denom, 1e-12)), 0.0
+    )
+    return disp + np.clip(offset, -0.5, 0.5)
+
+
+def block_match(
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disp: int,
+    block_size: int = 9,
+    subpixel: bool = True,
+) -> np.ndarray:
+    """Winner-takes-all disparity from a full SAD search."""
+    cost = sad_cost_volume(left, right, max_disp, block_size)
+    disp = cost.argmin(axis=0).astype(np.float64)
+    if subpixel:
+        disp = _subpixel_refine(cost, disp)
+    return disp
+
+
+def guided_block_match(
+    left: np.ndarray,
+    right: np.ndarray,
+    init: np.ndarray,
+    radius: int = 4,
+    block_size: int = 9,
+    subpixel: bool = True,
+    accept_margin: float = 0.1,
+) -> np.ndarray:
+    """Local search in a +/- ``radius`` window around ``init``.
+
+    For each candidate offset the right image is *gathered* at the
+    per-pixel coordinate ``x + init + offset`` and the SAD is box
+    filtered, so the whole refinement is ``2*radius + 1``
+    convolution-shaped passes — the property that lets the paper map it
+    onto the systolic array.
+
+    ``accept_margin`` makes the search conservative: the winning offset
+    replaces the initial estimate only where it beats the initial
+    estimate's own cost by the margin, so a good initialisation (the
+    common case in ISM — the propagated correspondences) is never
+    degraded by matching ambiguity.
+    """
+    left = _as_float(left)
+    right = _as_float(right)
+    init = np.asarray(init, dtype=np.float64)
+    if init.shape != left.shape:
+        raise ValueError("init disparity must match the image shape")
+    h, w = left.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    base = np.rint(init).astype(int)
+    offsets = np.arange(-radius, radius + 1)
+    costs = np.empty((offsets.size, h, w))
+    for i, off in enumerate(offsets):
+        d = base + off
+        sample_x = xx + d
+        valid = (sample_x >= 0) & (sample_x < w) & (d >= 0)
+        sx = np.clip(sample_x, 0, w - 1)
+        diff = np.abs(left - right[yy, sx])
+        costs[i] = ndimage.uniform_filter(diff, size=block_size, mode="nearest")
+        costs[i][~valid] = _BIG
+    best = costs.argmin(axis=0)
+    if accept_margin > 0:
+        init_cost = costs[radius]
+        best_cost = np.take_along_axis(costs, best[None], axis=0)[0]
+        keep = init_cost <= best_cost + accept_margin
+        best = np.where(keep, radius, best)
+    disp = (base + offsets[best]).astype(np.float64)
+    if subpixel:
+        frac = _subpixel_refine(costs, best.astype(np.float64))
+        disp = base + offsets[0] + frac  # offset index back to disparity
+    return np.maximum(disp, 0.0)
+
+
+def block_match_ops(h: int, w: int, max_disp: int, block_size: int = 9) -> int:
+    """Arithmetic operations of a full BM search (for the cost model)."""
+    # per disparity: |a-b| per pixel + box filter (separable: 2*block adds)
+    per_disp = h * w * (1 + 2 * block_size)
+    return max_disp * per_disp + h * w * max_disp  # + WTA compares
+
+
+def guided_block_match_ops(h: int, w: int, radius: int = 4, block_size: int = 9) -> int:
+    """Arithmetic operations of the guided search (ISM non-key frames)."""
+    window = 2 * radius + 1
+    per_off = h * w * (1 + 2 * block_size)
+    return window * per_off + h * w * window

@@ -1,0 +1,90 @@
+"""Census-transform matching cost.
+
+The census transform encodes each pixel as the bit pattern of
+brightness comparisons against its neighbourhood; matching costs are
+Hamming distances between the codes.  It is the standard
+radiometrically-robust alternative to SAD in production stereo
+pipelines (including the semi-global matchers the paper benchmarks
+against), so the substrate provides it alongside SAD: it is invariant
+to monotonic brightness changes, which the SAD cost is not — a
+property the tests verify directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stereo.block_matching import _as_float, _subpixel_refine, shift_right_image
+
+__all__ = ["census_transform", "hamming_cost_volume", "census_block_match"]
+
+
+def census_transform(img: np.ndarray, window: int = 5) -> np.ndarray:
+    """Per-pixel census code as a uint64 bit pattern.
+
+    Bit ``i`` is set when the i-th neighbour (row-major over the
+    ``window x window`` patch, centre excluded) is darker than the
+    centre pixel.  Windows up to 8x8 fit the 64-bit code.
+    """
+    img = _as_float(img)
+    if window % 2 == 0 or window < 3:
+        raise ValueError("window must be odd and >= 3")
+    if window * window - 1 > 64:
+        raise ValueError("window too large for a 64-bit code")
+    r = window // 2
+    padded = np.pad(img, r, mode="edge")
+    h, w = img.shape
+    code = np.zeros((h, w), dtype=np.uint64)
+    bit = 0
+    for dy in range(-r, r + 1):
+        for dx in range(-r, r + 1):
+            if dy == 0 and dx == 0:
+                continue
+            neighbour = padded[r + dy : r + dy + h, r + dx : r + dx + w]
+            code |= (neighbour < img).astype(np.uint64) << np.uint64(bit)
+            bit += 1
+    return code
+
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount64(x: np.ndarray) -> np.ndarray:
+    """Vectorised population count via a byte lookup table."""
+    return _POPCOUNT_TABLE[
+        np.ascontiguousarray(x).view(np.uint8).reshape(x.shape + (8,))
+    ].sum(axis=-1)
+
+
+def hamming_cost_volume(
+    left: np.ndarray, right: np.ndarray, max_disp: int, window: int = 5
+) -> np.ndarray:
+    """(D, H, W) Hamming-distance cost between census codes."""
+    if max_disp < 1:
+        raise ValueError("max_disp must be >= 1")
+    cl = census_transform(left, window)
+    cr = census_transform(right, window)
+    d_levels = max_disp
+    h, w = cl.shape
+    cost = np.empty((d_levels, h, w))
+    for d in range(d_levels):
+        shifted = shift_right_image(cr, d)
+        cost[d] = _popcount64(np.bitwise_xor(cl, shifted))
+        if d:
+            cost[d, :, w - d :] = 1e9
+    return cost
+
+
+def census_block_match(
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disp: int,
+    window: int = 5,
+    subpixel: bool = True,
+) -> np.ndarray:
+    """Winner-takes-all disparity from the census/Hamming cost."""
+    cost = hamming_cost_volume(left, right, max_disp, window)
+    disp = cost.argmin(axis=0).astype(np.float64)
+    if subpixel:
+        disp = _subpixel_refine(cost, disp)
+    return disp

@@ -1,0 +1,45 @@
+"""Stereo accuracy metrics (paper Sec. 6.1).
+
+The paper uses the standard *three-pixel-error*: a pixel's disparity is
+correct when it differs from ground truth by less than 3 pixels, and
+networks are compared by the percentage of incorrect pixels (the
+"error rate" of Figs. 1 and 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["three_pixel_error", "error_rate", "end_point_error"]
+
+
+def _prep(disp, gt, valid):
+    disp = np.asarray(disp, dtype=np.float64)
+    gt = np.asarray(gt, dtype=np.float64)
+    if disp.shape != gt.shape:
+        raise ValueError("disparity and ground truth must share a shape")
+    if valid is None:
+        valid = np.isfinite(gt)
+    else:
+        valid = np.asarray(valid, dtype=bool) & np.isfinite(gt)
+    if not valid.any():
+        raise ValueError("no valid ground-truth pixels")
+    return disp, gt, valid
+
+
+def three_pixel_error(disp, gt, valid=None, threshold: float = 3.0) -> float:
+    """Fraction of valid pixels whose disparity error is >= threshold."""
+    disp, gt, valid = _prep(disp, gt, valid)
+    wrong = np.abs(disp - gt) >= threshold
+    return float(wrong[valid].mean())
+
+
+def error_rate(disp, gt, valid=None) -> float:
+    """Three-pixel error expressed as a percentage (Fig. 1/9 y-axis)."""
+    return 100.0 * three_pixel_error(disp, gt, valid)
+
+
+def end_point_error(disp, gt, valid=None) -> float:
+    """Mean absolute disparity error over valid pixels."""
+    disp, gt, valid = _prep(disp, gt, valid)
+    return float(np.abs(disp - gt)[valid].mean())

@@ -1,0 +1,80 @@
+"""Disparity post-processing: consistency checking and filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["left_right_check", "fill_invalid", "median_clean"]
+
+
+def left_right_check(
+    disp_left: np.ndarray, disp_right: np.ndarray, threshold: float = 1.0
+) -> np.ndarray:
+    """Mask of pixels whose left/right disparities agree.
+
+    With the paper's convention (``x_r = x_l + d``), the right-image
+    disparity sampled at ``x + d`` must match ``d``; occlusions and
+    mismatches fail the check.
+    """
+    h, w = disp_left.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    target = np.rint(xx + disp_left).astype(int)
+    valid = (target >= 0) & (target < w)
+    tx = np.clip(target, 0, w - 1)
+    agree = np.abs(disp_right[yy, tx] - disp_left) <= threshold
+    return valid & agree
+
+
+def fill_invalid(disp: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Replace invalid pixels with the nearest valid value row-wise
+    (the classic background-fill used after occlusion detection)."""
+    out = disp.copy()
+    for y in range(disp.shape[0]):
+        row = out[y]
+        good = valid[y]
+        if not good.any():
+            row[:] = 0.0
+            continue
+        idx = np.where(good)[0]
+        bad = np.where(~good)[0]
+        if bad.size:
+            row[bad] = np.interp(bad, idx, row[idx])
+    return out
+
+
+def fill_background(disp: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Occlusion-aware fill: invalid pixels take the *smaller* of the
+    nearest valid disparities to their left and right.
+
+    Pixels that lose their correspondence (disocclusions, failed
+    checks) are almost always *revealed background*, so filling with
+    the farther (smaller-disparity) neighbour is the standard choice —
+    plain interpolation would bleed the occluding foreground across
+    the hole.
+    """
+    h, w = disp.shape
+    idx = np.arange(w)
+    out = disp.copy()
+    for y in range(h):
+        good = valid[y]
+        if not good.any():
+            out[y] = 0.0
+            continue
+        if good.all():
+            continue
+        gi = np.where(good)[0]
+        # nearest valid index to the left / right of every column
+        left_pos = np.searchsorted(gi, idx, side="right") - 1
+        right_pos = np.clip(left_pos + 1, 0, gi.size - 1)
+        left_pos = np.clip(left_pos, 0, gi.size - 1)
+        left_val = out[y, gi[left_pos]]
+        right_val = out[y, gi[right_pos]]
+        fill = np.minimum(left_val, right_val)
+        out[y, ~good] = fill[~good]
+    return out
+
+
+def median_clean(disp: np.ndarray, size: int = 3) -> np.ndarray:
+    """Median filter to remove speckle while preserving edges."""
+    return ndimage.median_filter(disp, size=size, mode="nearest")

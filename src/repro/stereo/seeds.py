@@ -1,0 +1,87 @@
+"""GCSF-style seed-growing stereo (Cech et al.) — Fig. 1 baseline.
+
+Growing Correspondence Seeds starts from a sparse set of reliable
+matches and *grows* them: a matched pixel proposes its disparity (and
+its +/-1 neighbours) to adjacent pixels, which accept the best proposal
+whose matching cost clears a threshold.  The expansion is implemented
+here as a best-first flood fill with a cost-ordered heap, which keeps
+the defining property of the original — only a small disparity band is
+ever evaluated per pixel — without its epipolar-rectification
+machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.stereo.block_matching import sad_cost_volume
+from repro.stereo.elas import support_points
+
+__all__ = ["grow_seeds", "gcsf"]
+
+_NEIGHBOURS = ((0, 1), (0, -1), (1, 0), (-1, 0))
+
+
+def grow_seeds(
+    cost: np.ndarray,
+    seeds: tuple[np.ndarray, np.ndarray, np.ndarray],
+    accept_cost: float,
+) -> np.ndarray:
+    """Best-first expansion of seed disparities over a cost volume.
+
+    ``cost`` is (D, H, W); ``seeds`` is ``(ys, xs, ds)``.  Unreached
+    pixels are left at -1 (invalid).
+    """
+    d_levels, h, w = cost.shape
+    disp = np.full((h, w), -1.0)
+    heap = []
+    for y, x, d in zip(*seeds):
+        y, x, d = int(y), int(x), int(d)
+        heapq.heappush(heap, (float(cost[d, y, x]), y, x, d))
+    while heap:
+        c, y, x, d = heapq.heappop(heap)
+        if disp[y, x] >= 0:
+            continue
+        disp[y, x] = d
+        for dy, dx in _NEIGHBOURS:
+            ny, nx = y + dy, x + dx
+            if not (0 <= ny < h and 0 <= nx < w) or disp[ny, nx] >= 0:
+                continue
+            lo, hi = max(0, d - 1), min(d_levels, d + 2)
+            band = cost[lo:hi, ny, nx]
+            nd = lo + int(band.argmin())
+            nc = float(band.min())
+            if nc <= accept_cost:
+                heapq.heappush(heap, (nc, ny, nx, nd))
+    return disp
+
+
+def gcsf(
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disp: int,
+    grid_step: int = 8,
+    block_size: int = 5,
+    accept_quantile: float = 0.85,
+) -> np.ndarray:
+    """Seed-growing disparity; unreached pixels filled from neighbours."""
+    cost = sad_cost_volume(left, right, max_disp, block_size)
+    seeds = support_points(left, right, max_disp, grid_step, block_size)
+    accept = float(np.quantile(cost.min(axis=0), accept_quantile))
+    disp = grow_seeds(cost, seeds, accept)
+    # fill unreached pixels row-wise from the nearest valid disparity
+    invalid = disp < 0
+    if invalid.any():
+        filled = disp.copy()
+        for y in range(disp.shape[0]):
+            row = filled[y]
+            bad = row < 0
+            if bad.all():
+                row[:] = 0.0
+                continue
+            idx = np.where(~bad)[0]
+            row[bad] = np.interp(np.where(bad)[0], idx, row[idx])
+        disp = filled
+    return disp

@@ -1,0 +1,67 @@
+"""Triangulation: disparity to metric depth (paper Sec. 2.2, Fig. 2/4).
+
+Given the camera baseline ``B``, focal length ``f`` and the pixel
+pitch, a disparity of ``Z`` *pixels* corresponds to depth
+
+    D = B * f / (Z * pixel_size)          (paper Eq. 1)
+
+The module also provides the closed-form sensitivity the paper plots
+in Fig. 4: a disparity error ``dz`` at true depth ``D`` produces a
+depth error of approximately ``D^2 * pixel_size * dz / (B * f)``,
+growing quadratically with distance — the reason sub-pixel stereo
+accuracy matters (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StereoCamera", "BUMBLEBEE2"]
+
+
+@dataclass(frozen=True)
+class StereoCamera:
+    """Intrinsics of a rectified stereo rig (SI units)."""
+
+    baseline_m: float
+    focal_length_m: float
+    pixel_size_m: float
+
+    def __post_init__(self):
+        if min(self.baseline_m, self.focal_length_m, self.pixel_size_m) <= 0:
+            raise ValueError("camera parameters must be positive")
+
+    @property
+    def bf_pixels(self) -> float:
+        """B*f expressed in metre-pixels (depth = bf_pixels / disparity)."""
+        return self.baseline_m * self.focal_length_m / self.pixel_size_m
+
+    def depth_from_disparity(self, disparity_px) -> np.ndarray:
+        """Metric depth from disparity in pixels (Eq. 1). Non-positive
+        disparities map to +inf (point at infinity)."""
+        disparity_px = np.asarray(disparity_px, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            return np.where(
+                disparity_px > 0, self.bf_pixels / disparity_px, np.inf
+            )
+
+    def disparity_from_depth(self, depth_m) -> np.ndarray:
+        """Disparity in pixels for a metric depth."""
+        depth_m = np.asarray(depth_m, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            return np.where(depth_m > 0, self.bf_pixels / depth_m, np.inf)
+
+    def depth_error(self, depth_m, disparity_error_px) -> np.ndarray:
+        """Exact depth error for a disparity error at a true depth
+        (the Fig. 4 curves)."""
+        true_disp = self.disparity_from_depth(depth_m)
+        measured = true_disp + np.asarray(disparity_error_px, dtype=np.float64)
+        return np.abs(self.depth_from_disparity(measured) - np.asarray(depth_m))
+
+
+#: The paper's example rig: Bumblebee2 (B = 120 mm, f = 2.5 mm, 7.4 um pixels).
+BUMBLEBEE2 = StereoCamera(
+    baseline_m=0.120, focal_length_m=2.5e-3, pixel_size_m=7.4e-6
+)

@@ -1,0 +1,31 @@
+"""Fixed-width text-table rendering (shared, dependency-free)."""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render a fixed-width text table with a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

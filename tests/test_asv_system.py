@@ -1,0 +1,124 @@
+"""Tests for the system-level composition (repro.core.asv)."""
+
+import pytest
+
+from repro.core import ASVSystem, FrameCost, MODES
+from repro.core.ism import ISMConfig
+from repro.hw import ASV_BASE
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ASVSystem()
+
+
+SMALL = (135, 240)  # qHD/4 keeps the scheduling fast for unit tests
+
+
+class TestDNNFrame:
+    def test_modes_exist(self):
+        assert MODES == ("baseline", "dct", "convr", "ilar")
+
+    def test_unknown_mode_raises(self, system):
+        with pytest.raises(ValueError):
+            system.dnn_frame("DispNet", mode="magic")
+
+    def test_all_modes_run(self, system):
+        results = {
+            m: system.dnn_frame("DispNet", mode=m, size=SMALL) for m in MODES
+        }
+        for m, res in results.items():
+            assert res.cycles > 0, m
+
+    def test_mode_ordering(self, system):
+        """Each optimization level is at least as fast as the previous."""
+        base = system.dnn_frame("DispNet", "baseline", SMALL).cycles
+        dct = system.dnn_frame("DispNet", "dct", SMALL).cycles
+        ilar = system.dnn_frame("DispNet", "ilar", SMALL).cycles
+        assert dct < base
+        assert ilar <= dct * 1.05
+
+    def test_transformation_reduces_macs(self, system):
+        base = system.dnn_frame("DispNet", "baseline", SMALL)
+        ilar = system.dnn_frame("DispNet", "ilar", SMALL)
+        assert ilar.macs < base.macs
+
+    def test_cache_returns_same_object(self, system):
+        a = system.dnn_frame("DispNet", "ilar", SMALL)
+        b = system.dnn_frame("DispNet", "ilar", SMALL)
+        assert a is b
+
+
+class TestNonKeyFrame:
+    def test_cost_positive(self, system):
+        res = system.nonkey_frame(SMALL)
+        assert res.cycles > 0 and res.energy_j > 0
+
+    def test_much_cheaper_than_dnn(self, system):
+        nonkey = system.nonkey_frame(SMALL)
+        key = system.dnn_frame("DispNet", "baseline", SMALL)
+        assert key.cycles / nonkey.cycles > 5
+
+    def test_scales_with_resolution(self, system):
+        small = system.nonkey_frame((100, 200))
+        big = system.nonkey_frame((200, 400))
+        assert 2.0 < big.cycles / small.cycles < 8.0
+
+    def test_config_radius_increases_cost(self, system):
+        narrow = system.nonkey_frame(SMALL, ISMConfig(search_radius=2))
+        wide = system.nonkey_frame(SMALL, ISMConfig(search_radius=8))
+        assert wide.macs > narrow.macs
+
+
+class TestFrameCost:
+    def test_pw1_equals_dnn(self, system):
+        dnn = system.dnn_frame("DispNet", "ilar", SMALL)
+        cost = system.frame_cost("DispNet", use_ism=True, mode="ilar",
+                                 pw=1, size=SMALL)
+        assert cost.cycles == dnn.cycles
+
+    def test_larger_pw_is_cheaper(self, system):
+        costs = [
+            system.frame_cost("DispNet", use_ism=True, mode="ilar",
+                              pw=pw, size=SMALL).cycles
+            for pw in (1, 2, 4, 8)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_fps_seconds_consistent(self, system):
+        cost = system.frame_cost("DispNet", use_ism=False, mode="baseline",
+                                 size=SMALL)
+        assert cost.fps(ASV_BASE) == pytest.approx(
+            1.0 / cost.seconds(ASV_BASE)
+        )
+
+    def test_frame_cost_is_dataclass(self, system):
+        cost = system.frame_cost("DispNet", use_ism=False, mode="baseline",
+                                 size=SMALL)
+        assert isinstance(cost, FrameCost)
+
+
+class TestSpeedups:
+    def test_combined_beats_parts(self, system):
+        dco, _ = system.speedup_over_baseline(
+            "DispNet", use_ism=False, mode="ilar", size=SMALL
+        )
+        ism, _ = system.speedup_over_baseline(
+            "DispNet", use_ism=True, mode="baseline", size=SMALL
+        )
+        both, _ = system.speedup_over_baseline(
+            "DispNet", use_ism=True, mode="ilar", size=SMALL
+        )
+        assert both > max(dco, ism) > 1.0
+
+    def test_energy_reduction_fraction(self, system):
+        _, er = system.speedup_over_baseline(
+            "DispNet", use_ism=True, mode="ilar", size=SMALL
+        )
+        assert 0.0 < er < 1.0
+
+    def test_ism_speedup_bounded_by_pw(self, system):
+        sp, _ = system.speedup_over_baseline(
+            "DispNet", use_ism=True, mode="baseline", pw=4, size=SMALL
+        )
+        assert sp <= 4.0  # can never beat the key-frame dilution bound

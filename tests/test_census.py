@@ -1,0 +1,85 @@
+"""Tests for the census-transform matching cost."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sceneflow_scene
+from repro.stereo import (
+    census_block_match,
+    census_transform,
+    error_rate,
+    hamming_cost_volume,
+)
+from tests.test_stereo_matchers import synthetic_pair
+
+
+class TestCensusTransform:
+    def test_constant_image_zero_code(self):
+        code = census_transform(np.full((10, 10), 5.0))
+        assert (code == 0).all()
+
+    def test_code_shape_and_dtype(self):
+        img = np.random.default_rng(0).normal(size=(12, 16))
+        code = census_transform(img, window=5)
+        assert code.shape == (12, 16)
+        assert code.dtype == np.uint64
+
+    def test_monotonic_brightness_invariance(self):
+        """The defining census property: any monotonic intensity map
+        leaves the code unchanged."""
+        img = np.random.default_rng(1).normal(size=(20, 20))
+        warped = 3.0 * img + 7.0
+        assert np.array_equal(census_transform(img), census_transform(warped))
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            census_transform(np.zeros((8, 8)), window=4)
+
+    def test_too_large_window_rejected(self):
+        with pytest.raises(ValueError):
+            census_transform(np.zeros((16, 16)), window=11)
+
+    def test_bit_semantics(self):
+        """A single dark pixel sets exactly the neighbour bits of the
+        pixels around it."""
+        img = np.ones((7, 7))
+        img[3, 3] = 0.0
+        code = census_transform(img, window=3)
+        assert code[3, 3] == 0           # all neighbours brighter
+        assert code[3, 2] != 0           # sees the dark pixel
+
+
+class TestHammingCost:
+    def test_recovers_uniform_disparity(self):
+        left, right = synthetic_pair(d=5, size=(50, 90), seed=2)
+        disp = census_block_match(left, right, 10, window=7)
+        inner = disp[6:-6, 6:-11]
+        assert np.abs(inner - 5).mean() < 1.0
+
+    def test_robust_to_brightness_change_where_sad_is_not(self):
+        """Gain/offset between the two cameras: census keeps matching,
+        SAD degrades badly."""
+        from repro.stereo import block_match
+
+        left, right = synthetic_pair(d=5, size=(60, 100), seed=3)
+        right_warped = 2.5 * right + 1.0
+        gt = np.full(left.shape, 5.0)
+        census_err = error_rate(
+            census_block_match(left, right_warped, 10, window=7), gt
+        )
+        sad_err = error_rate(block_match(left, right_warped, 10), gt)
+        assert census_err < sad_err * 0.5
+
+    def test_cost_volume_shape(self):
+        frame = sceneflow_scene(1, size=(48, 80)).render(0)
+        cost = hamming_cost_volume(frame.left, frame.right, 8)
+        assert cost.shape == (8, 48, 80)
+
+    def test_invalid_max_disp(self):
+        with pytest.raises(ValueError):
+            hamming_cost_volume(np.zeros((8, 8)), np.zeros((8, 8)), 0)
+
+    def test_scene_accuracy_reasonable(self):
+        frame = sceneflow_scene(9, size=(100, 180)).render(0)
+        disp = census_block_match(frame.left, frame.right, 48, window=7)
+        assert error_rate(disp, frame.disparity) < 30.0

@@ -1,0 +1,83 @@
+"""Validation of the analytic latency model against the cycle-level
+systolic simulation (the reproduction's SCALE-Sim stand-in)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import ASV_BASE, simulate_conv_cycles, utilization
+from repro.nn.workload import ConvSpec
+
+
+def spec(cin=64, cout=64, k=3, h=32, w=32, stride=1):
+    return ConvSpec("c", cin, cout, (k, k), (h, w), stride, min(1, k - 1))
+
+
+class TestCycleSim:
+    def test_macs_match_spec(self):
+        s = spec()
+        sim = simulate_conv_cycles(s, ASV_BASE)
+        assert sim.macs == s.macs
+
+    def test_cycles_at_least_ideal(self):
+        """The simulation can never beat ceil(MACs / PEs)."""
+        s = spec()
+        sim = simulate_conv_cycles(s, ASV_BASE)
+        assert sim.cycles >= math.ceil(s.macs / ASV_BASE.pe_count)
+
+    def test_deconv_rejected(self):
+        d = ConvSpec("d", 8, 8, (4, 4), (8, 8), 2, 1, deconv=True)
+        with pytest.raises(ValueError):
+            simulate_conv_cycles(d, ASV_BASE)
+
+    def test_repeat_scales(self):
+        one = simulate_conv_cycles(spec(), ASV_BASE)
+        three = simulate_conv_cycles(spec().scaled(repeat=3), ASV_BASE)
+        assert three.cycles == 3 * one.cycles
+
+    def test_pass_count(self):
+        """24x24 array: 64x3x3=576 rows -> 1 row group, 64 filters ->
+        3 column groups."""
+        sim = simulate_conv_cycles(spec(cin=64, cout=64, k=3), ASV_BASE)
+        assert sim.passes == math.ceil(576 / 24) * math.ceil(64 / 24)
+
+
+class TestAnalyticModelValidation:
+    """The Eq. 6 idealisation — compute time = ceil(MACs/PEs) — must be
+    within a few percent of the simulated dataflow for the layer shapes
+    the networks actually contain."""
+
+    @pytest.mark.parametrize(
+        "cin,cout,k,h,w",
+        [
+            (64, 128, 5, 135, 240),   # DispNet conv2-scale
+            (256, 256, 3, 68, 120),   # conv3_1-scale
+            (512, 512, 3, 34, 60),    # conv4_1-scale
+            (128, 64, 2, 136, 240),   # transformed-deconv sub-conv scale
+        ],
+    )
+    def test_utilization_high_on_network_layers(self, cin, cout, k, h, w):
+        s = spec(cin=cin, cout=cout, k=k, h=h, w=w)
+        u = utilization(s, ASV_BASE)
+        assert u > 0.85, f"utilization {u:.3f} too far from the Eq. 6 ideal"
+
+    def test_utilization_degrades_gracefully_on_tiny_layers(self):
+        """Few output pixels -> fills dominate; the analytic model is
+        optimistic there, which the sensitivity analysis tolerates
+        because such layers contribute negligible time."""
+        tiny = spec(cin=8, cout=8, k=1, h=4, w=4)
+        assert 0.005 < utilization(tiny, ASV_BASE) < 0.9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cin=st.sampled_from([16, 64, 256]),
+        cout=st.sampled_from([16, 64, 256]),
+        k=st.sampled_from([1, 3, 5]),
+        hw_=st.sampled_from([(34, 60), (68, 120), (135, 240)]),
+    )
+    def test_utilization_bounded(self, cin, cout, k, hw_):
+        u = utilization(spec(cin=cin, cout=cout, k=k, h=hw_[0], w=hw_[1]),
+                        ASV_BASE)
+        assert 0.0 < u <= 1.0

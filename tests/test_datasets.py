@@ -1,0 +1,136 @@
+"""Tests for the procedural stereo dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SceneObject,
+    StereoScene,
+    kitti_pairs,
+    kitti_scene_pair,
+    make_texture,
+    sceneflow_scene,
+    sceneflow_videos,
+)
+from repro.flow.warp import bilinear_sample
+
+
+class TestTexture:
+    def test_range(self):
+        tex = make_texture(np.random.default_rng(0), (32, 32))
+        assert np.abs(tex).max() <= 1.0 + 1e-9
+
+    def test_deterministic(self):
+        a = make_texture(np.random.default_rng(5), (16, 16))
+        b = make_texture(np.random.default_rng(5), (16, 16))
+        assert np.array_equal(a, b)
+
+
+class TestStereoScene:
+    def _scene(self):
+        obj = SceneObject(
+            center=(30.0, 40.0), size=(20, 24), disparity=10.0,
+            velocity=(1.0, 2.0), texture_seed=3,
+        )
+        return StereoScene(64, 96, [obj], background_disparity=2.0, seed=1)
+
+    def test_render_shapes(self):
+        frame = self._scene().render(0)
+        assert frame.left.shape == (64, 96)
+        assert frame.right.shape == (64, 96)
+        assert frame.disparity.shape == (64, 96)
+
+    def test_ground_truth_levels(self):
+        frame = self._scene().render(0)
+        assert set(np.unique(frame.disparity)) == {2.0, 10.0}
+
+    def test_epipolar_consistency(self):
+        """right(x + d) must equal left(x) wherever the same surface is
+        visible in both views — the defining property of the rendering."""
+        frame = self._scene().render(0)
+        h, w = frame.shape
+        yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+        sampled = bilinear_sample(frame.right, yy, xx + frame.disparity)
+        # exclude pixels whose correspondence is occluded in the right
+        # view (object band of width=disparity right of the object)
+        err = np.abs(sampled - frame.left)
+        assert np.median(err) < 1e-6
+        assert (err < 1e-6).mean() > 0.9
+
+    def test_objects_move_over_time(self):
+        scene = self._scene()
+        f0, f1 = scene.render(0), scene.render(1)
+        assert not np.allclose(f0.left, f1.left)
+        # object mask (disparity 10) shifts by the velocity
+        m0 = f0.disparity == 10.0
+        m1 = f1.disparity == 10.0
+        cy0, cx0 = np.argwhere(m0).mean(axis=0)
+        cy1, cx1 = np.argwhere(m1).mean(axis=0)
+        assert np.isclose(cy1 - cy0, 1.0, atol=0.2)
+        assert np.isclose(cx1 - cx0, 2.0, atol=0.2)
+
+    def test_occlusion_order(self):
+        near = SceneObject(center=(32.0, 48.0), size=(20, 20), disparity=20.0,
+                           texture_seed=1)
+        far = SceneObject(center=(32.0, 48.0), size=(30, 30), disparity=5.0,
+                          texture_seed=2)
+        scene = StereoScene(64, 96, [far, near], seed=0)
+        frame = scene.render(0)
+        assert frame.disparity[32, 48] == 20.0  # nearer object on top
+
+    def test_sequence_length(self):
+        assert len(self._scene().sequence(5)) == 5
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            StereoScene(4, 4, [])
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            SceneObject(center=(0, 0), size=(4, 4), disparity=1.0, shape="blob")
+
+
+class TestGenerators:
+    def test_sceneflow_scene_deterministic(self):
+        a = sceneflow_scene(11).render(0)
+        b = sceneflow_scene(11).render(0)
+        assert np.array_equal(a.left, b.left)
+        assert np.array_equal(a.disparity, b.disparity)
+
+    def test_sceneflow_videos_count(self):
+        videos = list(sceneflow_videos(n_videos=3, n_frames=2, size=(64, 96)))
+        assert len(videos) == 3
+        assert all(len(v) == 2 for v in videos)
+
+    def test_sceneflow_disparity_in_range(self):
+        frame = sceneflow_scene(2, max_disp=32).render(0)
+        assert frame.disparity.max() < 32
+        assert frame.disparity.min() >= 0
+
+    def test_kitti_pair_is_two_frames(self):
+        pair = kitti_scene_pair(0)
+        assert len(pair) == 2
+        assert pair[0].shape == pair[1].shape
+
+    def test_kitti_road_gradient(self):
+        """Road disparity must increase towards the bottom of the image."""
+        frame = kitti_scene_pair(3)[0]
+        h, w = frame.shape
+        col = frame.disparity[:, w // 2]
+        assert col[-1] > col[h // 2]
+
+    def test_kitti_epipolar_consistency(self):
+        """Most pixels verify right(x + d) == left(x); the exceptions
+        are genuine right-view occlusions at object borders, which the
+        street scenes have plenty of."""
+        frame = kitti_scene_pair(5)[0]
+        h, w = frame.shape
+        yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+        sampled = bilinear_sample(frame.right, yy, xx + frame.disparity)
+        err = np.abs(sampled - frame.left)
+        assert np.median(err) < 1e-2
+        assert (err < 1e-2).mean() > 0.55
+
+    def test_kitti_pairs_generator(self):
+        pairs = list(kitti_pairs(n_scenes=2, size=(48, 96)))
+        assert len(pairs) == 2

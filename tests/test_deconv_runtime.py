@@ -1,0 +1,68 @@
+"""Tests for the runnable transformed-deconvolution layers."""
+
+import numpy as np
+import pytest
+
+from repro.deconv.runtime import TransformedDeconv, transform_network
+from repro.nn import Conv, Deconv, LeakyReLU, Sequential
+
+
+def small_decoder(bias=False):
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=4) if bias else None
+    return Sequential(
+        [
+            Conv(2, 8, 3, stride=2, padding=1, name="enc", rng=rng),
+            LeakyReLU(),
+            Deconv(8, 4, 4, stride=2, padding=1, name="dec", rng=rng, bias=b),
+        ],
+        name="tiny",
+    )
+
+
+class TestTransformedDeconv:
+    def test_wraps_only_deconv(self):
+        with pytest.raises(TypeError):
+            TransformedDeconv(Conv(1, 1, 3))
+
+    def test_numeric_equivalence(self):
+        rng = np.random.default_rng(1)
+        layer = Deconv(8, 4, 4, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(8, 10, 14))
+        assert np.allclose(TransformedDeconv(layer)(x), layer(x))
+
+    def test_bias_preserved(self):
+        rng = np.random.default_rng(2)
+        layer = Deconv(4, 2, 4, stride=2, padding=1, rng=rng,
+                       bias=np.array([1.0, -1.0]))
+        x = rng.normal(size=(4, 6, 6))
+        assert np.allclose(TransformedDeconv(layer)(x), layer(x))
+
+    def test_3d_equivalence(self):
+        rng = np.random.default_rng(3)
+        layer = Deconv(2, 2, (3, 3, 3), stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(2, 4, 5, 6))
+        assert np.allclose(TransformedDeconv(layer)(x), layer(x))
+
+    def test_output_shape_delegates(self):
+        layer = Deconv(8, 4, 4, stride=2, padding=1)
+        assert TransformedDeconv(layer).output_shape((8, 10, 14)) == \
+            layer.output_shape((8, 10, 14))
+
+
+class TestTransformNetwork:
+    def test_whole_network_equivalence(self):
+        net = small_decoder(bias=True)
+        tnet = transform_network(net)
+        x = np.random.default_rng(4).normal(size=(2, 16, 16))
+        assert np.allclose(tnet(x), net(x))
+
+    def test_original_untouched(self):
+        net = small_decoder()
+        tnet = transform_network(net)
+        assert isinstance(net.layers[2], Deconv)
+        assert isinstance(tnet.layers[2], TransformedDeconv)
+
+    def test_name_tagged(self):
+        tnet = transform_network(small_decoder())
+        assert tnet.name.endswith("[dct]")

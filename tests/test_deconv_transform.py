@@ -1,0 +1,249 @@
+"""Equivalence tests for the deconvolution-to-convolution transformation.
+
+These verify the paper's central claim of Sec. 4.1: a sparse
+deconvolution equals a gather over dense sub-convolutions, for arbitrary
+kernels, strides, paddings and dimensionality.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deconv.transform import (
+    decompose_geometry,
+    decompose_kernel,
+    deconv_via_subconvolutions,
+    transformed_specs,
+)
+from repro.nn.ops import deconvnd
+from repro.nn.workload import ConvSpec
+
+
+class TestDecomposeKernel:
+    def test_paper_fig6_subkernels(self):
+        """3x3 kernel, stride 2 -> sub-kernels of 2x2, 1x2, 2x1, 1x1."""
+        a, b, c, d, e, f, g, h, i = np.arange(1.0, 10.0)
+        w = np.array([[[[a, b, c], [d, e, f], [g, h, i]]]])
+        subs = decompose_kernel(w, 2)
+        assert set(subs.keys()) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert np.array_equal(subs[(0, 0)][0, 0], [[a, c], [g, i]])
+        assert np.array_equal(subs[(1, 0)][0, 0], [[d, f]])
+        assert np.array_equal(subs[(0, 1)][0, 0], [[b], [h]])
+        assert np.array_equal(subs[(1, 1)][0, 0], [[e]])
+
+    def test_partition_no_loss_no_duplication(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(2, 3, 5, 4))
+        subs = decompose_kernel(w, 2)
+        total = sum(s.size for s in subs.values())
+        assert total == w.size
+        # element sums must match exactly (partition, not just count)
+        assert np.isclose(sum(s.sum() for s in subs.values()), w.sum())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(1, 6),
+        stride=st.integers(1, 4),
+        ndim=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    def test_partition_property_nd(self, k, stride, ndim, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(1, 1) + (k,) * ndim)
+        subs = decompose_kernel(w, stride)
+        assert sum(s.size for s in subs.values()) == w.size
+        n_classes = min(stride, k) ** ndim
+        assert len(subs) == n_classes
+
+    def test_stride1_is_identity(self):
+        w = np.random.default_rng(1).normal(size=(1, 1, 3, 3))
+        subs = decompose_kernel(w, 1)
+        assert list(subs.keys()) == [(0, 0)]
+        assert np.array_equal(subs[(0, 0)], w)
+
+
+class TestDecomposeGeometry:
+    def test_fig6_geometry(self):
+        subs = decompose_geometry((3, 3), 2, 1, (3, 3))
+        by_delta = {s.delta: s for s in subs}
+        assert by_delta[(0, 0)].kernel == (2, 2)
+        assert by_delta[(1, 1)].kernel == (1, 1)
+        # ofmap is 5x5; parity (1,1) covers positions 0,2,4 => 3x3 outputs
+        assert by_delta[(1, 1)].out_size == (3, 3)
+        assert by_delta[(0, 0)].out_size == (2, 2)
+        # outputs tile the 5x5 ofmap exactly
+        total = sum(s.outputs for s in subs)
+        assert total == 25
+
+    def test_output_positions_partition_ofmap(self):
+        for k, s, p, n in [(4, 2, 1, 6), (3, 2, 0, 5), (5, 3, 2, 4), (2, 2, 0, 4)]:
+            spec = ConvSpec("d", 1, 1, (k, k), (n, n), s, p, deconv=True)
+            subs = decompose_geometry((k, k), s, p, (n, n))
+            covered = np.zeros(spec.output_size, dtype=int)
+            for sub in subs:
+                sl = tuple(
+                    slice(r, r + cnt * st_, st_)
+                    for r, cnt, st_ in zip(sub.offset, sub.out_size, (s, s))
+                )
+                covered[sl] += 1
+            assert (covered == 1).all(), (k, s, p, n)
+
+    def test_taps_and_outputs_match_spec_effective_macs(self):
+        spec = ConvSpec("d", 4, 8, (4, 4), (9, 7), 2, 1, deconv=True)
+        subs = decompose_geometry(spec.kernel, spec.stride, spec.padding, spec.input_size)
+        total = sum(s.taps * s.outputs for s in subs) * 4 * 8
+        assert total == spec.macs_effective
+
+
+class TestNumericEquivalence:
+    def test_paper_example(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 3, 3))
+        w = rng.normal(size=(1, 1, 3, 3))
+        ref = deconvnd(x, w, stride=2, padding=1)
+        ours = deconv_via_subconvolutions(x, w, stride=2, padding=1)
+        assert np.allclose(ref, ours)
+
+    @pytest.mark.parametrize(
+        "k,s,p,shape",
+        [
+            (3, 2, 1, (2, 5, 6)),
+            (4, 2, 1, (3, 8, 8)),   # DispNet/FlowNetC-style upconv
+            (5, 2, 2, (1, 6, 4)),
+            (3, 2, 0, (2, 4, 4)),
+            (2, 2, 0, (1, 7, 7)),
+            (3, 1, 1, (2, 5, 5)),   # stride-1 degenerate case
+            (5, 3, 2, (1, 5, 5)),   # stride-3
+            (2, 3, 0, (1, 4, 4)),   # kernel < stride: empty parity classes
+        ],
+    )
+    def test_2d_configs(self, k, s, p, shape):
+        rng = np.random.default_rng(k * 100 + s * 10 + p)
+        x = rng.normal(size=shape)
+        w = rng.normal(size=(3, shape[0], k, k))
+        ref = deconvnd(x, w, stride=s, padding=p)
+        ours = deconv_via_subconvolutions(x, w, stride=s, padding=p)
+        assert np.allclose(ref, ours)
+
+    def test_3d_gcnet_style(self):
+        """3x3x3 stride-2 3-D deconvolution (GC-Net / PSMNet DR layers)."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 4, 5, 6))
+        w = rng.normal(size=(3, 2, 3, 3, 3))
+        ref = deconvnd(x, w, stride=2, padding=1)
+        ours = deconv_via_subconvolutions(x, w, stride=2, padding=1)
+        assert np.allclose(ref, ours)
+
+    def test_output_padding(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 5, 5))
+        w = rng.normal(size=(2, 1, 3, 3))
+        ref = deconvnd(x, w, stride=2, padding=1, output_padding=1)
+        ours = deconv_via_subconvolutions(x, w, stride=2, padding=1, output_padding=1)
+        assert np.allclose(ref, ours)
+
+    def test_anisotropic_stride(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 6, 6))
+        w = rng.normal(size=(1, 1, 3, 4))
+        ref = deconvnd(x, w, stride=(2, 3), padding=(1, 1))
+        ours = deconv_via_subconvolutions(x, w, stride=(2, 3), padding=(1, 1))
+        assert np.allclose(ref, ours)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        h=st.integers(2, 6),
+        w_=st.integers(2, 6),
+        cin=st.integers(1, 3),
+        cout=st.integers(1, 3),
+        kh=st.integers(1, 5),
+        kw=st.integers(1, 5),
+        stride=st.integers(1, 3),
+        pad_frac=st.integers(0, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_equivalence_property_2d(
+        self, h, w_, cin, cout, kh, kw, stride, pad_frac, seed
+    ):
+        """The core claim: transformation is exact for random geometry."""
+        from hypothesis import assume
+
+        p = min(pad_frac, min(kh, kw) - 1)
+        # skip geometries whose deconvolution output collapses to zero
+        assume((h - 1) * stride - 2 * p + kh >= 1)
+        assume((w_ - 1) * stride - 2 * p + kw >= 1)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(cin, h, w_))
+        w = rng.normal(size=(cout, cin, kh, kw))
+        ref = deconvnd(x, w, stride=stride, padding=p)
+        ours = deconv_via_subconvolutions(x, w, stride=stride, padding=p)
+        assert np.allclose(ref, ours)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        d=st.integers(2, 4),
+        h=st.integers(2, 4),
+        w_=st.integers(2, 4),
+        k=st.integers(2, 3),
+        stride=st.integers(1, 2),
+        seed=st.integers(0, 10_000),
+    )
+    def test_equivalence_property_3d(self, d, h, w_, k, stride, seed):
+        p = min(1, k - 1)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, d, h, w_))
+        w = rng.normal(size=(2, 1, k, k, k))
+        ref = deconvnd(x, w, stride=stride, padding=p)
+        ours = deconv_via_subconvolutions(x, w, stride=stride, padding=p)
+        assert np.allclose(ref, ours)
+
+
+class TestTransformedSpecs:
+    def test_conv_passthrough(self):
+        spec = ConvSpec("c", 3, 8, (3, 3), (16, 16), 1, 1)
+        assert transformed_specs(spec) == [spec]
+
+    def test_deconv_split_count(self):
+        spec = ConvSpec("d", 3, 8, (4, 4), (16, 16), 2, 1, deconv=True)
+        subs = transformed_specs(spec)
+        assert len(subs) == 4
+        assert all(not s.deconv for s in subs)
+        assert all(s.stride == (1, 1) for s in subs)
+
+    def test_3d_split_count(self):
+        spec = ConvSpec(
+            "d3", 4, 4, (3, 3, 3), (8, 16, 16), 2, 1, deconv=True
+        )
+        subs = transformed_specs(spec)
+        assert len(subs) == 8
+
+    def test_macs_preserved(self):
+        """Transformed MAC total equals the spec's effective MACs."""
+        for k, s, p in [(3, 2, 1), (4, 2, 1), (5, 3, 2), (2, 2, 0)]:
+            spec = ConvSpec("d", 6, 12, (k, k), (14, 10), s, p, deconv=True)
+            subs = transformed_specs(spec)
+            assert sum(sub.macs for sub in subs) == spec.macs_effective
+
+    def test_output_elements_preserved(self):
+        spec = ConvSpec("d", 2, 4, (4, 4), (8, 8), 2, 1, deconv=True)
+        subs = transformed_specs(spec)
+        assert sum(sub.ofmap_elems for sub in subs) == spec.ofmap_elems
+
+    def test_stage_and_repeat_propagate(self):
+        spec = ConvSpec(
+            "d", 2, 4, (4, 4), (8, 8), 2, 1, deconv=True, stage="DR", repeat=3
+        )
+        subs = transformed_specs(spec)
+        assert all(s.stage == "DR" and s.repeat == 3 for s in subs)
+
+    def test_mac_reduction_factor(self):
+        """Dense vs transformed compute: ~4x for 2-D, ~8x for 3-D stride 2."""
+        d2 = ConvSpec("a", 8, 8, (4, 4), (32, 32), 2, 1, deconv=True)
+        d3 = ConvSpec("b", 8, 8, (4, 4, 4), (16, 32, 32), 2, 1, deconv=True)
+        r2 = d2.macs / sum(s.macs for s in transformed_specs(d2))
+        r3 = d3.macs / sum(s.macs for s in transformed_specs(d3))
+        assert 3.5 < r2 < 4.5
+        assert 7.0 < r3 < 9.0

@@ -1,0 +1,109 @@
+"""Tests for the depth pipeline API and schedule serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.depth import DepthEstimator, DepthFrame
+from repro.core.ism import ISMConfig
+from repro.datasets import sceneflow_scene
+from repro.deconv import lower_spec, optimize_layer
+from repro.hw import ASV_BASE, Schedule, SystolicModel
+from repro.models.proxy import StereoDNNProxy
+from repro.nn.workload import ConvSpec
+from repro.stereo.triangulate import StereoCamera
+
+RIG = StereoCamera(baseline_m=0.54, focal_length_m=4.0e-3, pixel_size_m=8.0e-6)
+
+
+class TestDepthEstimator:
+    @pytest.fixture(scope="class")
+    def video(self):
+        return sceneflow_scene(17, size=(120, 200), max_disp=40,
+                               max_speed=1.5).sequence(3)
+
+    def test_single_frame(self, video):
+        est = DepthEstimator(lambda f: f.disparity, camera=RIG)
+        out = est.process_frame(video[0])
+        assert isinstance(out, DepthFrame)
+        assert out.depth_m.shape == video[0].disparity.shape
+        assert out.is_key_frame
+
+    def test_depth_matches_triangulation(self, video):
+        est = DepthEstimator(lambda f: f.disparity, camera=RIG,
+                             max_depth_m=1e9)
+        out = est.process_frame(video[0])
+        gt = RIG.depth_from_disparity(video[0].disparity)
+        assert np.allclose(out.depth_m, gt)
+
+    def test_max_depth_clamped(self, video):
+        est = DepthEstimator(lambda f: f.disparity, camera=RIG,
+                             max_depth_m=50.0)
+        out = est.process_frame(video[0])
+        assert out.depth_m.max() <= 50.0
+
+    def test_sequence_without_ism_keys_everything(self, video):
+        est = DepthEstimator(lambda f: f.disparity, camera=RIG)
+        outs = est.process_sequence(video)
+        assert all(o.is_key_frame for o in outs)
+
+    def test_sequence_with_ism_propagates(self, video):
+        est = DepthEstimator(
+            StereoDNNProxy("DispNet", seed=0),
+            camera=RIG,
+            ism_config=ISMConfig(propagation_window=3),
+        )
+        outs = est.process_sequence(video)
+        assert [o.is_key_frame for o in outs] == [True, False, False]
+
+    def test_nearest_distance(self, video):
+        est = DepthEstimator(lambda f: f.disparity, camera=RIG)
+        out = est.process_frame(video[0])
+        near = out.nearest_m()
+        gt_near = float(np.percentile(
+            RIG.depth_from_disparity(video[0].disparity), 2
+        ))
+        assert near == pytest.approx(gt_near, rel=0.05)
+
+    def test_nearest_on_empty_region(self):
+        frame = DepthFrame(
+            disparity=np.zeros((4, 4)),
+            depth_m=np.full((4, 4), np.inf),
+            is_key_frame=True,
+        )
+        assert frame.nearest_m() == float("inf")
+
+
+class TestScheduleSerialization:
+    def _schedule(self):
+        spec = ConvSpec("d", 64, 32, (4, 4), (34, 60), 2, 1, deconv=True)
+        (group,) = lower_spec(spec)
+        return optimize_layer(group, ASV_BASE)
+
+    def test_roundtrip_identity(self):
+        sched = self._schedule()
+        clone = Schedule.from_dict(sched.to_dict())
+        assert clone.layer == sched.layer
+        assert clone.rounds == sched.rounds
+        assert clone.counts == sched.counts
+
+    def test_json_serialisable(self):
+        sched = self._schedule()
+        text = json.dumps(sched.to_dict())
+        clone = Schedule.from_dict(json.loads(text))
+        assert clone.total_macs == sched.total_macs
+
+    def test_roundtrip_same_hardware_result(self):
+        model = SystolicModel(ASV_BASE)
+        sched = self._schedule()
+        clone = Schedule.from_dict(sched.to_dict())
+        a = model.run_schedule(sched)
+        b = model.run_schedule(clone)
+        assert (a.cycles, a.dram_bytes, a.energy_j) == (
+            b.cycles, b.dram_bytes, b.energy_j
+        )
+
+    def test_clone_still_validates(self):
+        sched = self._schedule()
+        Schedule.from_dict(sched.to_dict()).validate(ASV_BASE)

@@ -1,0 +1,180 @@
+"""Smoke and shape tests for the per-figure experiment drivers.
+
+The benchmarks assert the paper-level claims at full scale; these
+tests exercise the same drivers at miniature scale so the whole
+evaluation package stays covered by the fast suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ExperimentScale,
+    format_fig1,
+    format_fig3,
+    format_fig4,
+    format_fig9,
+    format_fig10,
+    format_fig12,
+    format_fig13,
+    format_fig14,
+    render_table,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig9,
+    run_fig10,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+)
+from repro.evaluation.ablation import (
+    format_pw_sweep,
+    format_scheduler_ablation,
+    run_pw_sweep,
+    run_scheduler_ablation,
+)
+
+TINY = ExperimentScale(
+    n_sceneflow_videos=1,
+    n_sceneflow_frames=2,
+    n_kitti_scenes=2,
+    accuracy_size=(96, 160),
+    accuracy_max_disp=32,
+)
+
+SMALL_SIZE = (135, 240)
+
+
+class TestTableRenderer:
+    def test_renders_all_cells(self):
+        out = render_table("T", ["a", "bb"], [[1, 2.5], ["x", 0.001]])
+        assert "T" in out and "bb" in out and "2.50" in out and "0.001" in out
+
+    def test_empty_rows(self):
+        out = render_table("T", ["a"], [])
+        assert "a" in out
+
+
+class TestFig3Driver:
+    def test_rows_and_format(self):
+        shares = run_fig3(size=SMALL_SIZE)
+        assert len(shares) == 4
+        text = format_fig3(shares)
+        assert "DR deconv" in text and "AVG" in text
+
+    def test_shares_sum_to_100(self):
+        for s in run_fig3(size=SMALL_SIZE):
+            total = s.fe_pct + s.mo_pct + s.dr_pct + s.other_pct
+            assert total == pytest.approx(100.0)
+
+
+class TestFig4Driver:
+    def test_three_curves(self):
+        curves = run_fig4()
+        assert [c.distance_m for c in curves] == [10.0, 15.0, 30.0]
+        assert "Bumblebee2" in format_fig4(curves)
+
+    def test_zero_error_at_zero(self):
+        for c in run_fig4():
+            assert c.depth_errors_m[0] == 0.0
+
+
+class TestFig9Driver:
+    def test_tiny_run(self):
+        rows = run_fig9(TINY)
+        assert len(rows) == 8
+        datasets = {r.dataset for r in rows}
+        assert datasets == {"SceneFlow", "KITTI"}
+        text = format_fig9(rows)
+        assert "PW-2" in text
+
+    def test_kitti_has_no_pw4(self):
+        rows = run_fig9(TINY)
+        assert all(
+            r.pw4_error_pct is None for r in rows if r.dataset == "KITTI"
+        )
+
+
+class TestFig10Driver:
+    def test_single_network(self):
+        rows = run_fig10(networks=["FlowNetC"])
+        assert len(rows) == 1
+        r = rows[0]
+        assert r.combined_speedup > r.dco_speedup
+        assert "FlowNetC" in format_fig10(rows)
+
+
+class TestFig12Driver:
+    def test_small_grid(self):
+        cells = run_fig12(
+            pe_sizes=(16, 32), buffer_mb=(1.0, 2.0), size=(135, 240)
+        )
+        assert len(cells) == 4
+        assert all(c.speedup > 1.0 for c in cells)
+        assert "Fig. 12a" in format_fig12(cells)
+
+
+class TestFig13Driver:
+    def test_subset(self):
+        points = run_fig13(size=SMALL_SIZE, networks=["DispNet"])
+        names = [p.system for p in points]
+        assert names[0] == "Eyeriss"
+        assert points[0].speedup_vs_eyeriss == 1.0
+        asv = next(p for p in points if p.system == "ASV-DCO+ISM")
+        assert asv.speedup_vs_eyeriss > 1.0
+        assert "Eyeriss" in format_fig13(points)
+
+
+class TestFig14Driver:
+    def test_subset(self):
+        rows = run_fig14(gans=["DCGAN", "3D-GAN"])
+        assert len(rows) == 2
+        assert all(r.asv_speedup > 1.0 for r in rows)
+        assert "GANNX" in format_fig14(rows)
+
+
+class TestFig1Driver:
+    def test_tiny_frontier(self):
+        points = run_fig1(TINY)
+        kinds = {p.kind for p in points}
+        assert kinds == {"classic", "dnn-acc", "dnn-gpu", "asv"}
+        assert all(np.isfinite(p.fps) and p.fps > 0 for p in points)
+        assert "frontier" in format_fig1(points)
+
+
+class TestAblations:
+    def test_scheduler_ablation_rows(self):
+        from repro.nn.workload import ConvSpec
+
+        small = ConvSpec(
+            "d", 64, 32, (4, 4), (34, 60), 2, 1, deconv=True, stage="DR"
+        )
+        rows = run_scheduler_ablation(small)
+        names = [r.strategy for r in rows]
+        assert "optimizer, full (paper)" in names
+        assert "optimizer, beta=ifmap-resident" in names
+        assert "cycles" in format_scheduler_ablation(rows)
+
+    def test_pw_sweep_monotone(self):
+        rows = run_pw_sweep(windows=(1, 2, 4))
+        speeds = [r.speedup for r in rows]
+        assert speeds == sorted(speeds)
+        assert "Propagation-window" in format_pw_sweep(rows)
+
+
+class TestScaleConfig:
+    def test_default_scale_reduced(self, monkeypatch):
+        from repro.evaluation import default_scale
+
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        scale = default_scale()
+        assert scale.n_sceneflow_videos < 26
+
+    def test_repro_full_env(self, monkeypatch):
+        from repro.evaluation import default_scale
+
+        monkeypatch.setenv("REPRO_FULL", "1")
+        scale = default_scale()
+        assert scale.n_sceneflow_videos == 26
+        assert scale.n_kitti_scenes == 200

@@ -1,0 +1,29 @@
+"""The example scripts must stay importable (API drift guard).
+
+Each example is a documented entry point; importing the module compiles
+it and resolves every symbol it pulls from the library, which catches
+API breakage without paying the full runtime in the unit suite (the
+examples run for real in the repository's final verification).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main") or hasattr(module, "power_table") or \
+        hasattr(module, "step1_equivalence")
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 4

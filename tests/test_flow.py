@@ -1,0 +1,178 @@
+"""Tests for the Farneback optical flow and warping utilities."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.flow import (
+    bilinear_sample,
+    downsample2,
+    farneback_flow,
+    farneback_ops,
+    forward_warp_disparity,
+    gaussian_blur,
+    gaussian_blur_ops,
+    gaussian_kernel1d,
+    poly_expansion,
+    warp_backward,
+)
+
+
+def textured(seed=0, size=(100, 140), smooth=2.0):
+    rng = np.random.default_rng(seed)
+    return ndimage.gaussian_filter(rng.normal(size=size), smooth) * 10
+
+
+class TestGaussian:
+    def test_kernel_normalised(self):
+        k = gaussian_kernel1d(1.5)
+        assert np.isclose(k.sum(), 1.0)
+        assert k.argmax() == len(k) // 2
+
+    def test_kernel_symmetric(self):
+        k = gaussian_kernel1d(2.0)
+        assert np.allclose(k, k[::-1])
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel1d(0.0)
+
+    def test_blur_preserves_mean(self):
+        img = textured(1)
+        out = gaussian_blur(img, 2.0)
+        assert np.isclose(out.mean(), img.mean(), rtol=1e-2)
+
+    def test_blur_reduces_variance(self):
+        img = textured(2, smooth=0.5)
+        assert gaussian_blur(img, 2.0).var() < img.var()
+
+    def test_downsample_halves(self):
+        img = textured(3, size=(64, 80))
+        assert downsample2(img).shape == (32, 40)
+
+    def test_ops_positive(self):
+        assert gaussian_blur_ops(100, 100, 1.5) > 0
+
+
+class TestBilinearSample:
+    def test_integer_coordinates_exact(self):
+        img = np.arange(20.0).reshape(4, 5)
+        ys, xs = np.mgrid[0:4, 0:5].astype(float)
+        assert np.allclose(bilinear_sample(img, ys, xs), img)
+
+    def test_halfway_interpolates(self):
+        img = np.array([[0.0, 2.0]])
+        val = bilinear_sample(img, np.array([0.0]), np.array([0.5]))
+        assert np.isclose(val[0], 1.0)
+
+    def test_out_of_range_clamped(self):
+        img = np.array([[1.0, 2.0], [3.0, 4.0]])
+        val = bilinear_sample(img, np.array([-5.0]), np.array([99.0]))
+        assert np.isclose(val[0], 2.0)
+
+
+class TestPolyExpansion:
+    def test_constant_image_zero_gradient(self):
+        A, b = poly_expansion(np.full((32, 32), 5.0))
+        assert np.allclose(A, 0.0, atol=1e-8)
+        assert np.allclose(b, 0.0, atol=1e-8)
+
+    def test_linear_ramp_recovers_gradient(self):
+        ys, xs = np.mgrid[0:40, 0:40].astype(float)
+        img = 2.0 * xs + 3.0 * ys
+        A, b = poly_expansion(img, sigma=1.5)
+        inner = (slice(8, -8), slice(8, -8))
+        assert np.allclose(b[inner][..., 1], 2.0, atol=0.05)  # d/dx
+        assert np.allclose(b[inner][..., 0], 3.0, atol=0.05)  # d/dy
+        assert np.allclose(A[inner], 0.0, atol=0.05)
+
+    def test_quadratic_recovers_curvature(self):
+        ys, xs = np.mgrid[0:40, 0:40].astype(float)
+        img = 0.5 * (xs - 20) ** 2
+        A, _ = poly_expansion(img, sigma=1.5)
+        inner = (slice(10, -10), slice(10, -10))
+        assert np.allclose(A[inner][..., 1, 1], 0.5, atol=0.05)
+        assert np.allclose(A[inner][..., 0, 0], 0.0, atol=0.05)
+
+    def test_colour_rejected(self):
+        with pytest.raises(ValueError):
+            poly_expansion(np.zeros((8, 8, 3)))
+
+
+class TestFarneback:
+    @pytest.mark.parametrize("shift", [(1, 2), (3, -2), (0, 4)])
+    def test_recovers_global_translation(self, shift):
+        tex = textured(4, size=(120, 160))
+        f0 = tex
+        f1 = np.roll(tex, shift, axis=(0, 1))
+        flow = farneback_flow(f0, f1, levels=3, iterations=3)
+        inner = flow[24:-24, 24:-24]
+        assert np.abs(inner[..., 0].mean() - shift[0]) < 0.3
+        assert np.abs(inner[..., 1].mean() - shift[1]) < 0.3
+
+    def test_subpixel_translation(self):
+        ys, xs = np.mgrid[0:80, 0:100].astype(float)
+        make = lambda dx: np.sin(0.3 * (xs + dx)) + np.cos(0.25 * ys)
+        flow = farneback_flow(make(0), make(-0.5), levels=1, iterations=3)
+        inner = flow[16:-16, 16:-16]
+        assert np.abs(inner[..., 1].mean() - 0.5) < 0.15
+
+    def test_zero_motion(self):
+        tex = textured(5)
+        flow = farneback_flow(tex, tex, levels=2, iterations=2)
+        assert np.abs(flow).max() < 0.1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            farneback_flow(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_ops_scale_with_resolution(self):
+        small = farneback_ops(100, 100)
+        large = farneback_ops(200, 200)
+        assert 3.0 < large / small < 4.5
+
+
+class TestWarps:
+    def test_backward_warp_inverts_roll(self):
+        tex = textured(6)
+        shifted = np.roll(tex, (2, 3), axis=(0, 1))
+        flow = np.zeros(tex.shape + (2,))
+        flow[..., 0] = 2.0
+        flow[..., 1] = 3.0
+        # shifted(p + (2,3)) == tex(p)... sample shifted at p + flow
+        recovered = warp_backward(shifted, flow)
+        inner = (slice(6, -6), slice(6, -6))
+        assert np.allclose(recovered[inner], tex[inner], atol=1e-6)
+
+    def test_forward_warp_zero_flow_identity(self):
+        disp = np.full((10, 12), 5.0)
+        flow = np.zeros((10, 12, 2))
+        out, known = forward_warp_disparity(disp, flow, flow)
+        assert known.all()
+        assert np.allclose(out, 5.0)
+
+    def test_forward_warp_translation(self):
+        disp = np.zeros((10, 12))
+        disp[4, 6] = 9.0
+        flow = np.zeros((10, 12, 2))
+        flow[..., 1] = 2.0  # everything moves 2 px right
+        out, known = forward_warp_disparity(disp, flow, flow)
+        assert out[4, 8] == 9.0
+
+    def test_forward_warp_occlusion_keeps_nearer(self):
+        disp = np.zeros((6, 8))
+        disp[2, 2] = 3.0   # far
+        disp[2, 4] = 11.0  # near
+        flow = np.zeros((6, 8, 2))
+        flow[2, 2, 1] = 2.0  # far pixel moves onto (2, 4)
+        out, _ = forward_warp_disparity(disp, flow, None)
+        assert out[2, 4] == 11.0  # nearer surface wins
+
+    def test_forward_warp_disparity_rate(self):
+        """Right-stream motion differing from left adjusts disparity."""
+        disp = np.full((8, 20), 4.0)
+        fl = np.zeros((8, 20, 2))
+        fr = np.zeros((8, 20, 2))
+        fr[..., 1] = 1.0  # right correspondences drift +1 px
+        out, known = forward_warp_disparity(disp, fl, fr)
+        assert np.allclose(out[known], 5.0)

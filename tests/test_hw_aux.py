@@ -1,0 +1,121 @@
+"""Tests for the comparison hardware models (Eyeriss, GPU, GANNX) and
+the area/power overhead accounting."""
+
+import pytest
+
+from repro.hw import ASV_BASE, AreaPowerModel, EyerissModel, GannxModel
+from repro.hw.gpu import JETSON_TX2, GPUModel
+from repro.models import network_specs
+from repro.models.gans import gan_specs
+from repro.nn.workload import ConvSpec
+
+
+def small_net():
+    return [
+        ConvSpec("c1", 3, 16, (3, 3), (64, 96), 2, 1),
+        ConvSpec("d1", 16, 8, (4, 4), (32, 48), 2, 1, deconv=True, stage="DR"),
+    ]
+
+
+class TestEyeriss:
+    def test_runs_baseline(self):
+        res = EyerissModel(ASV_BASE).run_network(small_net())
+        assert res.cycles > 0 and res.energy_j > 0
+
+    def test_dct_speeds_it_up(self):
+        model = EyerissModel(ASV_BASE)
+        base = model.run_network(small_net(), transform=False)
+        dct = model.run_network(small_net(), transform=True)
+        assert dct.cycles < base.cycles
+        assert dct.energy_j < base.energy_j
+
+    def test_slower_than_systolic_on_same_resources(self):
+        """Row-stationary fragmentation costs utilization relative to
+        the systolic model under identical resources."""
+        from repro.deconv import best_static_partition, lower_network
+        from repro.hw import SystolicModel
+
+        model = SystolicModel(ASV_BASE)
+        layers = lower_network(small_net(), transform=False)
+        _, scheds = best_static_partition(layers, ASV_BASE, model)
+        systolic = model.run_schedules(scheds, validate=False)
+        eyeriss = EyerissModel(ASV_BASE).run_network(small_net())
+        assert eyeriss.cycles > systolic.cycles
+
+    def test_layer_names_tagged(self):
+        res = EyerissModel(ASV_BASE).run_network(small_net())
+        assert all("[eyeriss]" in l.name for l in res.layers)
+
+
+class TestGPU:
+    def test_layer_roofline(self):
+        spec = small_net()[0]
+        secs = JETSON_TX2.layer_seconds(spec)
+        compute_bound = spec.macs / (
+            JETSON_TX2.peak_macs_per_sec * JETSON_TX2.kernel_efficiency
+        )
+        assert secs >= compute_bound
+
+    def test_network_time_additive(self):
+        specs = small_net()
+        total = JETSON_TX2.network_seconds(specs)
+        assert total == pytest.approx(
+            sum(JETSON_TX2.layer_seconds(s) for s in specs)
+        )
+
+    def test_energy_is_power_times_time(self):
+        specs = small_net()
+        assert JETSON_TX2.network_energy_j(specs) == pytest.approx(
+            JETSON_TX2.power_w * JETSON_TX2.network_seconds(specs)
+        )
+
+    def test_fps_ordering_matches_network_size(self):
+        assert JETSON_TX2.fps(network_specs("DispNet")) > JETSON_TX2.fps(
+            network_specs("GC-Net")
+        )
+
+    def test_memory_bound_layer(self):
+        gpu = GPUModel(peak_macs_per_sec=1e18)  # compute is free
+        spec = small_net()[0]
+        moved = (spec.ifmap_elems + spec.ofmap_elems + spec.params) * 2
+        assert gpu.layer_seconds(spec) == pytest.approx(
+            moved / gpu.dram_bytes_per_sec
+        )
+
+
+class TestGannx:
+    def test_beats_eyeriss_on_gans(self):
+        eyeriss = EyerissModel(ASV_BASE)
+        gannx = GannxModel(ASV_BASE)
+        specs = gan_specs("DCGAN")
+        base = eyeriss.run_network(specs)
+        gx = gannx.run_network(specs)
+        assert gx.cycles < base.cycles
+        assert gx.energy_j < base.energy_j
+
+    def test_skips_zero_macs(self):
+        """GANNX executes the transformed (non-zero) MAC count."""
+        from repro.nn.workload import total_macs
+
+        specs = gan_specs("DCGAN")
+        res = GannxModel(ASV_BASE).run_network(specs)
+        assert res.macs == total_macs(specs, effective=True)
+
+
+class TestAreaPower:
+    def test_paper_constants(self):
+        m = AreaPowerModel()
+        assert m.pe_area_overhead_pct() == pytest.approx(6.3, abs=0.2)
+        assert m.pe_power_overhead_pct() == pytest.approx(2.3, abs=0.1)
+
+    def test_total_overhead_below_half_percent(self):
+        report = AreaPowerModel().overhead(ASV_BASE)
+        assert report.area_overhead_pct < 0.5
+        assert report.power_overhead_pct < 0.5
+
+    def test_overhead_scales_with_pe_count(self):
+        m = AreaPowerModel()
+        small = m.overhead(ASV_BASE.with_resources(pe_rows=8, pe_cols=8))
+        large = m.overhead(ASV_BASE.with_resources(pe_rows=48, pe_cols=48))
+        assert large.pe_area_um2 > small.pe_area_um2
+        assert large.added_area_mm2 > small.added_area_mm2

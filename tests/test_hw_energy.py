@@ -1,0 +1,62 @@
+"""Tests for the energy model and breakdown arithmetic."""
+
+import pytest
+
+from repro.hw import ENERGY_16NM, EnergyBreakdown, EnergyModel
+
+
+class TestEnergyModel:
+    def test_relative_cost_hierarchy(self):
+        """The relationship that drives every result: DRAM >> SRAM >> RF
+        per byte, and SRAM byte >> one MAC."""
+        m = ENERGY_16NM
+        assert m.dram_j_per_byte > 20 * m.sram_j_per_byte
+        assert m.sram_j_per_byte > 5 * m.rf_j_per_byte
+        assert m.sram_j_per_byte > m.mac_j
+
+    def test_linear_accounting(self):
+        m = EnergyModel()
+        assert m.compute(2e9) == pytest.approx(2 * m.compute(1e9))
+        assert m.dram(1024) == pytest.approx(1024 * m.dram_j_per_byte)
+        assert m.sram(0) == 0.0
+
+    def test_static_energy(self):
+        m = EnergyModel(static_w=0.1)
+        assert m.static(2.0) == pytest.approx(0.2)
+
+    def test_custom_model(self):
+        m = EnergyModel(mac_j=1e-12)
+        assert m.compute(1e12) == pytest.approx(1.0)
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert b.total_j == 15.0
+
+    def test_addition(self):
+        a = EnergyBreakdown(mac_j=1.0, dram_j=2.0)
+        b = EnergyBreakdown(mac_j=0.5, sram_j=1.5)
+        c = a + b
+        assert c.mac_j == 1.5
+        assert c.sram_j == 1.5
+        assert c.dram_j == 2.0
+        assert c.total_j == pytest.approx(a.total_j + b.total_j)
+
+    def test_default_zero(self):
+        assert EnergyBreakdown().total_j == 0.0
+
+    def test_dram_dominates_streaming_workloads(self):
+        """For a workload that streams every operand from DRAM (one use
+        per byte), DRAM energy must dominate the budget — the physical
+        fact that motivates reuse optimization."""
+        m = ENERGY_16NM
+        macs = 1e9
+        bytes_ = 2 * macs  # every MAC pulls one fresh 16-bit operand
+        b = EnergyBreakdown(
+            mac_j=m.compute(macs),
+            sram_j=m.sram(bytes_),
+            rf_j=m.rf(2 * macs * 2),
+            dram_j=m.dram(bytes_),
+        )
+        assert b.dram_j > 0.9 * (b.mac_j + b.sram_j + b.rf_j)

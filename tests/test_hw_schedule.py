@@ -1,0 +1,227 @@
+"""Tests for the schedule IR, feasibility checks and the systolic model."""
+
+import math
+
+import pytest
+
+from repro.hw import (
+    ASV_BASE,
+    HWConfig,
+    LayerWork,
+    RoundPlan,
+    Schedule,
+    SubAllocation,
+    SubConvWork,
+    SystolicModel,
+)
+
+
+def simple_layer(filters=8, rows=16, cols=16, taps=9, in_ch=4, repeat=1):
+    sub = SubConvWork(
+        name="s0",
+        taps=taps,
+        filters=filters,
+        out_rows=rows,
+        out_cols=cols,
+        tile_kernel_extent=3,
+        tile_stride=1,
+        col_kernel_extent=3,
+        col_stride=1,
+    )
+    return LayerWork(
+        name="layer",
+        in_channels=in_ch,
+        ifmap_rows=rows + 2,
+        ifmap_cols=cols + 2,
+        subconvs=(sub,),
+        repeat=repeat,
+    )
+
+
+def one_shot_schedule(layer):
+    """Everything in a single round (fits for small layers)."""
+    sub = layer.subconvs[0]
+    alloc = SubAllocation(0, sub.filters, sub.out_rows, sub.out_cols, layer.in_channels)
+    plan = RoundPlan(
+        allocations=(alloc,),
+        ifmap_resident_elems=layer.ifmap_elems,
+        ifmap_loads_elems=layer.ifmap_elems,
+        weight_resident_elems=layer.weight_elems,
+        weight_loads_elems=layer.weight_elems,
+        psum_resident_elems=layer.ofmap_elems,
+        output_store_elems=layer.ofmap_elems,
+    )
+    return Schedule(layer=layer, rounds=[plan])
+
+
+class TestHWConfig:
+    def test_defaults_match_paper(self):
+        assert ASV_BASE.pe_count == 576
+        assert ASV_BASE.buffer_bytes == int(1.5 * 1024 * 1024)
+        # 24x24 PEs @ 1 GHz = 1.152 Tops/s counting MAC as 2 ops
+        assert math.isclose(2 * ASV_BASE.peak_macs_per_sec, 1.152e12)
+
+    def test_usable_buffer_is_half(self):
+        assert ASV_BASE.usable_buffer_bytes == ASV_BASE.buffer_bytes // 2
+
+    def test_with_resources(self):
+        small = ASV_BASE.with_resources(pe_rows=8, pe_cols=8)
+        assert small.pe_count == 64
+        assert small.buffer_bytes == ASV_BASE.buffer_bytes
+
+    def test_invalid_config_raises(self):
+        with pytest.raises(ValueError):
+            HWConfig(pe_rows=0)
+        with pytest.raises(ValueError):
+            HWConfig(buffer_bytes=1024)
+
+
+class TestWorkStructures:
+    def test_rows_for(self):
+        sub = SubConvWork("s", 9, 4, 10, 10, tile_kernel_extent=3, tile_stride=2)
+        assert sub.rows_for(1) == 3
+        assert sub.rows_for(5) == 11
+        assert sub.rows_for(0) == 0
+
+    def test_macs_for(self):
+        sub = SubConvWork("s", 9, 4, 10, 12)
+        assert sub.macs_for(8, 4, 10, 12) == 9 * 8 * 4 * 10 * 12
+
+    def test_layer_totals(self):
+        layer = simple_layer()
+        sub = layer.subconvs[0]
+        assert layer.total_macs == sub.macs_for(4, 8, 16, 16)
+        assert layer.weight_elems == 9 * 4 * 8
+        assert layer.ofmap_elems == 8 * 16 * 16
+
+    def test_invalid_work_raises(self):
+        with pytest.raises(ValueError):
+            SubConvWork("s", 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            LayerWork("l", 1, 1, 1, ())
+
+
+class TestScheduleChecks:
+    def test_complete_schedule_validates(self):
+        layer = simple_layer()
+        sched = one_shot_schedule(layer)
+        sched.validate(ASV_BASE)  # should not raise
+
+    def test_incomplete_macs_detected(self):
+        layer = simple_layer()
+        sched = one_shot_schedule(layer)
+        short = SubAllocation(0, 4, 16, 16, 4)  # half the filters
+        bad = RoundPlan(
+            allocations=(short,),
+            ifmap_resident_elems=layer.ifmap_elems,
+            ifmap_loads_elems=layer.ifmap_elems,
+            weight_resident_elems=layer.weight_elems,
+            weight_loads_elems=layer.weight_elems,
+            psum_resident_elems=layer.ofmap_elems,
+            output_store_elems=layer.ofmap_elems,
+        )
+        sched.rounds = [bad]
+        sched.counts = [1]
+        with pytest.raises(ValueError, match="MACs"):
+            sched.check_complete()
+
+    def test_missing_stores_detected(self):
+        layer = simple_layer()
+        sched = one_shot_schedule(layer)
+        plan = sched.rounds[0]
+        sched.rounds = [
+            RoundPlan(
+                allocations=plan.allocations,
+                ifmap_resident_elems=plan.ifmap_resident_elems,
+                ifmap_loads_elems=plan.ifmap_loads_elems,
+                weight_resident_elems=plan.weight_resident_elems,
+                weight_loads_elems=plan.weight_loads_elems,
+                psum_resident_elems=plan.psum_resident_elems,
+                output_store_elems=0,
+            )
+        ]
+        with pytest.raises(ValueError, match="output"):
+            sched.check_complete()
+
+    def test_buffer_overflow_detected(self):
+        layer = simple_layer(filters=64, rows=256, cols=256, in_ch=64)
+        sched = one_shot_schedule(layer)
+        with pytest.raises(ValueError, match="working set"):
+            sched.check_feasible(ASV_BASE)
+
+    def test_counts_multiply(self):
+        layer = simple_layer()
+        sched = one_shot_schedule(layer)
+        doubled = Schedule(layer=layer, rounds=list(sched.rounds), counts=[2])
+        assert doubled.total_macs == 2 * sched.total_macs
+        assert doubled.n_rounds == 2
+
+    def test_counts_length_mismatch_raises(self):
+        layer = simple_layer()
+        plan = one_shot_schedule(layer).rounds[0]
+        with pytest.raises(ValueError):
+            Schedule(layer=layer, rounds=[plan], counts=[1, 1])
+
+
+class TestSystolicModel:
+    def test_compute_bound_layer(self):
+        """A tiny memory footprint keeps the round compute-bound;
+        cycles must equal ceil(macs / PEs)."""
+        layer = simple_layer()
+        model = SystolicModel(ASV_BASE)
+        res = model.run_schedule(one_shot_schedule(layer))
+        l_c = math.ceil(layer.total_macs / ASV_BASE.pe_count)
+        moved = (
+            layer.ifmap_elems + layer.weight_elems + layer.ofmap_elems
+        ) * ASV_BASE.bytes_per_elem
+        l_m = math.ceil(moved / ASV_BASE.dram_bytes_per_cycle)
+        assert res.cycles == max(l_c, l_m)
+        assert res.macs == layer.total_macs
+
+    def test_memory_bound_layer(self):
+        """Starving bandwidth makes memory time dominate."""
+        layer = simple_layer()
+        slow = ASV_BASE.with_resources(dram_bytes_per_sec=1e6)
+        res = SystolicModel(slow).run_schedule(one_shot_schedule(layer))
+        assert res.memory_cycles > res.compute_cycles
+        assert res.cycles == res.memory_cycles
+
+    def test_repeat_scales_everything(self):
+        base = simple_layer(repeat=1)
+        tripled = simple_layer(repeat=3)
+        model = SystolicModel(ASV_BASE)
+        r1 = model.run_schedule(one_shot_schedule(base))
+        r3 = model.run_schedule(one_shot_schedule(tripled))
+        assert r3.cycles == 3 * r1.cycles
+        assert r3.macs == 3 * r1.macs
+        assert r3.dram_bytes == 3 * r1.dram_bytes
+
+    def test_energy_positive_and_dram_dominated_when_streaming(self):
+        layer = simple_layer()
+        model = SystolicModel(ASV_BASE)
+        res = model.run_schedule(one_shot_schedule(layer))
+        assert res.energy.total_j > 0
+        assert res.energy.dram_j > res.energy.sram_j > 0
+
+    def test_run_result_aggregates(self):
+        layer = simple_layer()
+        model = SystolicModel(ASV_BASE)
+        res = model.run_schedules([one_shot_schedule(layer)] * 3)
+        single = model.run_schedule(one_shot_schedule(layer))
+        assert res.cycles == 3 * single.cycles
+        assert res.energy_j == pytest.approx(3 * single.energy_j)
+        assert res.seconds(ASV_BASE) == res.cycles / ASV_BASE.frequency_hz
+
+    def test_scalar_op_result(self):
+        model = SystolicModel(ASV_BASE)
+        res = model.scalar_op_result("relu", ops=1_000_000, elems_touched=1_000_000)
+        # 1M ops / 8 lanes @ 250 MHz = 0.5 ms = 500k accelerator cycles
+        assert res.cycles == pytest.approx(500_000, rel=0.01)
+        assert res.energy_j > 0
+
+    def test_more_pes_never_slower(self):
+        layer = simple_layer(filters=32, rows=64, cols=64, in_ch=32)
+        sched = one_shot_schedule(layer)
+        small = SystolicModel(ASV_BASE.with_resources(pe_rows=8, pe_cols=8))
+        big = SystolicModel(ASV_BASE.with_resources(pe_rows=48, pe_cols=48))
+        assert big.run_schedule(sched).cycles <= small.run_schedule(sched).cycles

@@ -1,0 +1,99 @@
+"""Cross-module integration tests: the full pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import ISM, ASVSystem, ISMConfig
+from repro.datasets import sceneflow_scene
+from repro.deconv import lower_network, optimize_layers, transform_network
+from repro.deconv.runtime import TransformedDeconv
+from repro.hw import ASV_BASE, SystolicModel
+from repro.models.proxy import StereoDNNProxy
+from repro.models.runnable import mini_dispnet_graph, mini_flownetc_graph
+from repro.nn.layers import Deconv
+from repro.stereo import error_rate
+
+
+class TestRunnableMiniatures:
+    def test_mini_dispnet_full_res_output(self):
+        g = mini_dispnet_graph()
+        out = g(np.zeros((2, 32, 48)))
+        assert out.shape == (1, 32, 48)
+
+    def test_mini_flownetc_output(self):
+        g = mini_flownetc_graph()
+        assert g(np.zeros((2, 24, 40))).shape == (1, 24, 40)
+
+    @pytest.mark.parametrize("builder", [mini_dispnet_graph, mini_flownetc_graph])
+    def test_transformed_miniature_is_exact(self, builder):
+        """Numeric closure: DCT applied to a runnable network with skip
+        connections changes nothing in the output."""
+        g = builder(seed=3)
+        x = np.random.default_rng(4).normal(size=(2, 32, 48))
+        baseline = g(x)
+        for i, node in enumerate(g.nodes):
+            if isinstance(node.layer, Deconv):
+                g.nodes[i] = type(node)(
+                    node.name, TransformedDeconv(node.layer), node.inputs
+                )
+        assert np.allclose(g(x), baseline)
+
+    def test_miniature_specs_schedule(self):
+        """Geometry extracted from the runnable graph feeds the
+        scheduling stack without modification."""
+        g = mini_dispnet_graph()
+        specs = g.conv_specs((2, 64, 96))
+        model = SystolicModel(ASV_BASE)
+        layers = lower_network(specs, transform=True, ilar=True)
+        schedules = optimize_layers(layers, ASV_BASE, model)
+        res = model.run_schedules(schedules, validate=True)
+        assert res.cycles > 0
+
+
+class TestAlgorithmToHardwareStory:
+    """The paper's headline claims, asserted through the public API."""
+
+    def test_asv_reaches_real_time_where_baseline_cannot(self):
+        system = ASVSystem()
+        base = system.frame_cost("DispNet", use_ism=False, mode="baseline")
+        asv = system.frame_cost("DispNet", use_ism=True, mode="ilar", pw=4)
+        assert base.fps(system.hw) < 30.0 < asv.fps(system.hw)
+
+    def test_accuracy_survives_the_speedup(self):
+        video = sceneflow_scene(33, size=(160, 280), max_speed=1.5).sequence(4)
+        proxy = StereoDNNProxy("DispNet", seed=0)
+        dnn_err = np.mean(
+            [error_rate(StereoDNNProxy("DispNet", seed=0)(f), f.disparity)
+             for f in video]
+        )
+        ism = ISM(proxy, ISMConfig(propagation_window=2))
+        res = ism.run_sequence(video)
+        ism_err = np.mean(
+            [error_rate(d, f.disparity) for d, f in zip(res.disparities, video)]
+        )
+        assert ism_err < dnn_err + 1.5
+
+    def test_energy_story_consistent_across_layers_of_the_stack(self):
+        """The per-layer profile's totals agree with the system model
+        for the same configuration."""
+        from repro.evaluation.profiling import profile_network
+
+        size = (135, 240)
+        system = ASVSystem()
+        frame = system.dnn_frame("FlowNetC", "baseline", size)
+        profiles = profile_network("FlowNetC", "baseline", size=size)
+        assert sum(p.cycles for p in profiles) == frame.cycles
+
+    def test_transformation_conserves_work_through_the_stack(self):
+        """spec-level effective MACs == lowered MACs == scheduled MACs
+        == simulated MACs, across every stereo network's DR layers."""
+        from repro.models import network_specs
+
+        model = SystolicModel(ASV_BASE)
+        for net in ("DispNet", "FlowNetC"):
+            specs = [s for s in network_specs(net, (135, 240)) if s.deconv]
+            for spec in specs:
+                layers = lower_network([spec], transform=True, ilar=True)
+                (sched,) = optimize_layers(layers, ASV_BASE, model)
+                res = model.run_schedule(sched, validate=True)
+                assert res.macs == spec.macs_effective, spec.name

@@ -1,0 +1,122 @@
+"""Tests for the stereo-network and GAN layer tables."""
+
+import math
+
+import pytest
+
+from repro.models import (
+    GAN_NETWORKS,
+    QHD,
+    STEREO_NETWORKS,
+    gan_specs,
+    network_specs,
+)
+from repro.nn.workload import Stage, macs_by_stage, total_macs
+
+
+class TestStereoNetworks:
+    def test_four_networks(self):
+        assert set(STEREO_NETWORKS) == {"DispNet", "FlowNetC", "GC-Net", "PSMNet"}
+
+    def test_lookup_by_name(self):
+        specs = network_specs("DispNet")
+        assert specs and specs[0].name == "conv1"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            network_specs("ResNet")
+
+    @pytest.mark.parametrize("name", list(STEREO_NETWORKS))
+    def test_all_specs_consistent(self, name):
+        for spec in network_specs(name):
+            assert spec.macs > 0
+            assert spec.output_size == tuple(
+                max(1, s) for s in spec.output_size
+            )
+            assert spec.stage in Stage.ALL
+
+    @pytest.mark.parametrize("name", list(STEREO_NETWORKS))
+    def test_every_network_has_deconvs_in_dr(self, name):
+        specs = network_specs(name)
+        dr = [s for s in specs if s.stage == Stage.DR]
+        assert dr, f"{name} has no refinement stage"
+        assert all(s.deconv for s in dr), f"{name}: DR must be deconvolution"
+
+    def test_3d_networks_use_3d_kernels(self):
+        for name in ("GC-Net", "PSMNet"):
+            specs = network_specs(name)
+            assert any(s.ndim == 3 for s in specs), name
+
+    def test_2d_networks_stay_2d(self):
+        for name in ("DispNet", "FlowNetC"):
+            assert all(s.ndim == 2 for s in network_specs(name)), name
+
+    def test_deconv_share_matches_paper(self):
+        """Fig. 3: deconv averages near 38.2 %, max ~50 %."""
+        shares = []
+        for name in STEREO_NETWORKS:
+            specs = network_specs(name)
+            shares.append(
+                macs_by_stage(specs)[Stage.DR] / total_macs(specs)
+            )
+        avg = sum(shares) / len(shares)
+        assert 0.30 < avg < 0.45
+        assert 0.44 < max(shares) < 0.55
+
+    def test_op_count_ordering(self):
+        """GC-Net is the heaviest, 2-D networks the lightest."""
+        totals = {n: total_macs(network_specs(n)) for n in STEREO_NETWORKS}
+        assert totals["GC-Net"] > totals["PSMNet"] > totals["DispNet"]
+        assert totals["GC-Net"] > 20 * totals["FlowNetC"]
+
+    def test_resolution_scaling(self):
+        half = tuple(s // 2 for s in QHD)
+        for name in STEREO_NETWORKS:
+            big = total_macs(network_specs(name, QHD))
+            small = total_macs(network_specs(name, half))
+            assert 2.5 < big / small < 6.0, name  # ~4x for 2x linear scale
+
+    def test_dnn_vs_nonkey_cost_gap(self):
+        """Sec. 3.3: DNNs need 100-10000x the ops of a non-key frame."""
+        nonkey = 87e6  # the paper's qHD estimate
+        for name in STEREO_NETWORKS:
+            ratio = total_macs(network_specs(name)) / nonkey
+            assert 100 < ratio < 50_000, (name, ratio)
+
+
+class TestGANs:
+    def test_six_gans(self):
+        assert len(GAN_NETWORKS) == 6
+
+    def test_lookup_and_unknown(self):
+        assert gan_specs("DCGAN")
+        with pytest.raises(ValueError, match="unknown GAN"):
+            gan_specs("StyleGAN")
+
+    @pytest.mark.parametrize("name", list(GAN_NETWORKS))
+    def test_generators_are_deconv_heavy(self, name):
+        specs = gan_specs(name)
+        deconv = sum(s.macs for s in specs if s.deconv)
+        assert deconv / total_macs(specs) > 0.25, name
+
+    def test_3dgan_uses_3d_deconvs(self):
+        specs = gan_specs("3D-GAN")
+        assert all(s.ndim == 3 and s.deconv for s in specs)
+
+    def test_projection_layers_shape(self):
+        """z-projection deconvs produce the documented seed maps."""
+        g1 = gan_specs("DCGAN")[0]
+        assert g1.input_size == (1, 1)
+        assert g1.output_size == (4, 4)
+
+    def test_dcgan_output_resolution(self):
+        last = gan_specs("DCGAN")[-1]
+        assert last.output_size == (64, 64)
+        assert last.out_channels == 3
+
+    def test_transformation_benefits_gans(self):
+        for name in GAN_NETWORKS:
+            specs = gan_specs(name)
+            dense = total_macs(specs)
+            effective = total_macs(specs, effective=True)
+            assert dense / effective > 1.2, name

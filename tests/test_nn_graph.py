@@ -1,0 +1,103 @@
+"""Tests for the DAG network container (skip connections)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv, Deconv, Graph, LeakyReLU, ReLU
+
+
+def mini_dispnet(rng=None):
+    """A runnable miniature encoder-decoder with a skip connection."""
+    rng = rng or np.random.default_rng(0)
+    g = Graph("mini-dispnet")
+    g.add("conv1", Conv(1, 8, 3, stride=2, padding=1, name="conv1", rng=rng))
+    g.add("relu1", ReLU(), inputs="conv1")
+    g.add("conv2", Conv(8, 16, 3, stride=2, padding=1, name="conv2", rng=rng),
+          inputs="relu1")
+    g.add("up1", Deconv(16, 8, 4, stride=2, padding=1, name="up1", rng=rng),
+          inputs="conv2")
+    # skip connection: decoder sees encoder features
+    g.add("iconv", Conv(16, 8, 3, padding=1, name="iconv", rng=rng),
+          inputs=("up1", "relu1"))
+    g.add("up2", Deconv(8, 1, 4, stride=2, padding=1, name="up2", rng=rng),
+          inputs="iconv")
+    return g
+
+
+class TestGraphConstruction:
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add("a", ReLU())
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", ReLU())
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="unknown input"):
+            g.add("a", ReLU(), inputs="missing")
+
+    def test_string_input_accepted(self):
+        g = Graph()
+        g.add("a", ReLU(), inputs="input")
+        assert g.nodes[0].inputs == ("input",)
+
+
+class TestGraphExecution:
+    def test_forward_shape(self):
+        g = mini_dispnet()
+        out = g(np.zeros((1, 32, 48)))
+        assert out.shape == (1, 32, 48)
+
+    def test_output_shape_matches_forward(self):
+        g = mini_dispnet()
+        assert g.output_shape((1, 32, 48)) == g(np.zeros((1, 32, 48))).shape
+
+    def test_skip_concatenation_order(self):
+        """The iconv node must see up1 channels then relu1 channels."""
+        g = mini_dispnet()
+        values = g.forward(
+            np.random.default_rng(1).normal(size=(1, 16, 16)), return_all=True
+        )
+        assert values["up1"].shape[0] + values["relu1"].shape[0] == 16
+
+    def test_spatial_mismatch_raises(self):
+        g = Graph()
+        g.add("a", Conv(1, 2, 3, stride=2, padding=1, rng=np.random.default_rng(0)))
+        g.add("b", Conv(3, 2, 3, padding=1, rng=np.random.default_rng(1)),
+              inputs=("a", "input"))
+        with pytest.raises(ValueError, match="concatenate|mismatch"):
+            g(np.zeros((1, 16, 16)))
+
+    def test_linear_graph_equals_sequential(self):
+        from repro.nn import Sequential
+
+        rng = np.random.default_rng(2)
+        conv = Conv(2, 4, 3, padding=1, rng=rng)
+        act = LeakyReLU()
+        seq = Sequential([conv, act])
+        g = Graph().add("c", conv).add("a", act, inputs="c")
+        x = rng.normal(size=(2, 10, 12))
+        assert np.allclose(seq(x), g(x))
+
+
+class TestGraphSpecs:
+    def test_conv_specs_account_for_concat(self):
+        g = mini_dispnet()
+        specs = {s.name: s for s in g.conv_specs((1, 32, 48))}
+        assert specs["iconv"].in_channels == 16  # 8 (up1) + 8 (relu1)
+        assert specs["up2"].deconv
+
+    def test_transformed_graph_runs(self):
+        """Swapping the graph's deconvolutions for transformed layers
+        must be numerically invisible."""
+        from repro.deconv.runtime import TransformedDeconv
+
+        g = mini_dispnet()
+        x = np.random.default_rng(3).normal(size=(1, 32, 48))
+        baseline = g(x)
+        for i, node in enumerate(g.nodes):
+            if isinstance(node.layer, Deconv):
+                g.nodes[i] = type(node)(
+                    node.name, TransformedDeconv(node.layer), node.inputs
+                )
+        assert np.allclose(g(x), baseline)

@@ -1,0 +1,129 @@
+"""Tests for layer objects and the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv,
+    Deconv,
+    LeakyReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.workload import Stage
+
+
+class TestConvLayer:
+    def test_forward_shape(self):
+        layer = Conv(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        x = np.zeros((3, 16, 16))
+        out = layer(x)
+        assert out.shape == (8, 8, 8)
+        assert layer.output_shape((3, 16, 16)) == (8, 8, 8)
+
+    def test_bias_added(self):
+        w = np.zeros((2, 1, 1, 1))
+        layer = Conv(1, 2, 1, weight=w, bias=np.array([1.0, -2.0]))
+        out = layer(np.zeros((1, 3, 3)))
+        assert np.allclose(out[0], 1.0) and np.allclose(out[1], -2.0)
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            Conv(3, 8, 3, weight=np.zeros((8, 3, 5, 5)))
+
+    def test_channel_mismatch_raises(self):
+        layer = Conv(3, 8, 3)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 16, 16))
+
+    def test_spec_roundtrip(self):
+        layer = Conv(3, 8, 5, stride=2, padding=2, name="c1", stage=Stage.MO)
+        spec = layer.spec((20, 20))
+        assert spec.name == "c1"
+        assert spec.stage == Stage.MO
+        assert spec.output_size == layer.output_shape((3, 20, 20))[1:]
+
+    def test_conv3d_layer(self):
+        layer = Conv(2, 4, (3, 3, 3), padding=1, rng=np.random.default_rng(1))
+        out = layer(np.zeros((2, 4, 6, 8)))
+        assert out.shape == (4, 4, 6, 8)
+
+
+class TestDeconvLayer:
+    def test_forward_shape(self):
+        layer = Deconv(4, 2, 4, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = layer(np.zeros((4, 8, 8)))
+        assert out.shape == (2, 16, 16)
+        assert layer.output_shape((4, 8, 8)) == (2, 16, 16)
+
+    def test_default_stage_is_dr(self):
+        layer = Deconv(4, 2, 4, stride=2, padding=1)
+        assert layer.spec((8, 8)).stage == Stage.DR
+        assert layer.spec((8, 8)).deconv
+
+    def test_output_padding(self):
+        layer = Deconv(1, 1, 3, stride=2, padding=1, output_padding=1)
+        assert layer.output_shape((1, 5, 5)) == (1, 10, 10)
+
+
+class TestActivationsAndNorm:
+    def test_relu_layer(self):
+        assert np.array_equal(ReLU()(np.array([-1.0, 1.0])), [0.0, 1.0])
+
+    def test_leaky_relu_layer(self):
+        assert np.allclose(LeakyReLU(0.2)(np.array([-5.0])), [-1.0])
+
+    def test_sigmoid_tanh_layers(self):
+        x = np.array([0.0])
+        assert np.isclose(Sigmoid()(x)[0], 0.5)
+        assert np.isclose(Tanh()(x)[0], 0.0)
+
+    def test_activation_preserves_shape(self):
+        for layer in (ReLU(), LeakyReLU(), Sigmoid(), Tanh()):
+            assert layer.output_shape((3, 5, 7)) == (3, 5, 7)
+
+    def test_batchnorm_channel_check(self):
+        bn = BatchNorm(4)
+        with pytest.raises(ValueError):
+            bn(np.zeros((3, 2, 2)))
+
+    def test_batchnorm_identity_stats(self):
+        bn = BatchNorm(2)
+        x = np.random.default_rng(0).normal(size=(2, 4, 4))
+        assert np.allclose(bn(x), x)
+
+
+class TestSequential:
+    def _small_net(self):
+        rng = np.random.default_rng(0)
+        return Sequential(
+            [
+                Conv(1, 4, 3, stride=2, padding=1, name="enc", rng=rng),
+                ReLU(),
+                Deconv(4, 1, 4, stride=2, padding=1, name="dec", rng=rng),
+            ],
+            name="tiny",
+        )
+
+    def test_forward_and_shape_agree(self):
+        net = self._small_net()
+        x = np.random.default_rng(1).normal(size=(1, 16, 16))
+        out = net(x)
+        assert out.shape == net.output_shape((1, 16, 16))
+        assert out.shape == (1, 16, 16)
+
+    def test_conv_specs_collects_convs_only(self):
+        net = self._small_net()
+        specs = net.conv_specs((1, 16, 16))
+        assert [s.name for s in specs] == ["enc", "dec"]
+        assert specs[0].input_size == (16, 16)
+        assert specs[1].input_size == (8, 8)
+        assert specs[1].deconv
+
+    def test_summary_mentions_layers(self):
+        net = self._small_net()
+        text = net.summary((1, 16, 16))
+        assert "enc" in text and "dec" in text and "MACs" in text

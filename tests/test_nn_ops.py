@@ -1,0 +1,290 @@
+"""Unit + property tests for the functional NN ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal
+
+from repro.nn import ops
+
+
+def scatter_deconv(x, w, stride, padding, output_padding=0):
+    """Brute-force transposed convolution by scattering contributions.
+
+    Derived from the zero-stuffing definition: output position
+    ``o = s*t + (K-1-k) - p`` accumulates ``x[t] * w[k]`` (the kernel
+    appears flipped relative to the scatter because the paper defines
+    deconvolution as cross-correlation over the zero-stuffed input).
+    """
+    ndim = w.ndim - 2
+    f, c = w.shape[:2]
+    kshape = w.shape[2:]
+    strides = (stride,) * ndim if isinstance(stride, int) else tuple(stride)
+    pads = (padding,) * ndim if isinstance(padding, int) else tuple(padding)
+    opads = (
+        (output_padding,) * ndim
+        if isinstance(output_padding, int)
+        else tuple(output_padding)
+    )
+    out_spatial = tuple(
+        (n - 1) * s - 2 * p + k + op
+        for n, s, p, k, op in zip(x.shape[1:], strides, pads, kshape, opads)
+    )
+    out = np.zeros((f,) + out_spatial)
+    for t in np.ndindex(*x.shape[1:]):
+        for k in np.ndindex(*kshape):
+            o = tuple(
+                s * ti + (kk - 1 - ki) - p
+                for s, ti, kk, ki, p in zip(strides, t, kshape, k, pads)
+            )
+            if all(0 <= oi < n for oi, n in zip(o, out_spatial)):
+                for fi in range(f):
+                    out[(fi,) + o] += float(
+                        np.dot(x[(slice(None),) + t], w[(fi, slice(None)) + k])
+                    )
+    return out
+
+
+class TestShapes:
+    def test_conv_output_size(self):
+        assert ops.conv_output_size(7, 3, 1, 0) == 5
+        assert ops.conv_output_size(7, 3, 2, 1) == 4
+        assert ops.conv_output_size(5, 5, 1, 2) == 5
+
+    def test_conv_output_collapse_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv_output_size(2, 5, 1, 0)
+
+    def test_deconv_output_size(self):
+        # The paper's Fig. 6 example: 3x3 in, k=3, s=2, p=1 -> 5x5 out.
+        assert ops.deconv_output_size(3, 3, 2, 1) == 5
+        assert ops.deconv_output_size(4, 4, 2, 1) == 8
+
+    def test_deconv_output_padding(self):
+        assert ops.deconv_output_size(3, 3, 2, 1, output_padding=1) == 6
+
+
+class TestConv:
+    def test_identity_kernel(self):
+        x = np.arange(25, dtype=float).reshape(1, 5, 5)
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        assert np.allclose(ops.conv2d(x, w, padding=1), x)
+
+    def test_matches_scipy_correlate(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 9, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        ours = ops.conv2d(x, w)
+        ref = signal.correlate(x[0], w[0, 0], mode="valid")
+        assert np.allclose(ours[0], ref)
+
+    def test_multichannel_sums_inputs(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 6, 6))
+        w = rng.normal(size=(2, 3, 3, 3))
+        full = ops.conv2d(x, w)
+        per_channel = sum(
+            ops.conv2d(x[c : c + 1], w[:, c : c + 1]) for c in range(3)
+        )
+        assert np.allclose(full, per_channel)
+
+    def test_stride_subsamples(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        dense = ops.conv2d(x, w)
+        strided = ops.conv2d(x, w, stride=2)
+        assert np.allclose(strided, dense[:, ::2, ::2])
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv2d(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)))
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv2d(np.zeros((1, 2, 2)), np.zeros((1, 1, 5, 5)))
+
+    def test_conv3d_shape(self):
+        x = np.zeros((2, 4, 6, 8))
+        w = np.zeros((5, 2, 3, 3, 3))
+        assert ops.conv3d(x, w, padding=1).shape == (5, 4, 6, 8)
+
+    def test_conv1d_via_convnd(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 10))
+        w = rng.normal(size=(1, 1, 3))
+        ref = signal.correlate(x[0], w[0, 0], mode="valid")
+        assert np.allclose(ops.convnd(x, w)[0], ref)
+
+
+class TestUpsampleZero:
+    def test_stride2_interleave(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        up = ops.upsample_zero(x, 2, 0)
+        expected = np.array([[[1, 0, 2], [0, 0, 0], [3, 0, 4]]], dtype=float)
+        assert np.array_equal(up, expected)
+
+    def test_border(self):
+        x = np.ones((1, 1, 1))
+        up = ops.upsample_zero(x, 1, 2)
+        assert up.shape == (1, 5, 5)
+        assert up.sum() == 1.0 and up[0, 2, 2] == 1.0
+
+    def test_asymmetric_border(self):
+        x = np.ones((1, 2, 2))
+        up = ops.upsample_zero(x, 2, ((1, 2), (0, 1)))
+        assert up.shape == (1, 6, 4)
+
+
+class TestDeconv:
+    def test_paper_fig6_example(self):
+        """Reproduce the worked example of the paper's Fig. 6 exactly."""
+        A, B, C, D, E, F, G, H, I = np.arange(1.0, 10.0)
+        a, b, c, d, e, f, g, h, i = np.arange(1.0, 10.0) * 0.1
+        x = np.array([[[A, B, C], [D, E, F], [G, H, I]]])
+        w = np.array([[[[a, b, c], [d, e, f], [g, h, i]]]])
+        out = ops.deconv2d(x, w, stride=2, padding=1)[0]
+        assert out.shape == (5, 5)
+        assert np.isclose(out[0, 0], A * e)
+        assert np.isclose(out[0, 1], A * d + B * f)
+        assert np.isclose(out[1, 0], A * b + D * h)
+        assert np.isclose(out[1, 1], A * a + B * c + D * g + E * i)
+        assert np.isclose(out[3, 3], E * a + F * c + H * g + I * i)
+        assert np.isclose(out[3, 4], F * b + I * h)
+        assert np.isclose(out[4, 3], H * d + I * f)
+        assert np.isclose(out[4, 4], I * e)
+
+    def test_matches_scatter_reference_2d(self):
+        rng = np.random.default_rng(4)
+        for stride, padding, k in [(2, 1, 3), (2, 1, 4), (2, 0, 3), (1, 0, 3), (3, 2, 5)]:
+            x = rng.normal(size=(2, 4, 5))
+            w = rng.normal(size=(3, 2, k, k))
+            ours = ops.deconvnd(x, w, stride=stride, padding=padding)
+            ref = scatter_deconv(x, w, stride, padding)
+            assert np.allclose(ours, ref), (stride, padding, k)
+
+    def test_matches_scatter_reference_3d(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(1, 3, 3, 4))
+        w = rng.normal(size=(2, 1, 3, 3, 3))
+        ours = ops.deconv3d(x, w, stride=2, padding=1)
+        ref = scatter_deconv(x, w, 2, 1)
+        assert np.allclose(ours, ref)
+
+    def test_output_padding(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(1, 3, 3))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = ops.deconv2d(x, w, stride=2, padding=1, output_padding=1)
+        assert out.shape == (1, 6, 6)
+        ref = scatter_deconv(x, w, 2, 1, output_padding=1)
+        assert np.allclose(out, ref)
+
+    def test_stride1_deconv_is_full_conv(self):
+        """Stride-1 deconv with p=0 is a 'full' correlation."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(1, 5, 5))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = ops.deconv2d(x, w, stride=1, padding=0)
+        assert out.shape == (1, 7, 7)
+        ref = signal.correlate(np.pad(x[0], 2), w[0, 0], mode="valid")
+        assert np.allclose(out[0], ref)
+
+    def test_excess_padding_raises(self):
+        with pytest.raises(ValueError):
+            ops.deconv2d(np.zeros((1, 3, 3)), np.zeros((1, 1, 3, 3)), stride=2, padding=3)
+
+    def test_output_padding_ge_stride_raises(self):
+        with pytest.raises(ValueError):
+            ops.deconv2d(
+                np.zeros((1, 3, 3)), np.zeros((1, 1, 3, 3)),
+                stride=2, padding=1, output_padding=2,
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    h=st.integers(2, 5),
+    w_=st.integers(2, 5),
+    cin=st.integers(1, 3),
+    cout=st.integers(1, 3),
+    k=st.integers(1, 4),
+    stride=st.integers(1, 3),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_deconv_property_matches_scatter(h, w_, cin, cout, k, stride, seed):
+    """Zero-stuffed deconv == scatter reference for random geometry."""
+    padding = min(k - 1, 1)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(cin, h, w_))
+    kw = rng.normal(size=(cout, cin, k, k))
+    ours = ops.deconvnd(x, kw, stride=stride, padding=padding)
+    ref = scatter_deconv(x, kw, stride, padding)
+    assert np.allclose(ours, ref)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(ops.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_leaky_relu(self):
+        out = ops.leaky_relu(np.array([-10.0, 5.0]), 0.1)
+        assert np.allclose(out, [-1.0, 5.0])
+
+    def test_sigmoid_range(self):
+        x = np.linspace(-10, 10, 21)
+        y = ops.sigmoid(x)
+        assert np.all((y > 0) & (y < 1))
+        assert np.isclose(ops.sigmoid(np.array([0.0]))[0], 0.5)
+
+    def test_tanh_odd(self):
+        x = np.linspace(-3, 3, 13)
+        assert np.allclose(ops.tanh(-x), -ops.tanh(x))
+
+    def test_batchnorm_normalises(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(3.0, 2.0, size=(4, 16, 16))
+        mean = x.mean(axis=(1, 2))
+        var = x.var(axis=(1, 2))
+        out = ops.batchnorm(x, mean, var)
+        assert np.allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(1, 2)), 1.0, atol=1e-3)
+
+
+class TestCorrelation:
+    def test_zero_displacement_is_dot_product(self):
+        rng = np.random.default_rng(9)
+        left = rng.normal(size=(4, 5, 6))
+        out = ops.correlation2d(left, left, max_displacement=2)
+        assert np.allclose(out[0], (left * left).mean(axis=0))
+
+    def test_shifted_input_peaks_at_displacement(self):
+        rng = np.random.default_rng(10)
+        left = rng.normal(size=(64, 8, 20))
+        d_true = 3
+        right = np.zeros_like(left)
+        right[:, :, : -d_true] = left[:, :, d_true:]
+        out = ops.correlation2d(left, right, max_displacement=6)
+        # at columns where the shift is valid, the argmax over the
+        # displacement axis should be d_true
+        valid = out[:, :, d_true : -d_true or None]
+        assert (valid.argmax(axis=0) == d_true).mean() > 0.9
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ops.correlation2d(np.zeros((1, 4, 4)), np.zeros((1, 4, 5)), 2)
+
+
+class TestPooling:
+    def test_avg_pool_constant(self):
+        x = np.full((2, 8, 8), 3.0)
+        out = ops.avg_pool2d(x, 2)
+        assert out.shape == (2, 4, 4)
+        assert np.allclose(out, 3.0)
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = ops.avg_pool2d(x, 2)
+        assert np.allclose(out[0], [[2.5, 4.5], [10.5, 12.5]])

@@ -1,0 +1,56 @@
+"""Tests for the Pareto-frontier analysis."""
+
+from repro.evaluation.fig1 import FrontierPoint
+from repro.evaluation.pareto import dominates, pareto_frontier
+
+
+def pt(name, err, fps, kind="classic"):
+    return FrontierPoint(name, kind, err, fps)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(pt("a", 1.0, 30.0), pt("b", 2.0, 20.0))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = pt("a", 1.0, 30.0), pt("b", 1.0, 30.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_points_incomparable(self):
+        fast = pt("fast", 10.0, 100.0)
+        accurate = pt("acc", 1.0, 1.0)
+        assert not dominates(fast, accurate)
+        assert not dominates(accurate, fast)
+
+    def test_one_axis_tie(self):
+        assert dominates(pt("a", 1.0, 30.0), pt("b", 1.0, 20.0))
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [
+            pt("good", 1.0, 30.0),
+            pt("bad", 2.0, 20.0),      # dominated by good
+            pt("fast", 5.0, 100.0),    # trade-off: survives
+        ]
+        names = [p.name for p in pareto_frontier(points)]
+        assert names == ["good", "fast"]
+
+    def test_sorted_by_error(self):
+        points = [pt("c", 3.0, 50.0), pt("a", 1.0, 10.0), pt("b", 2.0, 30.0)]
+        frontier = pareto_frontier(points)
+        errs = [p.error_pct for p in frontier]
+        assert errs == sorted(errs)
+
+    def test_single_point(self):
+        points = [pt("only", 1.0, 1.0)]
+        assert pareto_frontier(points) == points
+
+    def test_frontier_is_antichain(self):
+        points = [pt(f"p{i}", float(i), float(10 - i)) for i in range(10)]
+        frontier = pareto_frontier(points)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not dominates(a, b)

@@ -1,0 +1,56 @@
+"""Tests for the per-layer profiler and the CLI entry point."""
+
+import pytest
+
+from repro.evaluation.__main__ import FIGURES, main
+from repro.evaluation.profiling import format_profile, profile_network
+
+SMALL = (135, 240)
+
+
+class TestProfiler:
+    def test_baseline_profile(self):
+        profiles = profile_network("FlowNetC", "baseline", size=SMALL)
+        assert profiles
+        assert sum(p.cycle_share_pct for p in profiles) == pytest.approx(100.0)
+
+    def test_deconvs_tagged(self):
+        profiles = profile_network("FlowNetC", "baseline", size=SMALL)
+        assert any(p.is_deconv for p in profiles)
+        assert any(not p.is_deconv for p in profiles)
+
+    def test_deconv_share_drops_after_transformation(self):
+        """The point of the whole exercise, per layer."""
+        base = profile_network("FlowNetC", "baseline", size=SMALL)
+        opt = profile_network("FlowNetC", "ilar", size=SMALL)
+        share = lambda ps: sum(p.cycle_share_pct for p in ps if p.is_deconv)
+        assert share(opt) < share(base)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            profile_network("FlowNetC", "turbo", size=SMALL)
+
+    def test_format_contains_total(self):
+        profiles = profile_network("DispNet", "baseline", size=SMALL)
+        text = format_profile("DispNet", "baseline", profiles)
+        assert "TOTAL deconv share" in text
+
+
+class TestCLI:
+    def test_figure_registry_complete(self):
+        for fig in ("fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
+                    "fig12", "fig13", "fig14", "overhead"):
+            assert fig in FIGURES
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figZZ"]) == 2
+        assert "unknown figures" in capsys.readouterr().out
+
+    def test_single_cheap_figure_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Bumblebee2" in out and "[fig4" in out
+
+    def test_profile_subcommand(self, capsys):
+        assert main(["profile", "DispNet", "dct"]) == 0
+        assert "Per-layer profile" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for the fixed-point datapath model and its accuracy neutrality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.quantize import Q2_13, Q8_8, FixedPointFormat, quantize, quantization_error
+
+
+class TestFormats:
+    def test_q88_properties(self):
+        assert Q8_8.total_bits == 16
+        assert Q8_8.resolution == pytest.approx(1 / 128)
+        assert Q8_8.max_value > 250
+
+    def test_q213_covers_activations(self):
+        assert Q2_13.total_bits == 16
+        assert Q2_13.max_value >= 3.99
+        assert Q2_13.resolution < 2e-4
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 32)
+
+
+class TestQuantize:
+    def test_grid_values_exact(self):
+        x = np.array([0.0, 1.0, -2.5, 0.5])
+        assert np.array_equal(quantize(x, Q8_8), x)
+
+    def test_rounds_to_nearest(self):
+        fmt = FixedPointFormat(4, 2)  # resolution 0.25
+        assert quantize(np.array([0.3]), fmt)[0] == pytest.approx(0.25)
+        assert quantize(np.array([0.4]), fmt)[0] == pytest.approx(0.5)
+
+    def test_saturates(self):
+        fmt = FixedPointFormat(2, 4)
+        assert quantize(np.array([100.0]), fmt)[0] == fmt.max_value
+        assert quantize(np.array([-100.0]), fmt)[0] == fmt.min_value
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_error_bounded_by_half_lsb(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-200, 200, size=64)
+        err = quantization_error(x, Q8_8)
+        assert err <= Q8_8.resolution / 2 + 1e-12
+
+
+class TestAccuracyNeutrality:
+    """The Sec. 5.2 datapath choice: 16-bit fixed point does not move
+    the three-pixel error — checked end to end."""
+
+    def test_disparity_quantization_is_invisible(self):
+        from repro.datasets import sceneflow_scene
+        from repro.models.proxy import StereoDNNProxy
+        from repro.stereo import error_rate
+
+        frame = sceneflow_scene(6, size=(120, 200)).render(0)
+        disp = StereoDNNProxy("DispNet", seed=0)(frame)
+        e_fp = error_rate(disp, frame.disparity)
+        e_q = error_rate(quantize(disp, Q8_8), frame.disparity)
+        assert abs(e_fp - e_q) < 0.05
+
+    def test_image_quantization_barely_moves_matching(self):
+        from repro.datasets import sceneflow_scene
+        from repro.stereo import block_match, error_rate
+
+        frame = sceneflow_scene(8, size=(100, 160)).render(0)
+        e_fp = error_rate(
+            block_match(frame.left, frame.right, 40), frame.disparity
+        )
+        e_q = error_rate(
+            block_match(
+                quantize(frame.left, Q2_13), quantize(frame.right, Q2_13), 40
+            ),
+            frame.disparity,
+        )
+        assert abs(e_fp - e_q) < 1.0

@@ -1,0 +1,135 @@
+"""Property-based tests on the tiling scheduler.
+
+For random layer geometry, every schedule the optimizer emits must
+satisfy the paper's feasibility constraints (Eq. 10/11) and its cost
+accounting must be conserved.  These are the invariants DESIGN.md
+commits to.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deconv.lowering import lower_naive_deconv, lower_spec, lower_transformed
+from repro.deconv.optimizer import optimize_layer
+from repro.hw import ASV_BASE, SystolicModel
+from repro.nn.workload import ConvSpec
+
+HW = ASV_BASE
+MODEL = SystolicModel(HW)
+
+
+conv_geometry = st.fixed_dictionaries(
+    dict(
+        in_channels=st.sampled_from([1, 3, 16, 64, 128]),
+        out_channels=st.sampled_from([1, 8, 32, 64]),
+        k=st.sampled_from([1, 3, 5, 7]),
+        h=st.integers(8, 80),
+        w=st.integers(8, 80),
+        stride=st.sampled_from([1, 2]),
+    )
+)
+
+deconv_geometry = st.fixed_dictionaries(
+    dict(
+        in_channels=st.sampled_from([8, 32, 128, 512]),
+        out_channels=st.sampled_from([4, 16, 64]),
+        k=st.sampled_from([2, 3, 4, 5]),
+        h=st.integers(5, 40),
+        w=st.integers(5, 40),
+    )
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=conv_geometry)
+def test_conv_schedules_valid_and_conserved(g):
+    spec = ConvSpec(
+        "c", g["in_channels"], g["out_channels"], (g["k"], g["k"]),
+        (g["h"], g["w"]), g["stride"], min(1, g["k"] - 1),
+    )
+    (layer,) = lower_spec(spec)
+    sched = optimize_layer(layer, HW, MODEL)
+    sched.validate(HW)  # Eq. 10 + Eq. 11
+    res = MODEL.run_schedule(sched, validate=False)
+    assert res.macs == spec.macs
+    # everything produced is eventually stored exactly once
+    assert sched.dram_store_elems == spec.ofmap_elems
+
+
+@settings(max_examples=25, deadline=None)
+@given(g=deconv_geometry)
+def test_transformed_deconv_schedules_valid(g):
+    p = min(1, g["k"] - 1)
+    spec = ConvSpec(
+        "d", g["in_channels"], g["out_channels"], (g["k"], g["k"]),
+        (g["h"], g["w"]), 2, p, deconv=True,
+    )
+    (group,) = lower_transformed(spec, ilar=True)
+    sched = optimize_layer(group, HW, MODEL)
+    sched.validate(HW)
+    res = MODEL.run_schedule(sched, validate=False)
+    assert res.macs == spec.macs_effective
+    assert sched.dram_store_elems == spec.ofmap_elems
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=deconv_geometry)
+def test_transformed_never_slower_than_naive(g):
+    """The transformation plus optimized scheduling must never lose to
+    the naive dense execution of the same deconvolution."""
+    p = min(1, g["k"] - 1)
+    spec = ConvSpec(
+        "d", g["in_channels"], g["out_channels"], (g["k"], g["k"]),
+        (g["h"], g["w"]), 2, p, deconv=True,
+    )
+    naive = MODEL.run_schedule(
+        optimize_layer(lower_naive_deconv(spec), HW, MODEL), validate=False
+    )
+    (group,) = lower_transformed(spec, ilar=True)
+    trans = MODEL.run_schedule(
+        optimize_layer(group, HW, MODEL), validate=False
+    )
+    assert trans.cycles <= naive.cycles
+    assert trans.macs < naive.macs
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    g=deconv_geometry,
+    pe=st.sampled_from([8, 16, 32, 56]),
+    buf_mb=st.sampled_from([0.5, 1.5, 3.0]),
+)
+def test_schedules_valid_across_hw_configs(g, pe, buf_mb):
+    hw = ASV_BASE.with_resources(
+        pe_rows=pe, pe_cols=pe, buffer_bytes=int(buf_mb * 1024 * 1024)
+    )
+    model = SystolicModel(hw)
+    p = min(1, g["k"] - 1)
+    spec = ConvSpec(
+        "d", g["in_channels"], g["out_channels"], (g["k"], g["k"]),
+        (g["h"], g["w"]), 2, p, deconv=True,
+    )
+    (group,) = lower_transformed(spec, ilar=True)
+    sched = optimize_layer(group, hw, model)
+    sched.validate(hw)
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=conv_geometry, seed=st.integers(0, 100))
+def test_more_resources_never_hurt(g, seed):
+    """Doubling the PE array never slows the optimized schedule."""
+    spec = ConvSpec(
+        "c", g["in_channels"], g["out_channels"], (g["k"], g["k"]),
+        (g["h"], g["w"]), g["stride"], min(1, g["k"] - 1),
+    )
+    (layer,) = lower_spec(spec)
+    small_hw = ASV_BASE.with_resources(pe_rows=12, pe_cols=12)
+    big_hw = ASV_BASE.with_resources(pe_rows=24, pe_cols=24)
+    small = SystolicModel(small_hw).run_schedule(
+        optimize_layer(layer, small_hw), validate=False
+    )
+    big = SystolicModel(big_hw).run_schedule(
+        optimize_layer(layer, big_hw), validate=False
+    )
+    assert big.cycles <= small.cycles

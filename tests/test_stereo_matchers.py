@@ -1,0 +1,160 @@
+"""Tests for the classic stereo matching substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sceneflow_scene
+from repro.stereo import (
+    block_match,
+    elas,
+    error_rate,
+    gcsf,
+    guided_block_match,
+    sad_cost_volume,
+    sgm,
+    shift_right_image,
+)
+
+MAX_DISP = 48
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return sceneflow_scene(7).render(0)
+
+
+def synthetic_pair(d=6, size=(40, 80), seed=0):
+    """Uniform-disparity pair with the paper's convention
+    ``right[y, x + d] = left[y, x]``: both views crop a shared texture,
+    the right view starting ``d`` columns earlier."""
+    rng = np.random.default_rng(seed)
+    from scipy import ndimage
+
+    tex = ndimage.gaussian_filter(rng.normal(size=(size[0], size[1] + d)), 1.0)
+    left = tex[:, d:]
+    right = tex[:, :-d] if d else tex
+    return left, right
+
+
+class TestShift:
+    def test_zero_shift_identity(self):
+        img = np.arange(12.0).reshape(3, 4)
+        assert shift_right_image(img, 0) is img
+
+    def test_positive_shift(self):
+        img = np.arange(12.0).reshape(3, 4)
+        out = shift_right_image(img, 1)
+        assert np.array_equal(out[:, :-1], img[:, 1:])
+
+    def test_negative_shift(self):
+        img = np.arange(12.0).reshape(3, 4)
+        out = shift_right_image(img, -1)
+        assert np.array_equal(out[:, 1:], img[:, :-1])
+
+
+class TestCostVolume:
+    def test_shape(self, frame):
+        cost = sad_cost_volume(frame.left, frame.right, 16, block_size=5)
+        assert cost.shape == (16,) + frame.shape
+
+    def test_true_disparity_minimises_cost(self):
+        left, right = synthetic_pair(d=6)
+        cost = sad_cost_volume(left, right, 12, block_size=7)
+        wta = cost.argmin(axis=0)
+        inner = wta[5:-5, 5:-11]
+        assert (inner == 6).mean() > 0.95
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sad_cost_volume(np.zeros((4, 4)), np.zeros((4, 5)), 4)
+
+    def test_bad_max_disp_raises(self):
+        with pytest.raises(ValueError):
+            sad_cost_volume(np.zeros((4, 4)), np.zeros((4, 4)), 0)
+
+    def test_color_input_collapsed(self):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(16, 24, 3))
+        cost = sad_cost_volume(img, img, 4)
+        assert cost.shape == (4, 16, 24)
+        assert np.allclose(cost[0], 0.0)
+
+
+class TestBlockMatch:
+    def test_recovers_uniform_disparity(self):
+        left, right = synthetic_pair(d=6)
+        disp = block_match(left, right, 12, block_size=7)
+        inner = disp[5:-5, 5:-11]
+        assert np.abs(inner - 6).mean() < 0.5
+
+    def test_subpixel_within_half_pixel_of_integer(self):
+        left, right = synthetic_pair(d=4)
+        d_int = block_match(left, right, 8, subpixel=False)
+        d_sub = block_match(left, right, 8, subpixel=True)
+        assert np.abs(d_int - d_sub).max() <= 0.5
+
+    def test_scene_error_reasonable(self, frame):
+        disp = block_match(frame.left, frame.right, MAX_DISP)
+        assert error_rate(disp, frame.disparity) < 25.0
+
+
+class TestGuidedBlockMatch:
+    def test_perfect_init_kept(self, frame):
+        disp = guided_block_match(
+            frame.left, frame.right, frame.disparity, radius=3
+        )
+        assert error_rate(disp, frame.disparity) < 10.0
+
+    def test_refines_noisy_init(self, frame):
+        rng = np.random.default_rng(0)
+        noisy = frame.disparity + rng.normal(0, 1.5, frame.disparity.shape)
+        refined = guided_block_match(frame.left, frame.right, noisy, radius=4)
+        assert error_rate(refined, frame.disparity) <= error_rate(
+            noisy, frame.disparity
+        ) + 5.0
+
+    def test_init_shape_checked(self, frame):
+        with pytest.raises(ValueError):
+            guided_block_match(frame.left, frame.right, np.zeros((3, 3)))
+
+    def test_never_negative(self, frame):
+        init = np.zeros(frame.shape)
+        disp = guided_block_match(frame.left, frame.right, init, radius=2)
+        assert (disp >= 0).all()
+
+
+class TestSGM:
+    def test_beats_plain_bm_on_scene(self, frame):
+        bm = block_match(frame.left, frame.right, MAX_DISP)
+        sg = sgm(frame.left, frame.right, MAX_DISP)
+        assert error_rate(sg, frame.disparity) < error_rate(bm, frame.disparity) + 2.0
+
+    def test_paths_validation(self, frame):
+        with pytest.raises(ValueError):
+            sgm(frame.left, frame.right, 8, paths=3)
+
+    def test_more_paths_not_worse(self, frame):
+        e4 = error_rate(sgm(frame.left, frame.right, MAX_DISP, paths=4), frame.disparity)
+        e8 = error_rate(sgm(frame.left, frame.right, MAX_DISP, paths=8), frame.disparity)
+        assert e8 <= e4 + 2.0
+
+    def test_smoothness_reduces_speckle(self, frame):
+        bm = block_match(frame.left, frame.right, MAX_DISP, subpixel=False)
+        sg = sgm(frame.left, frame.right, MAX_DISP, subpixel=False)
+        # total variation should drop under the smoothness prior
+        tv = lambda d: np.abs(np.diff(d, axis=1)).sum()
+        assert tv(sg) < tv(bm)
+
+
+class TestELASAndGCSF:
+    def test_elas_reasonable(self, frame):
+        disp = elas(frame.left, frame.right, MAX_DISP)
+        assert error_rate(disp, frame.disparity) < 30.0
+
+    def test_gcsf_reasonable(self, frame):
+        disp = gcsf(frame.left, frame.right, MAX_DISP)
+        assert error_rate(disp, frame.disparity) < 30.0
+
+    def test_gcsf_all_pixels_assigned(self, frame):
+        disp = gcsf(frame.left, frame.right, MAX_DISP)
+        assert (disp >= 0).all()

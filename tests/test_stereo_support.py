@@ -1,0 +1,223 @@
+"""Tests for refinement, triangulation, metrics and matcher internals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stereo import (
+    BUMBLEBEE2,
+    StereoCamera,
+    end_point_error,
+    error_rate,
+    fill_invalid,
+    left_right_check,
+    median_clean,
+    three_pixel_error,
+)
+from repro.stereo.elas import interpolate_prior, support_points
+from repro.stereo.refine import fill_background
+from repro.stereo.seeds import grow_seeds
+
+
+class TestTriangulation:
+    def test_bumblebee2_constants(self):
+        assert BUMBLEBEE2.baseline_m == 0.120
+        assert BUMBLEBEE2.focal_length_m == 2.5e-3
+        assert BUMBLEBEE2.pixel_size_m == 7.4e-6
+
+    def test_depth_disparity_roundtrip(self):
+        depths = np.array([1.0, 5.0, 10.0, 30.0])
+        disp = BUMBLEBEE2.disparity_from_depth(depths)
+        back = BUMBLEBEE2.depth_from_disparity(disp)
+        assert np.allclose(back, depths)
+
+    @settings(max_examples=40, deadline=None)
+    @given(depth=st.floats(0.5, 100.0))
+    def test_roundtrip_property(self, depth):
+        d = BUMBLEBEE2.disparity_from_depth(depth)
+        assert float(BUMBLEBEE2.depth_from_disparity(d)) == pytest.approx(depth)
+
+    def test_zero_disparity_is_infinite_depth(self):
+        assert BUMBLEBEE2.depth_from_disparity(0.0) == np.inf
+
+    def test_nearer_means_larger_disparity(self):
+        d_near = BUMBLEBEE2.disparity_from_depth(2.0)
+        d_far = BUMBLEBEE2.disparity_from_depth(20.0)
+        assert d_near > d_far
+
+    def test_depth_error_grows_quadratically(self):
+        e10 = BUMBLEBEE2.depth_error(10.0, 0.1)
+        e20 = BUMBLEBEE2.depth_error(20.0, 0.1)
+        assert 3.0 < float(e20 / e10) < 5.0  # ~(20/10)^2 to first order
+
+    def test_paper_headline(self):
+        """0.2 px error at moderate range costs 0.5-5 m (Sec. 2.2)."""
+        errs = [float(BUMBLEBEE2.depth_error(d, 0.2)) for d in (10, 15, 30)]
+        assert 0.4 < errs[0] < 1.0
+        assert 2.5 < errs[2] < 5.5
+
+    def test_invalid_camera_raises(self):
+        with pytest.raises(ValueError):
+            StereoCamera(0.0, 1e-3, 1e-6)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        gt = np.full((8, 8), 5.0)
+        assert three_pixel_error(gt, gt) == 0.0
+        assert end_point_error(gt, gt) == 0.0
+
+    def test_all_wrong(self):
+        gt = np.full((8, 8), 5.0)
+        assert three_pixel_error(gt + 10.0, gt) == 1.0
+
+    def test_threshold_boundary(self):
+        gt = np.zeros((4, 4))
+        assert three_pixel_error(gt + 2.99, gt) == 0.0
+        assert three_pixel_error(gt + 3.0, gt) == 1.0
+
+    def test_error_rate_is_percentage(self):
+        gt = np.zeros((2, 2))
+        pred = np.array([[0.0, 0.0], [10.0, 10.0]])
+        assert error_rate(pred, gt) == pytest.approx(50.0)
+
+    def test_valid_mask_respected(self):
+        gt = np.zeros((2, 2))
+        pred = np.array([[0.0, 10.0], [0.0, 0.0]])
+        valid = np.array([[True, False], [True, True]])
+        assert three_pixel_error(pred, gt, valid) == 0.0
+
+    def test_nan_gt_excluded(self):
+        gt = np.array([[np.nan, 0.0]])
+        pred = np.array([[99.0, 0.0]])
+        assert three_pixel_error(pred, gt) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            three_pixel_error(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_no_valid_pixels_raises(self):
+        gt = np.full((2, 2), np.nan)
+        with pytest.raises(ValueError):
+            three_pixel_error(np.zeros((2, 2)), gt)
+
+
+class TestLeftRightCheck:
+    def test_consistent_maps_pass(self):
+        dl = np.full((6, 20), 4.0)
+        dr = np.full((6, 20), 4.0)
+        mask = left_right_check(dl, dr)
+        assert mask[:, :-4].all()
+
+    def test_inconsistent_fails(self):
+        dl = np.full((6, 20), 4.0)
+        dr = np.full((6, 20), 9.0)
+        assert not left_right_check(dl, dr).any()
+
+    def test_out_of_frame_fails(self):
+        dl = np.full((4, 10), 50.0)  # correspondence beyond image edge
+        dr = np.full((4, 10), 50.0)
+        assert not left_right_check(dl, dr).any()
+
+
+class TestFills:
+    def test_fill_invalid_interpolates(self):
+        disp = np.array([[1.0, 0.0, 3.0]])
+        valid = np.array([[True, False, True]])
+        out = fill_invalid(disp, valid)
+        assert out[0, 1] == pytest.approx(2.0)
+
+    def test_fill_invalid_all_bad_row(self):
+        out = fill_invalid(np.ones((1, 4)), np.zeros((1, 4), dtype=bool))
+        assert (out == 0).all()
+
+    def test_fill_background_takes_min(self):
+        disp = np.array([[10.0, 0.0, 2.0]])
+        valid = np.array([[True, False, True]])
+        out = fill_background(disp, valid)
+        assert out[0, 1] == 2.0  # the farther neighbour
+
+    def test_fill_background_edge_holes(self):
+        disp = np.array([[0.0, 5.0, 7.0, 0.0]])
+        valid = np.array([[False, True, True, False]])
+        out = fill_background(disp, valid)
+        assert out[0, 0] == 5.0 and out[0, 3] == 7.0
+
+    def test_fill_background_keeps_valid(self):
+        disp = np.array([[1.0, 2.0, 3.0]])
+        valid = np.ones((1, 3), dtype=bool)
+        assert np.array_equal(fill_background(disp, valid), disp)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_fill_background_no_new_extremes(self, seed):
+        rng = np.random.default_rng(seed)
+        disp = rng.uniform(0, 30, size=(6, 24))
+        valid = rng.random((6, 24)) > 0.3
+        if not valid.any():
+            valid[0, 0] = True
+        out = fill_background(disp, valid)
+        # row-wise: filled values come from valid values in that row
+        for y in range(6):
+            if valid[y].any():
+                assert out[y].max() <= disp[y][valid[y]].max() + 1e-9
+                assert out[y].min() >= min(0.0, disp[y][valid[y]].min())
+
+    def test_median_clean_removes_speckle(self):
+        disp = np.full((7, 7), 4.0)
+        disp[3, 3] = 40.0
+        out = median_clean(disp, 3)
+        assert out[3, 3] == 4.0
+
+
+class TestSupportPointsAndPriors:
+    def test_support_points_on_uniform_shift(self):
+        from tests.test_stereo_matchers import synthetic_pair
+
+        left, right = synthetic_pair(d=5, size=(60, 100), seed=3)
+        ys, xs, ds = support_points(left, right, 12, grid_step=8)
+        assert ds.size > 5
+        assert np.abs(ds - 5).mean() < 1.0
+
+    def test_interpolate_prior_constant(self):
+        ys = np.array([5, 5, 25, 25])
+        xs = np.array([5, 35, 5, 35])
+        ds = np.array([7.0, 7.0, 7.0, 7.0])
+        prior = interpolate_prior(ys, xs, ds, (30, 40))
+        assert np.allclose(prior, 7.0)
+
+    def test_interpolate_prior_gradient(self):
+        ys = np.array([0, 0, 29, 29])
+        xs = np.array([0, 39, 0, 39])
+        ds = np.array([0.0, 0.0, 29.0, 29.0])
+        prior = interpolate_prior(ys, xs, ds, (30, 40))
+        assert prior[0].mean() < prior[-1].mean()
+
+    def test_interpolate_prior_empty(self):
+        prior = interpolate_prior(
+            np.array([]), np.array([]), np.array([]), (8, 8)
+        )
+        assert (prior == 0).all()
+
+    def test_interpolate_prior_few_points(self):
+        prior = interpolate_prior(
+            np.array([2]), np.array([3]), np.array([6.0]), (8, 8)
+        )
+        assert np.allclose(prior, 6.0)
+
+
+class TestGrowSeeds:
+    def test_grows_from_single_seed(self):
+        cost = np.zeros((4, 10, 12))  # disparity 0..3, all costs equal
+        cost[1] -= 1.0                # disparity 1 is everywhere best
+        seeds = (np.array([5]), np.array([6]), np.array([1]))
+        disp = grow_seeds(cost, seeds, accept_cost=0.0)
+        assert (disp == 1).all()
+
+    def test_respects_accept_threshold(self):
+        cost = np.ones((3, 6, 6))
+        seeds = (np.array([0]), np.array([0]), np.array([0]))
+        disp = grow_seeds(cost, seeds, accept_cost=-1.0)  # nothing accepted
+        assert disp[0, 0] == 0          # the seed itself is placed
+        assert (disp < 0).sum() == 35   # nothing else grows

@@ -1,0 +1,79 @@
+"""Characterisation of the matcher zoo on the classic failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.stress import repetitive_scene, textureless_scene
+from repro.stereo import block_match, elas, error_rate, sgm
+
+
+@pytest.fixture(scope="module")
+def flat_frame():
+    return textureless_scene(seed=1).render(0)
+
+
+@pytest.fixture(scope="module")
+def striped_frame():
+    return repetitive_scene(seed=2).render(0)
+
+
+class TestTexturelessRegion:
+    def test_bm_fails_inside_flat_patch(self, flat_frame):
+        """Plain block matching has no evidence in the flat region."""
+        disp = block_match(flat_frame.left, flat_frame.right, 32)
+        flat_mask = flat_frame.disparity == np.max(flat_frame.disparity)
+        err_inside = np.abs(disp - flat_frame.disparity)[flat_mask]
+        assert (err_inside >= 3).mean() > 0.3
+
+    def test_sgm_beats_bm_on_flat(self, flat_frame):
+        """Semi-global smoothness propagates evidence across the patch."""
+        bm_err = error_rate(
+            block_match(flat_frame.left, flat_frame.right, 32),
+            flat_frame.disparity,
+        )
+        sgm_err = error_rate(
+            sgm(flat_frame.left, flat_frame.right, 32),
+            flat_frame.disparity,
+        )
+        assert sgm_err < bm_err
+
+    def test_elas_prior_helps(self, flat_frame):
+        elas_err = error_rate(
+            elas(flat_frame.left, flat_frame.right, 32),
+            flat_frame.disparity,
+        )
+        bm_err = error_rate(
+            block_match(flat_frame.left, flat_frame.right, 32),
+            flat_frame.disparity,
+        )
+        assert elas_err < bm_err + 2.0
+
+
+class TestRepetitiveTexture:
+    def test_bm_aliases(self, striped_frame):
+        """Errors cluster at multiples of the stripe period."""
+        disp = block_match(striped_frame.left, striped_frame.right, 32,
+                           subpixel=False)
+        mask = striped_frame.disparity == np.max(striped_frame.disparity)
+        err = (disp - striped_frame.disparity)[mask]
+        wrong = err[np.abs(err) >= 3]
+        if wrong.size:  # aliased matches sit near +/- one period (11 px)
+            near_period = np.abs(np.abs(wrong) - 11) <= 2
+            assert near_period.mean() > 0.5
+
+    def test_smoothness_reduces_aliasing(self, striped_frame):
+        bm_err = error_rate(
+            block_match(striped_frame.left, striped_frame.right, 32),
+            striped_frame.disparity,
+        )
+        sgm_err = error_rate(
+            sgm(striped_frame.left, striped_frame.right, 32),
+            striped_frame.disparity,
+        )
+        assert sgm_err <= bm_err
+
+    def test_ground_truth_is_periodic_hazard(self, striped_frame):
+        """Sanity: the scene really contains the stripe pattern."""
+        mask = striped_frame.disparity == np.max(striped_frame.disparity)
+        patch = striped_frame.left[mask]
+        assert patch.std() > 0.3
