@@ -5,11 +5,13 @@ Top-level subpackages:
 * :mod:`repro.nn`         — numpy mini-NN framework (ops, layers, workloads)
 * :mod:`repro.deconv`     — deconvolution transformation + tiling optimizer
 * :mod:`repro.hw`         — analytic accelerator / GPU / Eyeriss / GANNX models
+* :mod:`repro.backends`   — unified execution-backend protocol + registry
 * :mod:`repro.models`     — stereo DNN and GAN layer tables + accuracy proxies
 * :mod:`repro.stereo`     — classic stereo matching substrate
 * :mod:`repro.flow`       — dense optical flow (Farneback)
 * :mod:`repro.datasets`   — procedural stereo video generators
 * :mod:`repro.core`       — the ISM algorithm and the ASV system
+* :mod:`repro.pipeline`   — streaming multi-camera serving engine
 * :mod:`repro.evaluation` — per-figure experiment drivers
 """
 

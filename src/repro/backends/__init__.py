@@ -1,0 +1,45 @@
+"""Unified execution-backend layer.
+
+One protocol (:class:`ExecutionBackend`) over every hardware target
+the paper evaluates, plus a registry so targets are requested by
+name::
+
+    from repro.backends import get_backend
+    backend = get_backend("systolic")          # | "eyeriss" | "gpu"
+    result = backend.network_result("DispNet", mode="ilar")
+    print(backend.seconds(result), result.energy_j)
+
+Adding a new target is a plug-in, not a rewrite: subclass
+:class:`ExecutionBackend`, declare :class:`BackendCapabilities`, and
+decorate with :func:`register_backend`.
+"""
+
+from repro.backends.base import (
+    MODES,
+    BackendCapabilities,
+    ExecutionBackend,
+    UnsupportedModeError,
+)
+from repro.backends.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+# importing the built-in modules registers them
+from repro.backends.systolic import SystolicBackend
+from repro.backends.eyeriss import EyerissBackend
+from repro.backends.gpu import GPUBackend
+
+__all__ = [
+    "MODES",
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "EyerissBackend",
+    "GPUBackend",
+    "SystolicBackend",
+    "UnsupportedModeError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

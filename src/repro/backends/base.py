@@ -1,0 +1,148 @@
+"""The execution-backend protocol every hardware target implements.
+
+The paper evaluates identical stereo workloads on three very different
+execution targets — the systolic ASV accelerator, an Eyeriss-class
+row-stationary array, and a mobile GPU.  This module defines the one
+interface they all speak so system-level code (:class:`ASVSystem`, the
+figure drivers, the streaming pipeline) never touches a concrete model
+class:
+
+* :meth:`ExecutionBackend.run_network` — schedule and execute a layer
+  table under one of the paper's execution modes, returning a
+  :class:`~repro.hw.systolic.RunResult`;
+* :meth:`ExecutionBackend.nonkey_frame` — cost of one ISM non-key
+  frame (optical flow + guided block matching) on the target;
+* :class:`BackendCapabilities` — which optimizations the target can
+  exploit (the deconvolution transformation, ILAR, the ISM non-key
+  pipeline), so callers can degrade gracefully instead of guessing.
+
+Results are expressed in cycles of the backend's clock
+(:attr:`ExecutionBackend.frequency_hz`); :meth:`ExecutionBackend.seconds`
+converts, so heterogeneous backends compose in one report.
+
+Per-network results are memoized in a bounded LRU keyed by
+``(network, mode, size)`` — see :meth:`ExecutionBackend.network_result`
+and :meth:`ExecutionBackend.cache_info`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+# NOTE: this module must not import anything under ``repro.core`` —
+# ``repro.core.asv`` imports the backend layer, and the protocol has
+# to stay importable from either direction.
+from repro.cache import CacheInfo, LRUCache
+from repro.hw.systolic import LayerResult, RunResult
+from repro.models.stereo_networks import QHD, network_specs
+
+__all__ = [
+    "MODES",
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "UnsupportedModeError",
+]
+
+#: The paper's execution modes, in increasing optimization order:
+#: naive deconvolutions on the static-partition baseline; the
+#: deconvolution-to-convolution transformation; DCT + per-layer reuse
+#: scheduling; the full DCO with inter-layer activation reuse.
+MODES = ("baseline", "dct", "convr", "ilar")
+
+
+class UnsupportedModeError(ValueError):
+    """A backend was asked for an execution mode it cannot provide."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can exploit beyond naive layer-by-layer conv."""
+
+    supports_dct: bool = True   # deconvolution-to-convolution transform
+    supports_ilar: bool = True  # inter-layer activation reuse scheduling
+    supports_ism: bool = True   # OF + guided-BM non-key frame pipeline
+
+    @property
+    def modes(self) -> tuple[str, ...]:
+        """The subset of :data:`MODES` this backend accepts."""
+        modes = ["baseline"]
+        if self.supports_dct:
+            modes.append("dct")
+        if self.supports_ilar:
+            modes.extend(["convr", "ilar"])
+        return tuple(modes)
+
+
+class ExecutionBackend(abc.ABC):
+    """One hardware target executing stereo workloads.
+
+    Subclasses set :attr:`name`, :attr:`capabilities` and
+    :attr:`frequency_hz` and implement the two abstract methods; the
+    base class provides mode validation, second conversion, and the
+    bounded per-``(network, mode, size)`` result cache.
+    """
+
+    name: str = "abstract"
+    capabilities: BackendCapabilities = BackendCapabilities()
+    frequency_hz: float = 1.0e9
+
+    def __init__(self, cache_size: int = 32):
+        self._result_cache = LRUCache(maxsize=cache_size)
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+        """Schedule and execute a :class:`ConvSpec` layer table."""
+
+    @abc.abstractmethod
+    def nonkey_frame(self, size=QHD, config=None) -> LayerResult:
+        """Cost of one ISM non-key frame (``config`` is an
+        :class:`~repro.core.ism.ISMConfig`), or raise
+        :class:`UnsupportedModeError` if the target cannot run it."""
+
+    # ------------------------------------------------------------------
+    # shared behaviour
+    # ------------------------------------------------------------------
+    def supports_mode(self, mode: str) -> bool:
+        return mode in self.capabilities.modes
+
+    def require_mode(self, mode: str) -> None:
+        """Validate ``mode`` against :data:`MODES` and the capabilities."""
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if not self.supports_mode(mode):
+            raise UnsupportedModeError(
+                f"backend {self.name!r} does not support mode {mode!r} "
+                f"(supported: {self.capabilities.modes})"
+            )
+
+    def seconds(self, result) -> float:
+        """Wall-clock time of a :class:`RunResult`/:class:`LayerResult`."""
+        return result.cycles / self.frequency_hz
+
+    def network_result(
+        self, network: str, mode: str = "baseline", size=QHD
+    ) -> RunResult:
+        """Memoized :meth:`run_network` for a named stereo network."""
+        key = (network, mode, tuple(size))
+        return self._result_cache.get_or_create(
+            key, lambda: self.run_network(network_specs(network, size), mode=mode)
+        )
+
+    def network_seconds(
+        self, network: str, mode: str = "baseline", size=QHD
+    ) -> float:
+        return self.seconds(self.network_result(network, mode, size))
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the bounded result cache."""
+        return self._result_cache.cache_info()
+
+    def clear_cache(self) -> None:
+        self._result_cache.clear()
+
+    def __repr__(self):
+        return f"<{type(self).__name__} name={self.name!r}>"

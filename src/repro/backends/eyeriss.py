@@ -1,0 +1,57 @@
+"""The Eyeriss-class row-stationary array as an execution backend.
+
+Wraps :class:`~repro.hw.eyeriss.EyerissModel`.  Eyeriss supports the
+deconvolution *transformation* (the paper extends the simulator for
+the Fig. 13 "+DCT" bar) but cannot exploit ILAR — its spatial mapping
+would need a different reuse formulation (Sec. 7.5) — and it has no
+scalar unit, so the ISM non-key pipeline cannot run on it: a stream
+served by this backend pays full DNN inference every frame.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    BackendCapabilities,
+    ExecutionBackend,
+    UnsupportedModeError,
+)
+from repro.backends.registry import register_backend
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.energy import ENERGY_16NM, EnergyModel
+from repro.hw.eyeriss import EyerissModel
+from repro.hw.systolic import LayerResult, RunResult
+from repro.models.stereo_networks import QHD
+
+__all__ = ["EyerissBackend"]
+
+
+@register_backend("eyeriss")
+class EyerissBackend(ExecutionBackend):
+    """Row-stationary spatial array: DCT yes, ILAR no, ISM no."""
+
+    name = "eyeriss"
+    capabilities = BackendCapabilities(
+        supports_dct=True, supports_ilar=False, supports_ism=False
+    )
+
+    def __init__(
+        self,
+        hw: HWConfig = ASV_BASE,
+        energy: EnergyModel = ENERGY_16NM,
+        cache_size: int = 32,
+    ):
+        super().__init__(cache_size=cache_size)
+        self.hw = hw
+        self.energy = energy
+        self.frequency_hz = hw.frequency_hz
+        self.model = EyerissModel(hw, energy)
+
+    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+        self.require_mode(mode)
+        return self.model.run_network(specs, transform=(mode == "dct"))
+
+    def nonkey_frame(self, size=QHD, config=None) -> LayerResult:
+        raise UnsupportedModeError(
+            "the Eyeriss-class array has no scalar unit for the ISM "
+            "point-wise stages; run full inference every frame instead"
+        )

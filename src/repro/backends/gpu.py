@@ -1,0 +1,92 @@
+"""The mobile-GPU roofline as an execution backend.
+
+Wraps :class:`~repro.hw.gpu.GPUModel` (the Jetson TX2 Pascal
+characterisation).  Deconvolutions run dense (cuDNN-style
+``conv_transpose``), so neither DCT nor ILAR applies — the only
+execution mode is ``baseline``.  The ISM non-key frame *is*
+supported: dense optical flow and block matching are classic GPU
+workloads, modelled with the same roofline (ops against derated peak
+throughput, streamed bytes against LPDDR4 bandwidth).
+
+The GPU has no accelerator clock; results are expressed in cycles of
+a 1 GHz virtual tick so they compose with the cycle-based backends
+through :meth:`ExecutionBackend.seconds`.  Energy is the sustained
+board-rail power times execution time, reported as static energy.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import BackendCapabilities, ExecutionBackend
+from repro.backends.registry import register_backend
+from repro.core.ism import ISMConfig, nonkey_op_counts
+from repro.hw.energy import EnergyBreakdown
+from repro.hw.gpu import JETSON_TX2, GPUModel
+from repro.hw.systolic import LayerResult, RunResult
+from repro.models.stereo_networks import QHD
+
+__all__ = ["GPUBackend"]
+
+
+@register_backend("gpu")
+class GPUBackend(ExecutionBackend):
+    """Roofline GPU: baseline mode only, but ISM-capable."""
+
+    name = "gpu"
+    capabilities = BackendCapabilities(
+        supports_dct=False, supports_ilar=False, supports_ism=True
+    )
+    frequency_hz = 1.0e9  # virtual tick; the roofline is time-native
+
+    def __init__(self, hw=None, energy=None, model: GPUModel = JETSON_TX2,
+                 cache_size: int = 32):
+        # ``hw``/``energy`` are accepted for factory uniformity and
+        # ignored: the GPU is a fixed product, not a configurable
+        # accelerator envelope.
+        super().__init__(cache_size=cache_size)
+        self.model = model
+
+    def _layer_result(self, name: str, seconds: float, macs: int,
+                      dram_bytes: int) -> LayerResult:
+        cycles = seconds * self.frequency_hz  # float: keeps time exact
+        return LayerResult(
+            name=name,
+            cycles=cycles,
+            compute_cycles=cycles,
+            memory_cycles=cycles,
+            macs=macs,
+            dram_bytes=dram_bytes,
+            sram_bytes=0,
+            energy=EnergyBreakdown(static_j=seconds * self.model.power_w),
+        )
+
+    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+        self.require_mode(mode)
+        layers = []
+        for spec in specs:
+            seconds = self.model.layer_seconds(spec)
+            moved = (
+                spec.ifmap_elems + spec.ofmap_elems + spec.params
+            ) * self.model.bytes_per_elem
+            layers.append(
+                self._layer_result(
+                    f"{spec.name}[gpu]", seconds, spec.macs, moved
+                )
+            )
+        return RunResult(layers)
+
+    def nonkey_frame(
+        self, size=QHD, config: ISMConfig | None = None
+    ) -> LayerResult:
+        """Roofline cost of one ISM non-key frame on the GPU."""
+        h, w = size
+        ops = nonkey_op_counts(h, w, config)
+        total_ops = ops.array_ops + ops.pixel_updates + ops.bookkeeping
+        compute_s = total_ops / (
+            self.model.peak_macs_per_sec * self.model.kernel_efficiency
+        )
+        moved_bytes = ops.streamed_elems * self.model.bytes_per_elem
+        memory_s = moved_bytes / self.model.dram_bytes_per_sec
+        seconds = max(compute_s, memory_s)
+        return self._layer_result(
+            "ism-nonkey[gpu]", seconds, ops.array_ops, moved_bytes
+        )

@@ -1,0 +1,76 @@
+"""Backend registry: name -> :class:`ExecutionBackend` factory.
+
+System code requests execution targets by name::
+
+    from repro.backends import get_backend
+    eyeriss = get_backend("eyeriss", hw=my_config)
+
+New targets plug in with the decorator::
+
+    @register_backend("my-npu")
+    class MyNPUBackend(ExecutionBackend):
+        ...
+
+The built-in backends (``systolic``, ``eyeriss``, ``gpu``) register
+themselves on import — normally when :mod:`repro.backends` re-exports
+them.  :func:`get_backend` additionally imports them on a lookup miss
+as a fallback, so the registry also works for code that imports this
+module directly without going through the package.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.backends.base import ExecutionBackend
+
+__all__ = ["register_backend", "get_backend", "available_backends"]
+
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+#: Modules that self-register the built-in backends when imported.
+_BUILTIN_MODULES = (
+    "repro.backends.systolic",
+    "repro.backends.eyeriss",
+    "repro.backends.gpu",
+)
+
+
+def register_backend(name: str):
+    """Class/factory decorator adding an entry to the registry."""
+
+    def decorate(factory: Callable[..., ExecutionBackend]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def _load_builtins() -> None:
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Construct a backend by name.
+
+    Keyword arguments are forwarded to the backend factory; all
+    built-ins accept ``hw``, ``energy`` and ``cache_size`` (the GPU
+    backend, a fixed product, accepts and ignores ``hw``/``energy``).
+    """
+    if name not in _REGISTRY:
+        _load_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(**kwargs)

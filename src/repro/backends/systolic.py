@@ -1,0 +1,104 @@
+"""The ASV systolic accelerator as an execution backend.
+
+Wraps :class:`~repro.hw.systolic.SystolicModel` plus the DCO
+scheduling stack: lowering (with or without the deconvolution
+transformation), static-partition search for the baseline/DCT modes,
+and the full tiling optimizer for the reuse-aware modes.  The ISM
+non-key frame maps onto the same hardware per Sec. 5.1: the
+convolution-shaped work (Gaussian/moment filters, SAD passes) runs on
+the PE array, the point-wise "Matrix Update" / "Compute Flow" stages
+run on the scalar unit, and frame pixels and maps stream through DRAM.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.backends.base import BackendCapabilities, ExecutionBackend
+from repro.backends.registry import register_backend
+from repro.core.ism import ISMConfig, nonkey_op_counts
+from repro.deconv.exhaustive import best_static_partition
+from repro.deconv.lowering import lower_network
+from repro.deconv.optimizer import optimize_layers
+from repro.hw.config import ASV_BASE, HWConfig
+from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
+from repro.hw.systolic import LayerResult, RunResult, SystolicModel
+from repro.models.stereo_networks import QHD
+
+__all__ = ["SystolicBackend"]
+
+
+@register_backend("systolic")
+class SystolicBackend(ExecutionBackend):
+    """ASV's systolic array: supports every optimization level."""
+
+    name = "systolic"
+    capabilities = BackendCapabilities(
+        supports_dct=True, supports_ilar=True, supports_ism=True
+    )
+
+    def __init__(
+        self,
+        hw: HWConfig = ASV_BASE,
+        energy: EnergyModel = ENERGY_16NM,
+        cache_size: int = 32,
+    ):
+        super().__init__(cache_size=cache_size)
+        self.hw = hw
+        self.energy = energy
+        self.frequency_hz = hw.frequency_hz
+        self.model = SystolicModel(hw, energy)
+
+    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+        """Lower, schedule and execute a layer table under ``mode``."""
+        self.require_mode(mode)
+        if mode == "baseline":
+            layers = lower_network(specs, transform=False)
+            _, schedules = best_static_partition(layers, self.hw, self.model)
+        elif mode == "dct":
+            layers = lower_network(specs, transform=True, ilar=False)
+            _, schedules = best_static_partition(layers, self.hw, self.model)
+        else:
+            layers = lower_network(specs, transform=True, ilar=(mode == "ilar"))
+            schedules = optimize_layers(layers, self.hw, self.model)
+        return self.model.run_schedules(schedules, validate=False)
+
+    def nonkey_frame(
+        self, size=QHD, config: ISMConfig | None = None
+    ) -> LayerResult:
+        """Latency/energy of one ISM non-key frame (Sec. 5.1 mapping)."""
+        config = config or ISMConfig()
+        h, w = size
+        hw = self.hw
+        ops = nonkey_op_counts(h, w, config)
+        # convolution-shaped work on the PE array: both flow streams'
+        # moment/window filters + the SAD passes of the guided search
+        pe_cycles = math.ceil(ops.array_ops / hw.pe_count)
+
+        # point-wise pixel updates on the scalar unit
+        scalar = self.model.scalar_op_result(
+            "ism-pointwise", ops=ops.pixel_updates, elems_touched=ops.pixel_updates
+        )
+
+        moved_bytes = ops.streamed_elems * hw.bytes_per_elem
+        mem_cycles = math.ceil(moved_bytes / hw.dram_bytes_per_cycle)
+
+        cycles = max(pe_cycles, mem_cycles) + scalar.cycles
+        seconds = cycles / hw.frequency_hz
+        energy = EnergyBreakdown(
+            mac_j=self.energy.compute(ops.array_ops) + scalar.energy.mac_j,
+            sram_j=self.energy.sram(2 * moved_bytes),
+            rf_j=self.energy.rf(2 * ops.array_ops * hw.bytes_per_elem),
+            dram_j=self.energy.dram(moved_bytes),
+            static_j=self.energy.static(seconds),
+        )
+        return LayerResult(
+            name="ism-nonkey",
+            cycles=cycles,
+            compute_cycles=pe_cycles + scalar.cycles,
+            memory_cycles=mem_cycles,
+            macs=ops.array_ops,
+            dram_bytes=moved_bytes,
+            sram_bytes=2 * moved_bytes,
+            energy=energy,
+        )

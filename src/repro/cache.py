@@ -1,0 +1,84 @@
+"""Small bounded LRU cache for memoized model evaluations.
+
+Scheduling a network on an accelerator model is expensive (the DCO
+optimizer searches tiling schedules per layer), so results are
+memoized per ``(network, mode, size)``.  A production stream server
+touches an open-ended set of such keys — many resolutions, modes and
+networks over its lifetime — so the memo must be *bounded*: this LRU
+evicts the least-recently-used entry once ``maxsize`` is reached and
+reports hit/miss statistics so the serving pipeline can surface its
+cache efficiency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, NamedTuple
+
+__all__ = ["CacheInfo", "LRUCache"]
+
+
+class CacheInfo(NamedTuple):
+    """Statistics snapshot (same shape as ``functools.lru_cache``'s)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._hits += 1
+            return self._data[key]
+        self._misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and inserting it on a miss."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._hits += 1
+            return self._data[key]
+        self._misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(self._hits, self._misses, self.maxsize, len(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._hits = 0
+        self._misses = 0

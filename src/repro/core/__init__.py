@@ -8,7 +8,14 @@ from repro.core.correspondence import (
     reconstruct_correspondences,
     refine_correspondences,
 )
-from repro.core.ism import ISM, ISMConfig, ISMResult, nonkey_frame_ops
+from repro.core.ism import (
+    ISM,
+    ISMConfig,
+    ISMResult,
+    NonKeyOpCounts,
+    nonkey_frame_ops,
+    nonkey_op_counts,
+)
 from repro.core.keyframe import MotionAdaptivePolicy, StaticKeyFramePolicy
 
 __all__ = [
@@ -22,8 +29,10 @@ __all__ = [
     "ISMResult",
     "MODES",
     "MotionAdaptivePolicy",
+    "NonKeyOpCounts",
     "StaticKeyFramePolicy",
     "nonkey_frame_ops",
+    "nonkey_op_counts",
     "propagate_correspondences",
     "reconstruct_correspondences",
     "refine_correspondences",

@@ -1,8 +1,7 @@
-"""System-level composition: the ASV accelerator running ISM + DCO.
+"""System-level composition: ISM + DCO on a pluggable execution backend.
 
 Couples the algorithmic side (ISM's key/non-key frame split) with the
-hardware side (the systolic accelerator model and the deconvolution
-optimizations) to produce per-frame latency and energy for any stereo
+hardware side to produce per-frame latency and energy for any stereo
 network under any of the paper's execution modes:
 
 * ``baseline`` — naive deconvolutions, exhaustively-searched *static*
@@ -12,33 +11,37 @@ network under any of the paper's execution modes:
 * ``convr``   — DCT + per-layer reuse optimization, no ILAR;
 * ``ilar``    — the full deconvolution optimization (DCO of Fig. 10).
 
-Non-key frames execute optical flow and guided block matching on the
-same hardware (Sec. 5.1's mapping): the convolution-shaped work
-(Gaussian/moment filters, SAD passes) runs on the PE array; the
-point-wise "Matrix Update" / "Compute Flow" stages run on the scalar
-unit, whose lanes implement each per-pixel update as one fused
-operation (Sec. 6.1); frame pixels and maps stream through DRAM.
+All hardware execution goes through the backend protocol
+(:mod:`repro.backends`): the system never constructs a concrete
+accelerator model itself, it asks :func:`repro.backends.get_backend`
+for a named target (the systolic ASV prototype by default) and calls
+``run_network`` / ``nonkey_frame`` on it.  Backends advertise
+:class:`~repro.backends.BackendCapabilities` — which modes they
+schedule and whether the ISM non-key pipeline maps onto them — and
+memoize per-``(network, mode, size)`` results in a bounded LRU
+(:meth:`ASVSystem.cache_info` exposes its hit/miss statistics).
+
+On the default systolic backend, non-key frames execute optical flow
+and guided block matching on the same hardware (Sec. 5.1's mapping):
+the convolution-shaped work runs on the PE array, the point-wise
+"Matrix Update" / "Compute Flow" stages run on the scalar unit
+(Sec. 6.1), and frame pixels and maps stream through DRAM.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.backends.base import MODES, ExecutionBackend
+from repro.backends.registry import get_backend
+from repro.cache import CacheInfo
 from repro.core.ism import ISMConfig
-from repro.deconv.exhaustive import best_static_partition
-from repro.deconv.lowering import lower_network
-from repro.deconv.optimizer import optimize_layers
-from repro.flow.farneback import farneback_ops
 from repro.hw.config import ASV_BASE, HWConfig
-from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
-from repro.hw.systolic import LayerResult, RunResult, SystolicModel
-from repro.models.stereo_networks import QHD, network_specs
-from repro.stereo.block_matching import guided_block_match_ops
+from repro.hw.energy import ENERGY_16NM, EnergyModel
+from repro.hw.systolic import LayerResult, RunResult
+from repro.models.stereo_networks import QHD
 
 __all__ = ["FrameCost", "ASVSystem", "MODES"]
-
-MODES = ("baseline", "dct", "convr", "ilar")
 
 
 @dataclass(frozen=True)
@@ -56,13 +59,56 @@ class FrameCost:
 
 
 class ASVSystem:
-    """The co-designed system on one hardware configuration."""
+    """The co-designed system on one hardware configuration.
 
-    def __init__(self, hw: HWConfig = ASV_BASE, energy: EnergyModel = ENERGY_16NM):
-        self.hw = hw
-        self.energy = energy
-        self.model = SystolicModel(hw, energy)
-        self._dnn_cache: dict = {}
+    ``backend`` is a registered backend name (resolved through
+    :func:`repro.backends.get_backend` with this system's ``hw`` and
+    ``energy``) or an already-constructed
+    :class:`~repro.backends.ExecutionBackend`.
+    """
+
+    def __init__(
+        self,
+        hw: HWConfig | None = None,
+        energy: EnergyModel | None = None,
+        backend: str | ExecutionBackend = "systolic",
+        cache_size: int | None = None,
+    ):
+        if isinstance(backend, str):
+            self.hw = hw or ASV_BASE
+            self.energy = energy or ENERGY_16NM
+            backend = get_backend(
+                backend,
+                hw=self.hw,
+                energy=self.energy,
+                cache_size=32 if cache_size is None else cache_size,
+            )
+        else:
+            # an already-constructed backend carries its own
+            # configuration; adopt it so self.hw never disagrees with
+            # what the backend actually computes with, and reject
+            # settings that could not be applied to it
+            if energy is not None or cache_size is not None:
+                raise ValueError(
+                    "energy/cache_size only apply when backend is a "
+                    "name; configure the backend instance instead"
+                )
+            backend_hw = getattr(backend, "hw", None)
+            if backend_hw is not None and hw is not None and hw is not backend_hw:
+                raise ValueError(
+                    "conflicting hw: the backend instance was built "
+                    "with its own HWConfig"
+                )
+            # clock-less backends (the GPU roofline) accept a caller
+            # hw purely as the reporting clock for FrameCost
+            self.hw = backend_hw or hw or ASV_BASE
+            self.energy = getattr(backend, "energy", None) or ENERGY_16NM
+        self.backend = backend
+
+    @property
+    def model(self):
+        """The backend's underlying accelerator model (compatibility)."""
+        return getattr(self.backend, "model", None)
 
     # ------------------------------------------------------------------
     # key frames: stereo DNN inference
@@ -71,79 +117,18 @@ class ASVSystem:
         """Latency/energy of one full DNN inference under a mode."""
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
-        key = (network, mode, tuple(size))
-        if key not in self._dnn_cache:
-            specs = network_specs(network, size)
-            if mode == "baseline":
-                layers = lower_network(specs, transform=False)
-                _, schedules = best_static_partition(layers, self.hw, self.model)
-            elif mode == "dct":
-                layers = lower_network(specs, transform=True, ilar=False)
-                _, schedules = best_static_partition(layers, self.hw, self.model)
-            else:
-                layers = lower_network(
-                    specs, transform=True, ilar=(mode == "ilar")
-                )
-                schedules = optimize_layers(layers, self.hw, self.model)
-            self._dnn_cache[key] = self.model.run_schedules(
-                schedules, validate=False
-            )
-        return self._dnn_cache[key]
+        return self.backend.network_result(network, mode, size)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss statistics of the bounded DNN-result cache."""
+        return self.backend.cache_info()
 
     # ------------------------------------------------------------------
     # non-key frames: OF + guided BM on the same hardware
     # ------------------------------------------------------------------
     def nonkey_frame(self, size=QHD, config: ISMConfig | None = None) -> LayerResult:
         """Latency/energy of one ISM non-key frame (Sec. 5.1 mapping)."""
-        config = config or ISMConfig()
-        h, w = size
-        hw = self.hw
-        # convolution-shaped work on the PE array: both flow streams'
-        # moment/window filters + the SAD passes of the guided search
-        conv_ops = 2 * farneback_ops(
-            h, w, levels=config.flow_levels, iterations=config.flow_iterations
-        )
-        search_ops = guided_block_match_ops(
-            h, w, radius=config.search_radius, block_size=config.block_size
-        )
-        pe_cycles = math.ceil((conv_ops + search_ops) / hw.pe_count)
-
-        # point-wise pixel updates on the scalar unit: matrix update +
-        # compute flow per pixel per iteration per stream, plus the WTA
-        # comparisons of the refinement
-        pixel_updates = (
-            2 * 2 * config.flow_iterations * h * w  # two stages, two streams
-            + (2 * config.search_radius + 1) * h * w  # WTA compares
-        )
-        scalar = self.model.scalar_op_result(
-            "ism-pointwise", ops=pixel_updates, elems_touched=pixel_updates
-        )
-
-        # DRAM streaming: current + key frame pixels for both views,
-        # two flow fields, in/out disparity maps
-        moved_elems = (4 + 4 + 2) * h * w
-        moved_bytes = moved_elems * hw.bytes_per_elem
-        mem_cycles = math.ceil(moved_bytes / hw.dram_bytes_per_cycle)
-
-        cycles = max(pe_cycles, mem_cycles) + scalar.cycles
-        seconds = cycles / hw.frequency_hz
-        energy = EnergyBreakdown(
-            mac_j=self.energy.compute(conv_ops + search_ops) + scalar.energy.mac_j,
-            sram_j=self.energy.sram(2 * moved_bytes),
-            rf_j=self.energy.rf(2 * (conv_ops + search_ops) * hw.bytes_per_elem),
-            dram_j=self.energy.dram(moved_bytes),
-            static_j=self.energy.static(seconds),
-        )
-        return LayerResult(
-            name="ism-nonkey",
-            cycles=cycles,
-            compute_cycles=pe_cycles + scalar.cycles,
-            memory_cycles=mem_cycles,
-            macs=conv_ops + search_ops,
-            dram_bytes=moved_bytes,
-            sram_bytes=2 * moved_bytes,
-            energy=energy,
-        )
+        return self.backend.nonkey_frame(size, config)
 
     # ------------------------------------------------------------------
     # system modes
@@ -163,11 +148,16 @@ class ASVSystem:
         the rest run the cheap non-key pipeline; without ISM every
         frame runs the DNN.
         """
+        # backend results are in the backend's clock; FrameCost is
+        # consumed against self.hw (seconds/fps), so rescale when the
+        # two clocks differ (e.g. the GPU's virtual tick) — for the
+        # default systolic backend the scale is exactly 1.0
+        scale = self.hw.frequency_hz / self.backend.frequency_hz
         key = self.dnn_frame(network, mode, size)
         if not use_ism or pw == 1:
-            return FrameCost(cycles=float(key.cycles), energy_j=key.energy_j)
+            return FrameCost(cycles=key.cycles * scale, energy_j=key.energy_j)
         nonkey = self.nonkey_frame(size, ism_config)
-        cycles = (key.cycles + (pw - 1) * nonkey.cycles) / pw
+        cycles = scale * (key.cycles + (pw - 1) * nonkey.cycles) / pw
         energy = (key.energy_j + (pw - 1) * nonkey.energy_j) / pw
         return FrameCost(cycles=cycles, energy_j=energy)
 

@@ -23,7 +23,14 @@ from repro.datasets.scenes import StereoFrame
 from repro.flow.farneback import farneback_ops
 from repro.stereo.block_matching import guided_block_match_ops
 
-__all__ = ["ISMConfig", "ISMResult", "ISM", "nonkey_frame_ops"]
+__all__ = [
+    "ISMConfig",
+    "ISMResult",
+    "ISM",
+    "NonKeyOpCounts",
+    "nonkey_op_counts",
+    "nonkey_frame_ops",
+]
 
 
 @dataclass(frozen=True)
@@ -129,16 +136,46 @@ class ISM:
         return result
 
 
-def nonkey_frame_ops(
-    height: int, width: int, config: ISMConfig | None = None
-) -> dict[str, int]:
+@dataclass(frozen=True)
+class NonKeyOpCounts:
     """Arithmetic-operation budget of one non-key frame (Sec. 3.3).
 
-    Returns the per-component counts: motion estimation runs on *both*
-    video streams; the refinement search is a ``2r+1``-wide guided
-    block matching.  At qHD this totals on the order of 10^8
-    operations versus 10^10-10^12 MACs for the stereo DNNs — the
-    2-4 orders-of-magnitude gap the paper reports.
+    The single source of truth for the Farneback + guided-BM op
+    accounting: both the algorithm-side budget report
+    (:func:`nonkey_frame_ops`) and the hardware-side cost models
+    (:meth:`repro.backends.ExecutionBackend.nonkey_frame`) derive
+    their numbers from these counts rather than re-deriving them.
+    """
+
+    flow: int           # motion estimation, both video streams
+    search: int         # guided block-matching refinement (SAD passes)
+    pixel_updates: int  # per-pixel point ops (matrix update / compute
+                        # flow per iteration per stream + WTA compares)
+    bookkeeping: int    # coordinate reconstruction + warps/fills
+    streamed_elems: int  # DRAM-streamed elements: current + key frame
+                         # pixels for both views, two flow fields,
+                         # in/out disparity maps
+
+    @property
+    def array_ops(self) -> int:
+        """Convolution-shaped work that maps onto a PE array."""
+        return self.flow + self.search
+
+    @property
+    def total(self) -> int:
+        """The paper's Sec. 3.3 budget (flow + search + bookkeeping)."""
+        return self.flow + self.search + self.bookkeeping
+
+
+def nonkey_op_counts(
+    height: int, width: int, config: ISMConfig | None = None
+) -> NonKeyOpCounts:
+    """Op counts of one ISM non-key frame at a given resolution.
+
+    Motion estimation runs on *both* video streams; the refinement
+    search is a ``2r+1``-wide guided block matching.  At qHD the total
+    is on the order of 10^8 operations versus 10^10-10^12 MACs for the
+    stereo DNNs — the 2-4 orders-of-magnitude gap the paper reports.
     """
     config = config or ISMConfig()
     flow = 2 * farneback_ops(
@@ -148,11 +185,36 @@ def nonkey_frame_ops(
     search = guided_block_match_ops(
         height, width, radius=config.search_radius, block_size=config.block_size
     )
-    reconstruct = height * width      # coordinate arithmetic
+    # point-wise pixel updates: matrix update + compute flow per pixel
+    # per iteration per stream, plus the WTA comparisons of the
+    # refinement (Sec. 5.1's scalar-unit mapping)
+    pixel_updates = (
+        2 * 2 * config.flow_iterations * height * width
+        + (2 * config.search_radius + 1) * height * width
+    )
+    reconstruct = height * width         # coordinate arithmetic
     propagate_misc = 4 * height * width  # warps + fills
+    return NonKeyOpCounts(
+        flow=flow,
+        search=search,
+        pixel_updates=pixel_updates,
+        bookkeeping=reconstruct + propagate_misc,
+        streamed_elems=(4 + 4 + 2) * height * width,
+    )
+
+
+def nonkey_frame_ops(
+    height: int, width: int, config: ISMConfig | None = None
+) -> dict[str, int]:
+    """Per-component op budget of one non-key frame, as a dict.
+
+    Thin view over :func:`nonkey_op_counts` kept for the budget
+    reports (Fig. 3 discussion, Sec. 7.1 overhead analysis).
+    """
+    ops = nonkey_op_counts(height, width, config)
     return {
-        "motion_estimation": flow,
-        "correspondence_search": search,
-        "bookkeeping": reconstruct + propagate_misc,
-        "total": flow + search + reconstruct + propagate_misc,
+        "motion_estimation": ops.flow,
+        "correspondence_search": ops.search,
+        "bookkeeping": ops.bookkeeping,
+        "total": ops.total,
     }

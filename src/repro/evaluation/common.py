@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 from repro.tables import render_table
 
-__all__ = ["ExperimentScale", "default_scale", "render_table"]
+__all__ = [
+    "ExperimentScale",
+    "backend_network_costs",
+    "default_scale",
+    "render_table",
+]
 
 
 @dataclass(frozen=True)
@@ -43,5 +48,21 @@ def default_scale() -> ExperimentScale:
             n_kitti_scenes=200,
         )
     return ExperimentScale()
+
+
+def backend_network_costs(backend, networks, size, mode: str = "baseline"):
+    """Total (seconds, joules) of one inference per network on a backend.
+
+    Backend-agnostic workhorse of the cross-platform figures: any
+    :class:`~repro.backends.ExecutionBackend` composes here, whatever
+    its native clock, because results convert through
+    ``backend.seconds``.
+    """
+    secs, joules = 0.0, 0.0
+    for net in networks:
+        result = backend.network_result(net, mode=mode, size=size)
+        secs += backend.seconds(result)
+        joules += result.energy_j
+    return secs, joules
 
 

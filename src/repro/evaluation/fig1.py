@@ -22,11 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.core import ISM, ASVSystem, ISMConfig
 from repro.datasets import kitti_pairs
 from repro.evaluation.common import ExperimentScale, default_scale, render_table
-from repro.hw.gpu import JETSON_TX2
-from repro.models import QHD, STEREO_NETWORKS, network_specs
+from repro.models import QHD, STEREO_NETWORKS
 from repro.models.proxy import StereoDNNProxy
 from repro.stereo import block_match, elas, error_rate, gcsf, sgm
 from repro.stereo.block_matching import block_match_ops
@@ -86,6 +86,7 @@ def run_fig1(scale: ExperimentScale | None = None) -> list[FrontierPoint]:
     scale = scale or default_scale()
     points, frames = _classic_points(scale)
     system = ASVSystem()
+    gpu = get_backend("gpu")
 
     for net in STEREO_NETWORKS:
         errs = [
@@ -97,7 +98,7 @@ def run_fig1(scale: ExperimentScale | None = None) -> list[FrontierPoint]:
         points.append(
             FrontierPoint(f"{net}-Acc", "dnn-acc", err, acc.fps(system.hw))
         )
-        gpu_s = JETSON_TX2.network_seconds(network_specs(net))
+        gpu_s = gpu.network_seconds(net, mode="baseline", size=QHD)
         points.append(FrontierPoint(f"{net}-GPU", "dnn-gpu", err, 1.0 / gpu_s))
 
     # ASV: DispNet under full DCO + ISM at PW-4

@@ -11,18 +11,23 @@ Eyeriss baseline (as the paper plots).  Series:
 * ASV DCO / ISM / DCO+ISM — the co-designed system
   (the paper reports 8.2x at 16 % of Eyeriss's energy for the full
   system).
+
+The driver is backend-agnostic: every platform is obtained from the
+backend registry and spoken to through the
+:class:`~repro.backends.ExecutionBackend` protocol, so adding a
+platform to this comparison means registering a backend, not editing
+this file.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backends import get_backend
 from repro.core import ASVSystem
-from repro.evaluation.common import render_table
+from repro.evaluation.common import backend_network_costs, render_table
 from repro.hw.config import ASV_BASE, HWConfig
-from repro.hw.eyeriss import EyerissModel
-from repro.hw.gpu import JETSON_TX2
-from repro.models import QHD, STEREO_NETWORKS, network_specs
+from repro.models import QHD, STEREO_NETWORKS
 
 __all__ = ["SystemPoint", "run_fig13", "format_fig13"]
 
@@ -38,12 +43,14 @@ def run_fig13(
     hw: HWConfig = ASV_BASE, size=QHD, pw: int = 4, networks=None
 ) -> list[SystemPoint]:
     networks = list(networks or STEREO_NETWORKS)
-    eyeriss = EyerissModel(hw)
+    eyeriss = get_backend("eyeriss", hw=hw)
+    gpu = get_backend("gpu")
     asv = ASVSystem(hw)
 
-    eye_secs, eye_js = 0.0, 0.0
-    eye_dct_secs, eye_dct_js = 0.0, 0.0
-    gpu_secs, gpu_js = 0.0, 0.0
+    eye_secs, eye_js = backend_network_costs(eyeriss, networks, size, "baseline")
+    eye_dct_secs, eye_dct_js = backend_network_costs(eyeriss, networks, size, "dct")
+    gpu_secs, gpu_js = backend_network_costs(gpu, networks, size, "baseline")
+
     asv_variants = {
         "ASV-DCO": dict(use_ism=False, mode="ilar"),
         "ASV-ISM": dict(use_ism=True, mode="baseline"),
@@ -51,17 +58,7 @@ def run_fig13(
     }
     asv_secs = {k: 0.0 for k in asv_variants}
     asv_js = {k: 0.0 for k in asv_variants}
-
     for net in networks:
-        specs = network_specs(net, size)
-        base = eyeriss.run_network(specs, transform=False)
-        eye_secs += base.seconds(hw)
-        eye_js += base.energy_j
-        dct = eyeriss.run_network(specs, transform=True)
-        eye_dct_secs += dct.seconds(hw)
-        eye_dct_js += dct.energy_j
-        gpu_secs += JETSON_TX2.network_seconds(specs)
-        gpu_js += JETSON_TX2.network_energy_j(specs)
         for label, kw in asv_variants.items():
             cost = asv.frame_cost(net, pw=pw, size=size, **kw)
             asv_secs[label] += cost.seconds(hw)

@@ -13,13 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.deconv.lowering import lower_network
-from repro.deconv.optimizer import optimize_layers
+from repro.backends import get_backend
 from repro.evaluation.common import render_table
 from repro.hw.config import ASV_BASE, HWConfig
-from repro.hw.eyeriss import EyerissModel
 from repro.hw.gannx import GannxModel
-from repro.hw.systolic import SystolicModel
 from repro.models.gans import GAN_NETWORKS, gan_specs
 
 __all__ = ["GANRow", "run_fig14", "format_fig14"]
@@ -35,18 +32,15 @@ class GANRow:
 
 
 def run_fig14(hw: HWConfig = ASV_BASE, gans=None) -> list[GANRow]:
-    eyeriss = EyerissModel(hw)
+    eyeriss = get_backend("eyeriss", hw=hw)
+    asv_backend = get_backend("systolic", hw=hw)
     gannx = GannxModel(hw)
-    asv_model = SystolicModel(hw)
     rows = []
     for name in gans or GAN_NETWORKS:
         specs = gan_specs(name)
-        base = eyeriss.run_network(specs, transform=False)
+        base = eyeriss.run_network(specs, mode="baseline")
         gx = gannx.run_network(specs)
-        layers = lower_network(specs, transform=True, ilar=True)
-        asv = asv_model.run_schedules(
-            optimize_layers(layers, hw, asv_model), validate=False
-        )
+        asv = asv_backend.run_network(specs, mode="ilar")
         rows.append(
             GANRow(
                 gan=name,

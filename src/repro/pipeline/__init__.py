@@ -1,0 +1,48 @@
+"""Streaming multi-camera frame pipeline.
+
+Production-shaped serving on top of the execution-backend layer::
+
+    from repro.pipeline import StreamEngine, kitti_stream, sceneflow_stream
+
+    engine = StreamEngine("systolic")
+    report = engine.run([
+        kitti_stream(seed=1, network="DispNet"),
+        sceneflow_stream(seed=2, network="FlowNetC"),
+    ])
+    print(report.aggregate_fps, report.worst_p99_ms)
+
+* :class:`FrameStream` — one camera stream (geometry, rate, network,
+  mode, key-frame policy), with factories over every procedural
+  dataset;
+* :class:`StreamEngine` — FIFO discrete-event scheduling of key and
+  non-key frames across N concurrent streams on one backend;
+* :class:`EngineReport` / :class:`StreamStats` — p50/p95/p99 frame
+  latency per stream, aggregate fps, streams sustainable at a target
+  rate, and result-cache hit statistics.
+"""
+
+from repro.pipeline.engine import StreamEngine
+from repro.pipeline.report import (
+    EngineReport,
+    StreamStats,
+    format_backend_comparison,
+    format_report,
+)
+from repro.pipeline.stream import (
+    FrameStream,
+    kitti_stream,
+    sceneflow_stream,
+    stress_stream,
+)
+
+__all__ = [
+    "EngineReport",
+    "FrameStream",
+    "StreamEngine",
+    "StreamStats",
+    "format_backend_comparison",
+    "format_report",
+    "kitti_stream",
+    "sceneflow_stream",
+    "stress_stream",
+]

@@ -1,0 +1,172 @@
+"""Camera frame streams: the unit of work the serving engine schedules.
+
+A :class:`FrameStream` describes one camera feeding the system: frame
+geometry and rate, which stereo DNN serves its key frames, the
+requested execution mode, and the key-frame policy.  Pixel data is
+optional and lazy — the cost model only needs the stream's geometry,
+but factories over every procedural dataset (KITTI street scenes,
+SceneFlow-style flying objects, the stress generators) attach a real
+frame source so the same stream object can also drive accuracy
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.core.ism import ISMConfig
+from repro.core.keyframe import StaticKeyFramePolicy
+from repro.datasets.kitti import kitti_pairs
+from repro.datasets.sceneflow import sceneflow_scene
+from repro.datasets.scenes import StereoFrame
+from repro.datasets.stress import repetitive_scene, textureless_scene
+
+__all__ = [
+    "FrameStream",
+    "kitti_stream",
+    "sceneflow_stream",
+    "stress_stream",
+]
+
+
+@dataclass
+class FrameStream:
+    """One camera stream to be served.
+
+    ``policy_factory`` builds a fresh key-frame policy per engine run
+    (policies are stateful); when omitted, the static PW-``pw`` policy
+    is used.  ``frame_source`` is a zero-argument callable returning
+    an iterable of :class:`StereoFrame`; cost-only streams leave it
+    ``None``.
+    """
+
+    name: str
+    network: str = "DispNet"
+    size: tuple[int, int] = (135, 240)
+    n_frames: int = 30
+    fps: float = 30.0
+    mode: str = "ilar"
+    pw: int = 4
+    ism: ISMConfig | None = None
+    policy_factory: Callable[[], object] | None = None
+    frame_source: Callable[[], Iterable[StereoFrame]] | None = field(
+        default=None, repr=False
+    )
+
+    def __post_init__(self):
+        if self.n_frames < 1:
+            raise ValueError("a stream must carry at least one frame")
+        if self.fps <= 0:
+            raise ValueError("camera rate must be positive")
+        if self.pw < 1:
+            raise ValueError("propagation window must be >= 1")
+
+    def make_policy(self):
+        """A fresh key-frame policy instance for one engine run."""
+        if self.policy_factory is not None:
+            return self.policy_factory()
+        return StaticKeyFramePolicy(self.pw)
+
+    @property
+    def has_pixels(self) -> bool:
+        return self.frame_source is not None
+
+    def frames(self) -> Iterator[StereoFrame]:
+        """Yield the stream's pixel data (requires a frame source)."""
+        if self.frame_source is None:
+            raise ValueError(
+                f"stream {self.name!r} is cost-only; attach a frame_source"
+            )
+        yield from self.frame_source()
+
+
+def sceneflow_stream(
+    seed: int = 0,
+    name: str | None = None,
+    size: tuple[int, int] = (135, 240),
+    n_frames: int = 30,
+    max_disp: int = 48,
+    **kwargs,
+) -> FrameStream:
+    """A stream over one SceneFlow-style flying-objects scene."""
+    def source():
+        scene = sceneflow_scene(seed, size=size, max_disp=max_disp)
+        for t in range(n_frames):
+            yield scene.render(float(t))
+
+    return FrameStream(
+        name=name or f"sceneflow-{seed}",
+        size=size,
+        n_frames=n_frames,
+        frame_source=source,
+        **kwargs,
+    )
+
+
+def kitti_stream(
+    seed: int = 0,
+    name: str | None = None,
+    size: tuple[int, int] = (96, 320),
+    n_frames: int = 30,
+    max_disp: int = 48,
+    **kwargs,
+) -> FrameStream:
+    """A stream of KITTI-like street scenes.
+
+    KITTI's structure is two consecutive frames per scene, so a longer
+    stream chains scene pairs — matching how the paper's KITTI
+    evaluation only exercises PW-2 propagation.
+    """
+    def source():
+        produced = 0
+        for pair in kitti_pairs(
+            n_scenes=math.ceil(n_frames / 2), size=size,
+            max_disp=max_disp, seed=seed,
+        ):
+            for frame in pair:
+                if produced == n_frames:
+                    return
+                yield frame
+                produced += 1
+
+    return FrameStream(
+        name=name or f"kitti-{seed}",
+        size=size,
+        n_frames=n_frames,
+        frame_source=source,
+        **kwargs,
+    )
+
+
+def stress_stream(
+    kind: str = "textureless",
+    seed: int = 0,
+    name: str | None = None,
+    size: tuple[int, int] = (120, 200),
+    n_frames: int = 30,
+    max_disp: int = 32,
+    **kwargs,
+) -> FrameStream:
+    """A stream over one of the stereo-matching stress scenes."""
+    makers = {"textureless": textureless_scene, "repetitive": repetitive_scene}
+    try:
+        maker = makers[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown stress kind {kind!r}; choose from {sorted(makers)}"
+        ) from None
+
+    def source():
+        scene = maker(seed=seed, size=size, max_disp=max_disp)
+        for t in range(n_frames):
+            yield scene.render(float(t))
+
+    return FrameStream(
+        name=name or f"{kind}-{seed}",
+        size=size,
+        n_frames=n_frames,
+        frame_source=source,
+        **kwargs,
+    )

@@ -1,0 +1,245 @@
+"""The execution-backend layer: protocol conformance and seed parity.
+
+Two jobs: (a) every registered backend satisfies the
+:class:`ExecutionBackend` protocol and produces finite, positive
+latency/energy for each of the four paper networks; (b) refactoring
+the system onto the backend layer changed no numbers — baseline-mode
+results are pinned to the values the seed implementation produced.
+"""
+
+import math
+
+import pytest
+
+from repro.backends import (
+    MODES,
+    BackendCapabilities,
+    ExecutionBackend,
+    UnsupportedModeError,
+    available_backends,
+    get_backend,
+)
+from repro.cache import LRUCache
+from repro.core import ASVSystem
+from repro.core.ism import ISMConfig, nonkey_frame_ops, nonkey_op_counts
+from repro.models import STEREO_NETWORKS
+
+TINY = (68, 120)    # keeps full-zoo scheduling fast
+SMALL = (135, 240)  # the seed unit-test size (qHD/4)
+
+BACKENDS = sorted(available_backends())
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend(request):
+    return get_backend(request.param)
+
+
+class TestProtocol:
+    def test_builtins_registered(self):
+        assert {"systolic", "eyeriss", "gpu"} <= set(BACKENDS)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("abacus")
+
+    def test_instance_shape(self, backend):
+        assert isinstance(backend, ExecutionBackend)
+        assert isinstance(backend.name, str) and backend.name
+        assert isinstance(backend.capabilities, BackendCapabilities)
+        assert backend.frequency_hz > 0
+
+    def test_baseline_always_supported(self, backend):
+        assert backend.supports_mode("baseline")
+        assert "baseline" in backend.capabilities.modes
+
+    def test_capability_modes_subset(self, backend):
+        assert set(backend.capabilities.modes) <= set(MODES)
+
+    def test_unknown_mode_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.require_mode("magic")
+
+
+class TestParity:
+    """All backends x all four paper networks: finite positive costs."""
+
+    @pytest.mark.parametrize("network", sorted(STEREO_NETWORKS))
+    def test_baseline_finite_positive(self, backend, network):
+        result = backend.network_result(network, "baseline", TINY)
+        assert result.cycles > 0 and math.isfinite(result.cycles)
+        assert result.energy_j > 0 and math.isfinite(result.energy_j)
+        assert result.macs > 0
+        assert backend.seconds(result) > 0
+
+    def test_nonkey_or_declared_unsupported(self, backend):
+        if backend.capabilities.supports_ism:
+            res = backend.nonkey_frame(TINY)
+            assert res.cycles > 0 and res.energy_j > 0
+            assert math.isfinite(res.energy_j)
+        else:
+            with pytest.raises(UnsupportedModeError):
+                backend.nonkey_frame(TINY)
+
+    def test_unsupported_modes_raise(self):
+        with pytest.raises(UnsupportedModeError):
+            get_backend("eyeriss").require_mode("ilar")
+        with pytest.raises(UnsupportedModeError):
+            get_backend("gpu").require_mode("dct")
+
+    def test_systolic_supports_everything(self):
+        systolic = get_backend("systolic")
+        assert systolic.capabilities.modes == MODES
+        assert systolic.capabilities.supports_ism
+
+
+class TestSeedParity:
+    """Baseline-mode numbers pinned to the pre-refactor (seed) values."""
+
+    def test_systolic_dispnet_baseline_unchanged(self):
+        system = ASVSystem()
+        res = system.dnn_frame("DispNet", "baseline", SMALL)
+        assert res.cycles == 10060166
+        assert res.energy_j == pytest.approx(0.016800787328800002, rel=1e-12)
+
+    def test_systolic_nonkey_unchanged(self):
+        nk = ASVSystem().nonkey_frame(SMALL)
+        assert nk.cycles == 421369
+        assert nk.energy_j == pytest.approx(0.00016364789, rel=1e-12)
+
+    def test_eyeriss_baseline_and_dct_unchanged(self):
+        eyeriss = get_backend("eyeriss")
+        base = eyeriss.network_result("DispNet", "baseline", SMALL)
+        dct = eyeriss.network_result("DispNet", "dct", SMALL)
+        assert base.cycles == 16122198
+        assert base.energy_j == pytest.approx(0.017404221175360002, rel=1e-12)
+        assert dct.cycles == 13233415
+        assert dct.energy_j == pytest.approx(0.01588115816872, rel=1e-12)
+
+    def test_gpu_roofline_unchanged(self):
+        gpu = get_backend("gpu")
+        secs = gpu.network_seconds("DispNet", "baseline", SMALL)
+        res = gpu.network_result("DispNet", "baseline", SMALL)
+        assert secs == pytest.approx(0.023977514964426506, rel=1e-9)
+        assert res.energy_j == pytest.approx(0.11988757482213253, rel=1e-9)
+
+
+class TestSharedNonKeyCosts:
+    """One cost function feeds both the op budget and the hw models."""
+
+    def test_budget_dict_matches_counts(self):
+        ops = nonkey_op_counts(100, 200)
+        budget = nonkey_frame_ops(100, 200)
+        assert budget["motion_estimation"] == ops.flow
+        assert budget["correspondence_search"] == ops.search
+        assert budget["bookkeeping"] == ops.bookkeeping
+        assert budget["total"] == ops.total == ops.flow + ops.search + ops.bookkeeping
+
+    def test_config_sensitivity(self):
+        narrow = nonkey_op_counts(100, 200, ISMConfig(search_radius=2))
+        wide = nonkey_op_counts(100, 200, ISMConfig(search_radius=8))
+        assert wide.search > narrow.search
+        assert wide.pixel_updates > narrow.pixel_updates
+
+    def test_backend_uses_shared_counts(self):
+        ops = nonkey_op_counts(*TINY)
+        res = get_backend("systolic").nonkey_frame(TINY)
+        assert res.macs == ops.array_ops
+
+
+class TestBoundedCache:
+    def test_lru_evicts_oldest(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_lru_access_refreshes(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1   # a becomes most recent
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_get_or_create_counts_hits(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_system_cache_info_and_identity(self):
+        system = ASVSystem(cache_size=8)
+        a = system.dnn_frame("DispNet", "baseline", TINY)
+        b = system.dnn_frame("DispNet", "baseline", TINY)
+        assert a is b
+        info = system.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        assert info.maxsize == 8 and info.currsize == 1
+
+    def test_system_cache_bounded(self):
+        system = ASVSystem(cache_size=1)
+        system.dnn_frame("DispNet", "baseline", TINY)
+        system.nonkey_frame(TINY)  # unrelated to the result cache
+        system.dnn_frame("FlowNetC", "baseline", TINY)
+        assert system.cache_info().currsize == 1
+
+
+class TestASVSystemBackends:
+    def test_default_backend_is_systolic(self):
+        assert ASVSystem().backend.name == "systolic"
+
+    def test_explicit_backend_instance(self):
+        backend = get_backend("eyeriss")
+        system = ASVSystem(backend=backend)
+        assert system.backend is backend
+        res = system.dnn_frame("DispNet", "baseline", TINY)
+        assert res.cycles > 0
+
+    def test_model_compat_property(self):
+        from repro.hw.systolic import SystolicModel
+
+        assert isinstance(ASVSystem().model, SystolicModel)
+
+    def test_frame_cost_seconds_true_across_clocks(self):
+        """FrameCost must convert correctly even when the backend's
+        clock differs from the system hw clock (e.g. the GPU tick)."""
+        from repro.hw.config import HWConfig
+
+        slow_hw = HWConfig(frequency_hz=0.5e9)
+        system = ASVSystem(hw=slow_hw, backend=get_backend("gpu"))
+        cost = system.frame_cost(
+            "DispNet", use_ism=False, mode="baseline", size=TINY
+        )
+        true_secs = get_backend("gpu").network_seconds(
+            "DispNet", "baseline", TINY
+        )
+        assert cost.seconds(system.hw) == pytest.approx(true_secs, rel=1e-9)
+
+    def test_backend_instance_hw_adopted(self):
+        """self.hw must reflect what the backend actually computes with."""
+        from repro.hw.config import ASV_BASE
+
+        wide = ASV_BASE.with_resources(pe_rows=48, pe_cols=48)
+        system = ASVSystem(backend=get_backend("systolic", hw=wide))
+        assert system.hw is wide
+
+    def test_backend_instance_rejects_unappliable_settings(self):
+        backend = get_backend("systolic")
+        with pytest.raises(ValueError, match="configure the backend"):
+            ASVSystem(backend=backend, cache_size=4)
+        from repro.hw.config import ASV_BASE
+
+        other = ASV_BASE.with_resources(pe_rows=12, pe_cols=12)
+        with pytest.raises(ValueError, match="conflicting hw"):
+            ASVSystem(hw=other, backend=backend)

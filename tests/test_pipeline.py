@@ -1,0 +1,165 @@
+"""The streaming multi-camera pipeline: streams, engine, reports."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.core.keyframe import StaticKeyFramePolicy
+from repro.pipeline import (
+    FrameStream,
+    StreamEngine,
+    format_backend_comparison,
+    format_report,
+    kitti_stream,
+    sceneflow_stream,
+    stress_stream,
+)
+
+TINY = (68, 120)
+
+
+def _cost_stream(name, n_frames=12, fps=30.0, **kwargs):
+    kwargs.setdefault("network", "DispNet")
+    kwargs.setdefault("mode", "baseline")
+    return FrameStream(name, size=TINY, n_frames=n_frames, fps=fps, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def systolic_report():
+    engine = StreamEngine("systolic")
+    return engine.run([
+        _cost_stream("cam0", pw=4),
+        _cost_stream("cam1", pw=2, network="FlowNetC"),
+    ])
+
+
+class TestFrameStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameStream("x", n_frames=0)
+        with pytest.raises(ValueError):
+            FrameStream("x", fps=0)
+        with pytest.raises(ValueError):
+            FrameStream("x", pw=0)
+
+    def test_cost_only_stream_has_no_pixels(self):
+        stream = _cost_stream("cam")
+        assert not stream.has_pixels
+        with pytest.raises(ValueError, match="cost-only"):
+            next(stream.frames())
+
+    def test_default_policy_is_static_pw(self):
+        policy = _cost_stream("cam", pw=3).make_policy()
+        assert isinstance(policy, StaticKeyFramePolicy)
+        assert policy.window == 3
+
+    @pytest.mark.parametrize("factory,kwargs", [
+        (sceneflow_stream, {}),
+        (kitti_stream, {}),
+        (stress_stream, {"kind": "textureless"}),
+        (stress_stream, {"kind": "repetitive"}),
+    ])
+    def test_factories_render_frames(self, factory, kwargs):
+        stream = factory(seed=3, size=(64, 96), n_frames=3, **kwargs)
+        frames = list(stream.frames())
+        assert len(frames) == 3
+        for f in frames:
+            assert f.left.shape == (64, 96)
+            assert np.isfinite(f.disparity).all()
+
+    def test_kitti_stream_chains_scene_pairs(self):
+        stream = kitti_stream(seed=0, size=(64, 96), n_frames=5)
+        assert len(list(stream.frames())) == 5
+
+    def test_unknown_stress_kind(self):
+        with pytest.raises(ValueError, match="unknown stress kind"):
+            stress_stream(kind="foggy")
+
+
+class TestStreamEngine:
+    def test_report_shape(self, systolic_report):
+        report = systolic_report
+        assert report.backend == "systolic"
+        assert [s.stream for s in report.streams] == ["cam0", "cam1"]
+        assert report.total_frames == 24
+        assert report.aggregate_fps > 0
+        assert report.makespan_s > 0
+
+    def test_key_frame_counts_follow_policy(self, systolic_report):
+        cam0, cam1 = systolic_report.streams
+        assert cam0.key_frames == 3   # PW-4 over 12 frames: 0, 4, 8
+        assert cam1.key_frames == 6   # PW-2 over 12 frames
+        assert cam0.frames == cam1.frames == 12
+
+    def test_percentiles_ordered(self, systolic_report):
+        for s in systolic_report.streams:
+            assert 0 < s.p50_ms <= s.p95_ms <= s.p99_ms <= s.max_ms
+
+    def test_cache_reused_across_frames(self, systolic_report):
+        info = systolic_report.cache
+        assert info.hits > 0
+        assert info.misses == 2  # one schedule per distinct (net, mode, size)
+
+    def test_ism_less_backend_runs_dnn_every_frame(self):
+        report = StreamEngine("eyeriss").run([_cost_stream("cam", n_frames=6)])
+        assert report.streams[0].key_frames == 6
+
+    def test_gpu_backend_serves_streams(self):
+        report = StreamEngine("gpu").run([
+            _cost_stream("a", n_frames=6),
+            _cost_stream("b", n_frames=6),
+        ])
+        assert len(report.streams) == 2
+        assert report.aggregate_fps > 0
+
+    def test_mode_degrades_to_backend_capability(self):
+        engine = StreamEngine("eyeriss")
+        assert engine.effective_mode("ilar") == "dct"
+        assert engine.effective_mode("dct") == "dct"
+        assert StreamEngine("gpu").effective_mode("ilar") == "baseline"
+        assert StreamEngine("systolic").effective_mode("ilar") == "ilar"
+        with pytest.raises(ValueError):
+            engine.effective_mode("magic")
+
+    def test_custom_policy_factory(self):
+        stream = _cost_stream(
+            "cam", n_frames=6, policy_factory=lambda: StaticKeyFramePolicy(1)
+        )
+        report = StreamEngine("systolic").run([stream])
+        assert report.streams[0].key_frames == 6
+
+    def test_backend_instance_accepted(self):
+        backend = get_backend("systolic")
+        report = StreamEngine(backend).run([_cost_stream("cam", n_frames=4)])
+        assert report.backend == "systolic"
+        with pytest.raises(ValueError):
+            StreamEngine(backend, cache_size=4)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            StreamEngine("systolic").run([])
+
+    def test_sustainable_streams_positive(self, systolic_report):
+        n = systolic_report.sustainable_streams(30.0)
+        assert n >= 1
+        with pytest.raises(ValueError):
+            systolic_report.sustainable_streams(0)
+
+    def test_saturation_shows_in_tail(self):
+        """An overloaded server queues: p99 far above p50."""
+        hot = _cost_stream("hot", n_frames=20, fps=10_000.0, pw=1)
+        report = StreamEngine("systolic").run([hot])
+        s = report.streams[0]
+        # queue grows linearly: the tail is ~2x the median, far above
+        # the flat profile of an unloaded server
+        assert s.p99_ms > 1.5 * s.p50_ms
+
+
+class TestReportFormatting:
+    def test_format_report(self, systolic_report):
+        text = format_report(systolic_report)
+        assert "cam0" in text and "p99 ms" in text and "systolic" in text
+
+    def test_format_backend_comparison(self, systolic_report):
+        text = format_backend_comparison([systolic_report], target_fps=30.0)
+        assert "systolic" in text and "streams@30fps" in text
