@@ -1,0 +1,106 @@
+"""Cluster serving — placement policies on a heterogeneous fleet.
+
+Serves eight mixed camera streams (ISM-heavy ilar traffic, all-key
+dct traffic, one high-resolution stream) on a 2x systolic + 1x
+eyeriss + 1x gpu fleet under every placement policy, and sizes the
+same workload with the capacity planner.
+
+Shape assertions: every policy serves every frame; the cost-aware
+policies spread load no worse than blind round-robin (lower or equal
+peak shard utilization); the capability-aware policy never strands an
+ISM-heavy stream on the ISM-less Eyeriss shard while ISM-capable
+shards exist; and the planner ranks the co-designed systolic array as
+the cheapest homogeneous fleet for this ISM-heavy mix.
+"""
+
+from benchmarks.conftest import once
+from repro.cluster import (
+    ClusterEngine,
+    format_capacity_plan,
+    format_cluster_report,
+    format_policy_comparison,
+    plan_capacity,
+)
+from repro.pipeline import FrameStream, plan_keys
+
+SIZE = (96, 160)
+N_FRAMES = 45
+TARGET_FPS = 30.0
+FLEET = ("systolic", "systolic", "eyeriss", "gpu")
+POLICIES = ("round-robin", "least-loaded", "capability-aware")
+
+
+def _streams():
+    streams = [
+        FrameStream(f"street-{i}", network="DispNet", size=SIZE,
+                    n_frames=N_FRAMES, mode="ilar", pw=4)
+        for i in range(4)
+    ]
+    streams += [
+        FrameStream(f"gate-{i}", network="FlowNetC", size=SIZE,
+                    n_frames=N_FRAMES, mode="dct", pw=1)
+        for i in range(2)
+    ]
+    streams.append(FrameStream("dock-0", network="DispNet", size=(135, 240),
+                               n_frames=N_FRAMES, mode="ilar", pw=2))
+    streams.append(FrameStream("dock-1", network="PSMNet", size=SIZE,
+                               n_frames=N_FRAMES, mode="ilar", pw=8))
+    return streams
+
+
+def _run_all():
+    reports = [
+        ClusterEngine(list(FLEET), policy=policy).run(_streams())
+        for policy in POLICIES
+    ]
+    plan = plan_capacity(_streams(), target_fps=TARGET_FPS)
+    return reports, plan
+
+
+def test_cluster_policies(benchmark, save_table):
+    reports, plan = once(benchmark, _run_all)
+    by_policy = dict(zip(POLICIES, reports))
+
+    save_table("cluster_policies",
+               format_policy_comparison(reports, TARGET_FPS))
+    save_table("cluster_serving",
+               format_cluster_report(by_policy["capability-aware"]))
+    save_table("cluster_capacity", format_capacity_plan(plan))
+
+    n_frames_expected = sum(s.n_frames for s in _streams())
+    for report in reports:
+        # every stream served to completion, on some shard
+        assert report.total_frames == n_frames_expected
+        assert len(report.placement) == 8
+        assert report.aggregate_fps > 0
+        for shard in report.shards:
+            assert 0.0 <= shard.utilization <= 1.0
+
+    # cost-aware placement packs no worse than blind round-robin
+    def peak_util(report):
+        return max(s.utilization for s in report.shards)
+
+    assert peak_util(by_policy["least-loaded"]) <= \
+        peak_util(by_policy["round-robin"])
+    assert peak_util(by_policy["capability-aware"]) <= \
+        peak_util(by_policy["round-robin"])
+
+    # capability routing: ISM-heavy streams avoid the Eyeriss shard
+    ism_heavy = {
+        s.name for s in _streams() if not all(plan_keys(s))
+    }
+    placement = dict(by_policy["capability-aware"].placement)
+    for name in ism_heavy:
+        assert not placement[name].startswith("eyeriss")
+
+    # determinism: placements are identical across fresh runs
+    rerun = ClusterEngine(list(FLEET), policy="capability-aware").run(
+        _streams())
+    assert rerun.placement == by_policy["capability-aware"].placement
+
+    # the planner ranks the co-designed array cheapest for this mix
+    by_name = {p.backend: p for p in plan.options}
+    assert by_name["systolic"].demand < by_name["eyeriss"].demand
+    assert by_name["systolic"].demand < by_name["gpu"].demand
+    assert plan.best.backend == "systolic"
+    assert all(p.instances >= 1 for p in plan.options)

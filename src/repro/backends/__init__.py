@@ -17,6 +17,7 @@ decorate with :func:`register_backend`.
 from repro.backends.base import (
     MODES,
     BackendCapabilities,
+    BackendOccupancy,
     ExecutionBackend,
     UnsupportedModeError,
 )
@@ -34,6 +35,7 @@ from repro.backends.gpu import GPUBackend
 __all__ = [
     "MODES",
     "BackendCapabilities",
+    "BackendOccupancy",
     "ExecutionBackend",
     "EyerissBackend",
     "GPUBackend",

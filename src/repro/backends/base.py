@@ -23,6 +23,11 @@ converts, so heterogeneous backends compose in one report.
 Per-network results are memoized in a bounded LRU keyed by
 ``(network, mode, size)`` — see :meth:`ExecutionBackend.network_result`
 and :meth:`ExecutionBackend.cache_info`.
+
+Serving engines additionally record every run into the backend's
+lifetime :class:`BackendOccupancy` (busy seconds, served frames,
+utilization), so a cluster report can state how hot each accelerator
+ran.  See ``docs/backends.md`` for the full authoring guide.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.models.stereo_networks import QHD, network_specs
 __all__ = [
     "MODES",
     "BackendCapabilities",
+    "BackendOccupancy",
     "ExecutionBackend",
     "UnsupportedModeError",
 ]
@@ -52,12 +58,72 @@ MODES = ("baseline", "dct", "convr", "ilar")
 
 
 class UnsupportedModeError(ValueError):
-    """A backend was asked for an execution mode it cannot provide."""
+    """A backend was asked for an execution mode it cannot provide.
+
+    >>> from repro.backends import UnsupportedModeError, get_backend
+    >>> try:
+    ...     get_backend("gpu").require_mode("ilar")
+    ... except UnsupportedModeError as err:
+    ...     print("rejected")
+    rejected
+    """
+
+
+@dataclass
+class BackendOccupancy:
+    """Lifetime busy-time accounting of one backend instance.
+
+    Serving engines call :meth:`record_run` after every simulated run;
+    ``busy_s`` accumulates service time, ``span_s`` accumulates run
+    makespans, and :attr:`utilization` is their ratio — how hot this
+    accelerator ran over everything it has served.  Like the result
+    cache this is lifetime state: :meth:`reset` starts a fresh ledger.
+
+    >>> occ = BackendOccupancy()
+    >>> occ.record_run(busy_s=0.5, span_s=2.0, frames=30)
+    >>> occ.record_run(busy_s=0.5, span_s=2.0, frames=30)
+    >>> occ.frames, occ.utilization
+    (60, 0.25)
+    >>> occ.reset(); occ.utilization
+    0.0
+    """
+
+    busy_s: float = 0.0
+    span_s: float = 0.0
+    frames: int = 0
+    runs: int = 0
+
+    def record_run(self, busy_s: float, span_s: float, frames: int) -> None:
+        """Fold one simulated run into the ledger."""
+        if busy_s < 0 or span_s < 0 or frames < 0:
+            raise ValueError("occupancy contributions must be non-negative")
+        self.busy_s += busy_s
+        self.span_s += span_s
+        self.frames += frames
+        self.runs += 1
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the total served span (0.0 when idle)."""
+        return self.busy_s / self.span_s if self.span_s > 0 else 0.0
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self.busy_s = 0.0
+        self.span_s = 0.0
+        self.frames = 0
+        self.runs = 0
 
 
 @dataclass(frozen=True)
 class BackendCapabilities:
-    """What a backend can exploit beyond naive layer-by-layer conv."""
+    """What a backend can exploit beyond naive layer-by-layer conv.
+
+    >>> caps = BackendCapabilities(supports_dct=True, supports_ilar=False,
+    ...                            supports_ism=False)
+    >>> caps.modes
+    ('baseline', 'dct')
+    """
 
     supports_dct: bool = True   # deconvolution-to-convolution transform
     supports_ilar: bool = True  # inter-layer activation reuse scheduling
@@ -79,8 +145,14 @@ class ExecutionBackend(abc.ABC):
 
     Subclasses set :attr:`name`, :attr:`capabilities` and
     :attr:`frequency_hz` and implement the two abstract methods; the
-    base class provides mode validation, second conversion, and the
-    bounded per-``(network, mode, size)`` result cache.
+    base class provides mode validation, second conversion, the
+    bounded per-``(network, mode, size)`` result cache, and the
+    lifetime :class:`BackendOccupancy` ledger serving engines fill.
+
+    >>> from repro.backends import get_backend
+    >>> backend = get_backend("gpu")
+    >>> backend.name, backend.capabilities.supports_ism
+    ('gpu', True)
     """
 
     name: str = "abstract"
@@ -89,6 +161,7 @@ class ExecutionBackend(abc.ABC):
 
     def __init__(self, cache_size: int = 32):
         self._result_cache = LRUCache(maxsize=cache_size)
+        self.occupancy = BackendOccupancy()
 
     # ------------------------------------------------------------------
     # the protocol
@@ -107,10 +180,20 @@ class ExecutionBackend(abc.ABC):
     # shared behaviour
     # ------------------------------------------------------------------
     def supports_mode(self, mode: str) -> bool:
+        """Whether the capabilities admit ``mode``.
+
+        >>> from repro.backends import get_backend
+        >>> get_backend("eyeriss").supports_mode("ilar")
+        False
+        """
         return mode in self.capabilities.modes
 
     def require_mode(self, mode: str) -> None:
-        """Validate ``mode`` against :data:`MODES` and the capabilities."""
+        """Validate ``mode`` against :data:`MODES` and the capabilities.
+
+        >>> from repro.backends import get_backend
+        >>> get_backend("gpu").require_mode("baseline")  # accepted: no raise
+        """
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
         if not self.supports_mode(mode):
@@ -120,13 +203,27 @@ class ExecutionBackend(abc.ABC):
             )
 
     def seconds(self, result) -> float:
-        """Wall-clock time of a :class:`RunResult`/:class:`LayerResult`."""
+        """Wall-clock time of a :class:`RunResult`/:class:`LayerResult`.
+
+        >>> from repro.backends import get_backend
+        >>> backend = get_backend("gpu")
+        >>> result = backend.network_result("DispNet", size=(68, 120))
+        >>> backend.seconds(result) > 0
+        True
+        """
         return result.cycles / self.frequency_hz
 
     def network_result(
         self, network: str, mode: str = "baseline", size=QHD
     ) -> RunResult:
-        """Memoized :meth:`run_network` for a named stereo network."""
+        """Memoized :meth:`run_network` for a named stereo network.
+
+        >>> from repro.backends import get_backend
+        >>> backend = get_backend("gpu")
+        >>> first = backend.network_result("DispNet", size=(68, 120))
+        >>> backend.network_result("DispNet", size=(68, 120)) is first
+        True
+        """
         key = (network, mode, tuple(size))
         return self._result_cache.get_or_create(
             key, lambda: self.run_network(network_specs(network, size), mode=mode)
@@ -135,13 +232,32 @@ class ExecutionBackend(abc.ABC):
     def network_seconds(
         self, network: str, mode: str = "baseline", size=QHD
     ) -> float:
+        """Memoized wall-clock seconds of one named-network inference.
+
+        >>> from repro.backends import get_backend
+        >>> get_backend("gpu").network_seconds("DispNet", size=(68, 120)) > 0
+        True
+        """
         return self.seconds(self.network_result(network, mode, size))
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss statistics of the bounded result cache."""
+        """Hit/miss statistics of the bounded result cache.
+
+        >>> from repro.backends import get_backend
+        >>> get_backend("gpu").cache_info().misses
+        0
+        """
         return self._result_cache.cache_info()
 
     def clear_cache(self) -> None:
+        """Drop every memoized result and reset the hit/miss counters.
+
+        >>> from repro.backends import get_backend
+        >>> backend = get_backend("gpu")
+        >>> _ = backend.network_result("DispNet", size=(68, 120))
+        >>> backend.clear_cache(); backend.cache_info().currsize
+        0
+        """
         self._result_cache.clear()
 
     def __repr__(self):

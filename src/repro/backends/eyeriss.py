@@ -27,7 +27,18 @@ __all__ = ["EyerissBackend"]
 
 @register_backend("eyeriss")
 class EyerissBackend(ExecutionBackend):
-    """Row-stationary spatial array: DCT yes, ILAR no, ISM no."""
+    """Row-stationary spatial array: DCT yes, ILAR no, ISM no.
+
+    >>> backend = EyerissBackend()
+    >>> backend.capabilities.modes
+    ('baseline', 'dct')
+    >>> backend.nonkey_frame((68, 120))
+    Traceback (most recent call last):
+        ...
+    repro.backends.base.UnsupportedModeError: the Eyeriss-class array \
+has no scalar unit for the ISM point-wise stages; run full inference \
+every frame instead
+    """
 
     name = "eyeriss"
     capabilities = BackendCapabilities(

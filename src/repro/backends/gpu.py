@@ -29,7 +29,16 @@ __all__ = ["GPUBackend"]
 
 @register_backend("gpu")
 class GPUBackend(ExecutionBackend):
-    """Roofline GPU: baseline mode only, but ISM-capable."""
+    """Roofline GPU: baseline mode only, but ISM-capable.
+
+    >>> backend = GPUBackend()
+    >>> backend.capabilities.modes
+    ('baseline',)
+    >>> nonkey = backend.nonkey_frame((68, 120))
+    >>> key = backend.network_result("DispNet", size=(68, 120))
+    >>> backend.seconds(nonkey) < backend.seconds(key)
+    True
+    """
 
     name = "gpu"
     capabilities = BackendCapabilities(

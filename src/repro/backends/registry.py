@@ -38,7 +38,18 @@ _BUILTIN_MODULES = (
 
 
 def register_backend(name: str):
-    """Class/factory decorator adding an entry to the registry."""
+    """Class/factory decorator adding an entry to the registry.
+
+    >>> from repro.backends import available_backends
+    >>> @register_backend("doc-noop")
+    ... class NoopBackend(ExecutionBackend):
+    ...     name = "doc-noop"
+    ...     def run_network(self, specs, mode="baseline"): ...
+    ...     def nonkey_frame(self, size=(1080, 1920), config=None): ...
+    >>> "doc-noop" in available_backends()
+    True
+    >>> _ = _REGISTRY.pop("doc-noop")  # keep the example side-effect-free
+    """
 
     def decorate(factory: Callable[..., ExecutionBackend]):
         _REGISTRY[name] = factory
@@ -53,7 +64,11 @@ def _load_builtins() -> None:
 
 
 def available_backends() -> tuple[str, ...]:
-    """Sorted names of every registered backend."""
+    """Sorted names of every registered backend.
+
+    >>> {"eyeriss", "gpu", "systolic"} <= set(available_backends())
+    True
+    """
     _load_builtins()
     return tuple(sorted(_REGISTRY))
 
@@ -64,6 +79,13 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
     Keyword arguments are forwarded to the backend factory; all
     built-ins accept ``hw``, ``energy`` and ``cache_size`` (the GPU
     backend, a fixed product, accepts and ignores ``hw``/``energy``).
+
+    >>> get_backend("gpu").name
+    'gpu'
+    >>> get_backend("tpu-v9")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown backend 'tpu-v9'; available: ...
     """
     if name not in _REGISTRY:
         _load_builtins()

@@ -30,7 +30,14 @@ __all__ = ["SystolicBackend"]
 
 @register_backend("systolic")
 class SystolicBackend(ExecutionBackend):
-    """ASV's systolic array: supports every optimization level."""
+    """ASV's systolic array: supports every optimization level.
+
+    >>> backend = SystolicBackend()
+    >>> backend.capabilities.modes
+    ('baseline', 'dct', 'convr', 'ilar')
+    >>> backend.nonkey_frame((68, 120)).cycles > 0   # ISM runs on-chip
+    True
+    """
 
     name = "systolic"
     capabilities = BackendCapabilities(

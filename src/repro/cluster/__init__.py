@@ -1,0 +1,74 @@
+"""Heterogeneous cluster serving: many streams, a fleet of backends.
+
+The scaling layer above :mod:`repro.pipeline`::
+
+    from repro.cluster import ClusterEngine, plan_capacity
+    from repro.pipeline import kitti_stream, sceneflow_stream
+
+    streams = [kitti_stream(seed=i) for i in range(8)]
+    engine = ClusterEngine(
+        ["systolic", "systolic", "eyeriss", "gpu"],
+        policy="capability-aware",
+    )
+    report = engine.run(streams)
+    print(report.aggregate_fps, report.worst_p99_ms)
+
+    plan = plan_capacity(streams, target_fps=30.0)
+    print(plan.best.backend, plan.best.instances)
+
+* :class:`ClusterEngine` — shard N camera streams across M
+  heterogeneous :class:`~repro.backends.base.ExecutionBackend`
+  instances and serve every shard with the shared FIFO cost core;
+* placement policies (``round-robin`` / ``least-loaded`` /
+  ``capability-aware``), pluggable via
+  :func:`register_placement_policy`;
+* :class:`ClusterReport` — per-stream tails, per-shard utilization,
+  and fleet throughput;
+* :func:`plan_capacity` — "how many of which accelerator do I need"
+  for a stream set and target rate.
+
+See ``docs/serving.md`` (usage) and ``docs/architecture.md`` (layer
+diagram).
+"""
+
+from repro.cluster.engine import ClusterEngine
+from repro.cluster.planner import (
+    BackendPlan,
+    CapacityPlan,
+    format_capacity_plan,
+    plan_capacity,
+)
+from repro.cluster.policies import (
+    CapabilityAwarePolicy,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    available_policies,
+    get_policy,
+    register_placement_policy,
+)
+from repro.cluster.report import (
+    BackendShard,
+    ClusterReport,
+    format_cluster_report,
+    format_policy_comparison,
+)
+
+__all__ = [
+    "BackendPlan",
+    "BackendShard",
+    "CapabilityAwarePolicy",
+    "CapacityPlan",
+    "ClusterEngine",
+    "ClusterReport",
+    "LeastLoadedPolicy",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "available_policies",
+    "format_capacity_plan",
+    "format_cluster_report",
+    "format_policy_comparison",
+    "get_policy",
+    "plan_capacity",
+    "register_placement_policy",
+]

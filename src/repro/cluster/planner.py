@@ -1,0 +1,167 @@
+"""Capacity planning: how many of which accelerator do I need?
+
+The cluster engine answers "what happens on *this* fleet"; the planner
+answers the sizing question that comes first.  :func:`plan_capacity`
+takes the camera streams to serve, the per-camera target rate, and a
+catalog of candidate accelerator types, and sizes a homogeneous fleet
+of each type using the same modeled per-frame costs the serving
+engines charge (:meth:`~repro.pipeline.costing.FrameCoster.
+stream_demand`):
+
+* a stream's *demand* on a backend type is the busy seconds per
+  wall-clock second it imposes at the target rate (key frames at the
+  stream's degraded execution mode, non-key frames through ISM where
+  the type supports it);
+* the instances needed are the summed demand divided by the per-
+  instance utilization cap (below 1.0 keeps head-room for queueing
+  tails), rounded up.
+
+The result ranks every catalog entry so the answer reads "3× systolic,
+or 9× eyeriss, or 17× gpu — build the systolic fleet".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import get_backend
+from repro.pipeline.costing import FrameCoster
+from repro.pipeline.stream import FrameStream
+from repro.tables import render_table
+
+__all__ = [
+    "BackendPlan",
+    "CapacityPlan",
+    "format_capacity_plan",
+    "plan_capacity",
+]
+
+
+@dataclass(frozen=True)
+class BackendPlan:
+    """Sizing of a homogeneous fleet of one accelerator type.
+
+    >>> plan = BackendPlan(backend="gpu", demand=2.5, instances=3,
+    ...                    utilization_cap=1.0, n_streams=6)
+    >>> plan.streams_per_instance
+    2.0
+    >>> round(plan.fleet_utilization, 3)
+    0.833
+    """
+
+    backend: str
+    #: summed modeled utilization of every stream at the target rate
+    demand: float
+    instances: int
+    utilization_cap: float
+    n_streams: int
+
+    @property
+    def streams_per_instance(self) -> float:
+        """Average cameras each instance carries in this fleet."""
+        return self.n_streams / self.instances
+
+    @property
+    def fleet_utilization(self) -> float:
+        """Mean busy fraction across the sized fleet."""
+        return self.demand / self.instances
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Ranked fleet options for one stream set and target rate.
+
+    ``options`` is sorted cheapest-fleet-first (fewest instances, then
+    lowest demand, then name — fully deterministic); :attr:`best` is
+    the front of that ranking.
+    """
+
+    target_fps: float
+    n_streams: int
+    options: tuple[BackendPlan, ...]
+
+    @property
+    def best(self) -> BackendPlan:
+        """The cheapest option (fewest instances)."""
+        return self.options[0]
+
+
+def plan_capacity(
+    streams: Sequence[FrameStream],
+    target_fps: float = 30.0,
+    catalog: Sequence[str | ExecutionBackend] = ("systolic", "eyeriss", "gpu"),
+    utilization_cap: float = 0.9,
+) -> CapacityPlan:
+    """Size a homogeneous fleet of each catalog type for ``streams``.
+
+    Every stream is planned at ``target_fps`` (its own ``fps`` field is
+    ignored — the question is "what do I buy to serve these cameras at
+    the target rate").  ``utilization_cap`` is the per-instance load
+    ceiling; 0.9 leaves 10% head-room so queueing tails stay bounded.
+
+    >>> from repro.pipeline import FrameStream
+    >>> streams = [FrameStream(f"cam{i}", size=(68, 120)) for i in range(4)]
+    >>> plan = plan_capacity(streams, target_fps=30.0, catalog=("gpu",))
+    >>> plan.best.backend, plan.best.instances >= 1
+    ('gpu', True)
+    """
+    streams = list(streams)
+    if not streams:
+        raise ValueError("need at least one stream to plan for")
+    if target_fps <= 0:
+        raise ValueError("target fps must be positive")
+    if not 0 < utilization_cap <= 1.0:
+        raise ValueError("utilization cap must be in (0, 1]")
+    if not catalog:
+        raise ValueError("the catalog must name at least one backend type")
+
+    options = []
+    for entry in catalog:
+        backend = get_backend(entry) if isinstance(entry, str) else entry
+        coster = FrameCoster(backend)
+        demand = sum(
+            coster.stream_demand(stream, fps=target_fps) for stream in streams
+        )
+        # the 1e-9 guard keeps an exactly-full instance from rounding up
+        instances = max(1, math.ceil(demand / utilization_cap - 1e-9))
+        options.append(
+            BackendPlan(
+                backend=backend.name,
+                demand=demand,
+                instances=instances,
+                utilization_cap=utilization_cap,
+                n_streams=len(streams),
+            )
+        )
+    options.sort(key=lambda p: (p.instances, p.demand, p.backend))
+    return CapacityPlan(
+        target_fps=target_fps,
+        n_streams=len(streams),
+        options=tuple(options),
+    )
+
+
+def format_capacity_plan(plan: CapacityPlan) -> str:
+    """The ranked fleet-sizing table.
+
+    >>> from repro.pipeline import FrameStream
+    >>> plan = plan_capacity([FrameStream("cam", size=(68, 120))],
+    ...                      catalog=("gpu",))
+    >>> "instances" in format_capacity_plan(plan)
+    True
+    """
+    rows = [
+        [p.backend, p.demand, p.instances, p.streams_per_instance,
+         p.fleet_utilization]
+        for p in plan.options
+    ]
+    return render_table(
+        f"Capacity plan — {plan.n_streams} cameras at "
+        f"{plan.target_fps:.0f} fps (cap "
+        f"{plan.options[0].utilization_cap:.0%}/instance)",
+        ["backend", "demand", "instances", "cams/instance", "fleet util"],
+        rows,
+    )

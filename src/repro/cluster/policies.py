@@ -1,0 +1,223 @@
+"""Placement policies: which backend serves which camera stream.
+
+A policy maps N streams onto M backends *before* the run — placement
+is static for a run, like a camera fleet pinned to accelerator boards.
+Policies are deterministic pure functions of the streams and the
+backends' cost models: the same inputs always produce the same
+placement (regression-tested), so capacity decisions are auditable.
+
+Three built-ins cover the standard trade-offs (``docs/serving.md``
+discusses when to pick which):
+
+* ``round-robin`` — ignore costs, deal streams out in order;
+* ``least-loaded`` — greedy bin packing by modeled utilization
+  (:meth:`~repro.pipeline.costing.FrameCoster.stream_demand`);
+* ``capability-aware`` — like least-loaded, but first route streams
+  that benefit from the ISM non-key pipeline to ISM-capable backends
+  and prefer backends that natively schedule the stream's requested
+  execution mode.
+
+New policies plug in with :func:`register_placement_policy`, mirroring
+the backend registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.pipeline.costing import FrameCoster, plan_keys
+from repro.pipeline.stream import FrameStream
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "CapabilityAwarePolicy",
+    "available_policies",
+    "get_policy",
+    "register_placement_policy",
+]
+
+_REGISTRY: dict[str, Callable[[], "PlacementPolicy"]] = {}
+
+
+def register_placement_policy(name: str):
+    """Class/factory decorator adding a policy to the registry.
+
+    >>> @register_placement_policy("doc-first-backend")
+    ... class FirstBackendPolicy:
+    ...     name = "doc-first-backend"
+    ...     def assign(self, streams, costers):
+    ...         return [0] * len(streams)
+    >>> "doc-first-backend" in available_policies()
+    True
+    >>> _ = _REGISTRY.pop("doc-first-backend")  # side-effect-free example
+    """
+
+    def decorate(factory: Callable[[], "PlacementPolicy"]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_policies() -> tuple[str, ...]:
+    """Sorted names of every registered placement policy.
+
+    >>> {"round-robin", "least-loaded", "capability-aware"} <= set(
+    ...     available_policies())
+    True
+    """
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy(name: str) -> "PlacementPolicy":
+    """Construct a placement policy by name.
+
+    >>> get_policy("round-robin").name
+    'round-robin'
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; "
+            f"available: {available_policies()}"
+        ) from None
+    return factory()
+
+
+class PlacementPolicy:
+    """The protocol: map streams to backend indices.
+
+    Subclasses implement :meth:`assign`, returning one backend index
+    per stream (``placement[i]`` is the backend serving stream ``i``).
+    Implementations must be deterministic — break ties by the lowest
+    backend index.
+    """
+
+    name: str = "abstract"
+
+    def assign(
+        self,
+        streams: Sequence[FrameStream],
+        costers: Sequence[FrameCoster],
+    ) -> list[int]:
+        """One backend index per stream."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def _wants_ism(stream: FrameStream) -> bool:
+    """Whether the stream's key plan has frames ISM could serve."""
+    return not all(plan_keys(stream, supports_ism=True))
+
+
+def _greedy_least_loaded(
+    streams: Sequence[FrameStream],
+    costers: Sequence[FrameCoster],
+    candidates_for: Callable[[FrameStream], Sequence[int]],
+) -> list[int]:
+    """Greedy packing: each stream goes to its least-loaded candidate.
+
+    Load is the summed modeled utilization already placed on a
+    backend; ties break toward the lowest backend index so the
+    placement is deterministic.
+    """
+    load = [0.0] * len(costers)
+    placement: list[int] = []
+    for stream in streams:
+        candidates = candidates_for(stream)
+        demands = {j: costers[j].stream_demand(stream) for j in candidates}
+        best = min(candidates, key=lambda j: (load[j] + demands[j], j))
+        load[best] += demands[best]
+        placement.append(best)
+    return placement
+
+
+@register_placement_policy("round-robin")
+class RoundRobinPolicy(PlacementPolicy):
+    """Deal streams out in order, ignoring costs and capabilities.
+
+    >>> from repro.backends import get_backend
+    >>> from repro.pipeline import FrameCoster, FrameStream
+    >>> costers = [FrameCoster(get_backend("gpu")) for _ in range(2)]
+    >>> streams = [FrameStream(f"cam{i}", size=(68, 120)) for i in range(3)]
+    >>> RoundRobinPolicy().assign(streams, costers)
+    [0, 1, 0]
+    """
+
+    name = "round-robin"
+
+    def assign(self, streams, costers):
+        return [i % len(costers) for i in range(len(streams))]
+
+
+@register_placement_policy("least-loaded")
+class LeastLoadedPolicy(PlacementPolicy):
+    """Greedy packing by modeled utilization.
+
+    Each stream is placed on the backend whose accumulated modeled
+    demand (plus this stream's demand *on that backend*) is lowest —
+    a heterogeneous fleet therefore shifts work toward its faster
+    members instead of dealing frames out blindly.
+
+    >>> from repro.backends import get_backend
+    >>> from repro.pipeline import FrameCoster, FrameStream
+    >>> costers = [FrameCoster(get_backend("gpu")) for _ in range(2)]
+    >>> streams = [FrameStream(f"cam{i}", size=(68, 120)) for i in range(2)]
+    >>> LeastLoadedPolicy().assign(streams, costers)  # one stream each
+    [0, 1]
+    """
+
+    name = "least-loaded"
+
+    def assign(self, streams, costers):
+        indices = tuple(range(len(costers)))
+        return _greedy_least_loaded(streams, costers, lambda _s: indices)
+
+
+@register_placement_policy("capability-aware")
+class CapabilityAwarePolicy(PlacementPolicy):
+    """Route ISM-heavy streams to ISM-capable backends first.
+
+    Candidate filtering happens in two tiers before the least-loaded
+    tie-break: streams whose key plan leaves frames to propagate
+    (PW > 1) prefer backends whose capabilities include the ISM
+    non-key pipeline; within the surviving candidates, backends that
+    natively schedule the stream's requested execution mode (no
+    fallback along ``ilar -> convr -> dct -> baseline``) are
+    preferred.  Either tier falls back to the full fleet when no
+    backend qualifies, so the policy always places every stream.
+
+    >>> from repro.backends import get_backend
+    >>> from repro.pipeline import FrameCoster, FrameStream
+    >>> costers = [FrameCoster(get_backend("eyeriss")),   # no ISM
+    ...            FrameCoster(get_backend("gpu"))]       # ISM-capable
+    >>> stream = FrameStream("cam", size=(68, 120), pw=4, mode="baseline")
+    >>> CapabilityAwarePolicy().assign([stream], costers)
+    [1]
+    """
+
+    name = "capability-aware"
+
+    def assign(self, streams, costers):
+        everyone = tuple(range(len(costers)))
+
+        def candidates_for(stream):
+            pool = everyone
+            if _wants_ism(stream):
+                ism = tuple(
+                    j for j in pool
+                    if costers[j].backend.capabilities.supports_ism
+                )
+                pool = ism or pool
+            native = tuple(
+                j for j in pool
+                if costers[j].backend.supports_mode(stream.mode)
+            )
+            return native or pool
+
+        return _greedy_least_loaded(streams, costers, candidates_for)

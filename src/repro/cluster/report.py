@@ -1,0 +1,193 @@
+"""Cluster reports: fleet-level aggregation of per-backend serving runs.
+
+A cluster run produces one :class:`~repro.pipeline.report.EngineReport`
+per backend shard (exactly the single-backend report — the degenerate
+one-backend cluster is bit-identical to :class:`~repro.pipeline.engine.
+StreamEngine`) plus the fleet view this module adds: where every
+stream was placed, how hot each backend ran relative to the cluster
+makespan, and the cluster-level throughput/tail numbers a capacity
+decision needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.report import EngineReport, StreamStats
+from repro.tables import render_table
+
+__all__ = [
+    "BackendShard",
+    "ClusterReport",
+    "format_cluster_report",
+    "format_policy_comparison",
+]
+
+
+@dataclass(frozen=True)
+class BackendShard:
+    """One backend's slice of a cluster run.
+
+    ``label`` distinguishes repeated instances of the same backend
+    type (``systolic:0``, ``systolic:1``); ``report`` is the ordinary
+    single-backend :class:`~repro.pipeline.report.EngineReport` over
+    the streams placed on this shard; ``utilization`` is the shard's
+    busy time divided by the *cluster* makespan, so an idle shard
+    shows up as head-room rather than vanishing from the ledger.
+
+    >>> from repro.cache import CacheInfo
+    >>> report = EngineReport(backend="gpu", streams=[], total_frames=0,
+    ...                       makespan_s=0.0, aggregate_fps=0.0,
+    ...                       mean_service_s=0.0, cache=CacheInfo(0, 0, 0, 0))
+    >>> BackendShard(label="gpu:0", report=report, utilization=0.0).idle
+    True
+    """
+
+    label: str
+    report: EngineReport
+    utilization: float
+
+    @property
+    def idle(self) -> bool:
+        """Whether no stream was placed on this shard."""
+        return self.report.total_frames == 0
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Outcome of serving a set of streams on a backend fleet.
+
+    The fleet makespan is the slowest shard's makespan (shards serve
+    their queues concurrently); aggregate fps, the per-stream stats,
+    and the sustainable-stream capacity aggregate over every shard.
+
+    >>> from repro.cluster import ClusterEngine
+    >>> from repro.pipeline import FrameStream
+    >>> report = ClusterEngine(["gpu", "gpu"]).run(
+    ...     [FrameStream(f"cam{i}", size=(68, 120), n_frames=4)
+    ...      for i in range(2)])
+    >>> report.placement
+    (('cam0', 'gpu:0'), ('cam1', 'gpu:1'))
+    >>> report.total_frames
+    8
+    """
+
+    policy: str
+    shards: tuple[BackendShard, ...]
+    #: ``(stream name, shard label)`` pairs, in original stream order
+    placement: tuple[tuple[str, str], ...]
+    total_frames: int
+    makespan_s: float
+
+    @property
+    def aggregate_fps(self) -> float:
+        """Frames served per second of cluster makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_frames / self.makespan_s
+
+    @property
+    def stream_stats(self) -> list[StreamStats]:
+        """Every stream's statistics, in original placement order."""
+        by_name = {
+            s.stream: s for shard in self.shards for s in shard.report.streams
+        }
+        return [by_name[name] for name, _label in self.placement]
+
+    @property
+    def worst_p99_ms(self) -> float:
+        """The worst per-stream p99 latency anywhere in the fleet."""
+        return max(s.p99_ms for s in self.stream_stats)
+
+    def sustainable_streams(self, target_fps: float = 30.0) -> int:
+        """Camera streams the fleet sustains at ``target_fps``.
+
+        The sum of every shard's capacity bound.  Shards that served
+        no frames contribute zero — an observed mean service time is
+        required; use :func:`~repro.cluster.planner.plan_capacity` for
+        model-driven (rather than run-driven) sizing.
+        """
+        return sum(
+            shard.report.sustainable_streams(target_fps)
+            for shard in self.shards
+        )
+
+    def shard_for(self, stream_name: str) -> str:
+        """The shard label a stream was placed on.
+
+        >>> from repro.cluster import ClusterEngine
+        >>> from repro.pipeline import FrameStream
+        >>> report = ClusterEngine(["gpu"]).run(
+        ...     [FrameStream("cam", size=(68, 120), n_frames=2)])
+        >>> report.shard_for("cam")
+        'gpu:0'
+        """
+        for name, label in self.placement:
+            if name == stream_name:
+                return label
+        raise KeyError(f"no stream {stream_name!r} in this run")
+
+
+def format_cluster_report(report: ClusterReport) -> str:
+    """Two tables: per-stream latencies (with shard) + shard summary.
+
+    >>> from repro.cluster import ClusterEngine
+    >>> from repro.pipeline import FrameStream
+    >>> run = ClusterEngine(["gpu"]).run(
+    ...     [FrameStream("cam", size=(68, 120), n_frames=2)])
+    >>> text = format_cluster_report(run)
+    >>> "gpu:0" in text and "util" in text
+    True
+    """
+    placed = dict(report.placement)
+    stream_rows = [
+        [s.stream, placed[s.stream], s.frames, s.key_frames,
+         s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms]
+        for s in report.stream_stats
+    ]
+    streams_table = render_table(
+        f"Cluster serving ({report.policy}) — "
+        f"{report.aggregate_fps:.1f} fps aggregate over "
+        f"{len(report.shards)} backends",
+        ["stream", "shard", "frames", "keys",
+         "mean ms", "p50 ms", "p95 ms", "p99 ms"],
+        stream_rows,
+    )
+    shard_rows = [
+        [shard.label, len(shard.report.streams), shard.report.total_frames,
+         shard.report.makespan_s, shard.utilization,
+         shard.report.cache.hit_rate]
+        for shard in report.shards
+    ]
+    shards_table = render_table(
+        "Backend shards",
+        ["shard", "streams", "frames", "makespan s", "util", "cache hit"],
+        shard_rows,
+    )
+    return f"{streams_table}\n\n{shards_table}"
+
+
+def format_policy_comparison(
+    reports: list[ClusterReport], target_fps: float = 30.0
+) -> str:
+    """One row per placement policy over the same streams and fleet.
+
+    >>> from repro.cluster import ClusterEngine
+    >>> from repro.pipeline import FrameStream
+    >>> streams = [FrameStream("cam", size=(68, 120), n_frames=2)]
+    >>> run = ClusterEngine(["gpu"]).run(streams)
+    >>> "policy" in format_policy_comparison([run])
+    True
+    """
+    rows = [
+        [r.policy, len(r.shards), r.total_frames, r.aggregate_fps,
+         r.worst_p99_ms, max(s.utilization for s in r.shards),
+         r.sustainable_streams(target_fps)]
+        for r in reports
+    ]
+    return render_table(
+        f"Placement policies at {target_fps:.0f} fps target",
+        ["policy", "backends", "frames", "agg fps",
+         "worst p99 ms", "max util", f"streams@{target_fps:.0f}fps"],
+        rows,
+    )

@@ -14,13 +14,24 @@ Production-shaped serving on top of the execution-backend layer::
 * :class:`FrameStream` — one camera stream (geometry, rate, network,
   mode, key-frame policy), with factories over every procedural
   dataset;
+* :class:`FrameCoster` / :func:`plan_keys` — the per-frame cost model
+  and key-frame planning shared by the single-backend engine and the
+  multi-accelerator cluster layer (:mod:`repro.cluster`);
 * :class:`StreamEngine` — FIFO discrete-event scheduling of key and
   non-key frames across N concurrent streams on one backend;
 * :class:`EngineReport` / :class:`StreamStats` — p50/p95/p99 frame
-  latency per stream, aggregate fps, streams sustainable at a target
-  rate, and result-cache hit statistics.
+  latency per stream, aggregate fps, backend utilization, streams
+  sustainable at a target rate, and result-cache hit statistics.
+
+The full serving guide lives in ``docs/serving.md``.
 """
 
+from repro.pipeline.costing import (
+    MODE_FALLBACK,
+    FrameCoster,
+    ServeOutcome,
+    plan_keys,
+)
 from repro.pipeline.engine import StreamEngine
 from repro.pipeline.report import (
     EngineReport,
@@ -37,12 +48,16 @@ from repro.pipeline.stream import (
 
 __all__ = [
     "EngineReport",
+    "FrameCoster",
     "FrameStream",
+    "MODE_FALLBACK",
+    "ServeOutcome",
     "StreamEngine",
     "StreamStats",
     "format_backend_comparison",
     "format_report",
     "kitti_stream",
+    "plan_keys",
     "sceneflow_stream",
     "stress_stream",
 ]

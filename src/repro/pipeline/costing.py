@@ -1,0 +1,249 @@
+"""Reusable per-frame costing and FIFO service simulation.
+
+This module is the cost core that :class:`~repro.pipeline.engine.
+StreamEngine` (one backend) and :class:`~repro.cluster.engine.
+ClusterEngine` (a fleet of backends) share.  It answers three
+questions about a :class:`~repro.pipeline.stream.FrameStream` on one
+:class:`~repro.backends.base.ExecutionBackend`:
+
+* *which frames are key frames?* — :func:`plan_keys` replays the
+  stream's key-frame policy (see ``docs/serving.md``);
+* *what does one frame cost?* — :meth:`FrameCoster.key_frame_seconds`
+  and :meth:`FrameCoster.nonkey_frame_seconds`, with execution modes
+  degraded along :data:`MODE_FALLBACK` to what the backend supports;
+* *what happens when frames queue?* — :meth:`FrameCoster.serve`, the
+  analytic FIFO discrete-event simulation, returning a
+  :class:`ServeOutcome`.
+
+Because both engines route every frame through the same
+:class:`FrameCoster`, a one-backend cluster reproduces the
+single-backend engine *exactly* (this is regression-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import ExecutionBackend
+from repro.pipeline.stream import FrameStream
+
+__all__ = ["MODE_FALLBACK", "FrameCoster", "ServeOutcome", "plan_keys"]
+
+#: Mode degradation order: each entry falls back to the ones after it.
+MODE_FALLBACK = ("ilar", "convr", "dct", "baseline")
+
+
+def plan_keys(stream: FrameStream, supports_ism: bool = True) -> list[bool]:
+    """Key/non-key decision for every frame of ``stream``.
+
+    Replays a fresh instance of the stream's key-frame policy over the
+    frame indices (policies are stateful, so the policy sees every
+    frame even when frame 0 is forced key).  On a backend without ISM
+    support every frame is a key frame.
+
+    >>> from repro.pipeline import FrameStream
+    >>> plan_keys(FrameStream("cam", n_frames=6, pw=3))
+    [True, False, False, True, False, False]
+    >>> plan_keys(FrameStream("cam", n_frames=3, pw=3), supports_ism=False)
+    [True, True, True]
+    """
+    if not supports_ism:
+        return [True] * stream.n_frames
+    policy = stream.make_policy()
+    context: dict = {}
+    # always consult the policy so stateful (adaptive) policies see
+    # every frame; frame 0 is forced key
+    return [policy.is_key(i, context) or i == 0 for i in range(stream.n_frames)]
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """Raw result of one FIFO service simulation.
+
+    Engine layers wrap this into their user-facing reports
+    (:class:`~repro.pipeline.report.EngineReport`,
+    :class:`~repro.cluster.report.ClusterReport`).
+
+    >>> out = ServeOutcome(latencies_s=((0.01, 0.02),), key_counts=(1,),
+    ...                    total_frames=2, makespan_s=0.5, busy_s=0.03)
+    >>> out.aggregate_fps
+    4.0
+    >>> out.mean_service_s
+    0.015
+    """
+
+    #: per-stream frame latencies (seconds), in stream order
+    latencies_s: tuple[tuple[float, ...], ...]
+    #: per-stream key-frame counts, in stream order
+    key_counts: tuple[int, ...]
+    total_frames: int
+    makespan_s: float
+    #: summed service time — the backend's busy time during the run
+    busy_s: float
+
+    @property
+    def aggregate_fps(self) -> float:
+        """Frames served per second of makespan."""
+        return self.total_frames / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def mean_service_s(self) -> float:
+        """Mean per-frame service time (0.0 for an empty run)."""
+        return self.busy_s / self.total_frames if self.total_frames else 0.0
+
+
+class FrameCoster:
+    """Per-frame service costs of camera streams on one backend.
+
+    The cost model behind both serving engines: key frames pay the
+    backend's memoized network schedule, non-key frames pay the ISM
+    propagation pipeline, and requested execution modes degrade along
+    :data:`MODE_FALLBACK` to the best mode the backend supports.
+
+    >>> from repro.backends import get_backend
+    >>> coster = FrameCoster(get_backend("gpu"))
+    >>> coster.effective_mode("ilar")   # the GPU runs dense deconvs
+    'baseline'
+    """
+
+    def __init__(self, backend: ExecutionBackend):
+        self.backend = backend
+        # non-key costs depend only on (size, ism config); memoize so
+        # a long stream pays the analytic model once, like key frames
+        self._nonkey_memo: dict = {}
+
+    def effective_mode(self, requested: str) -> str:
+        """Best supported mode at or below the requested level.
+
+        >>> from repro.backends import get_backend
+        >>> FrameCoster(get_backend("gpu")).effective_mode("dct")
+        'baseline'
+        """
+        if requested not in MODE_FALLBACK:
+            raise ValueError(
+                f"unknown mode {requested!r}; choose from {MODE_FALLBACK}"
+            )
+        for mode in MODE_FALLBACK[MODE_FALLBACK.index(requested):]:
+            if self.backend.supports_mode(mode):
+                return mode
+        return "baseline"
+
+    def key_frame_seconds(self, stream: FrameStream) -> float:
+        """Service time of one key frame (full DNN inference).
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> coster.key_frame_seconds(FrameStream("cam", size=(68, 120))) > 0
+        True
+        """
+        result = self.backend.network_result(
+            stream.network, self.effective_mode(stream.mode), stream.size
+        )
+        return self.backend.seconds(result)
+
+    def nonkey_frame_seconds(self, stream: FrameStream) -> float:
+        """Service time of one ISM non-key frame (propagation).
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> stream = FrameStream("cam", size=(68, 120))
+        >>> 0 < coster.nonkey_frame_seconds(stream)
+        True
+        >>> coster.nonkey_frame_seconds(stream) < coster.key_frame_seconds(stream)
+        True
+        """
+        key = (tuple(stream.size), stream.ism)
+        if key not in self._nonkey_memo:
+            result = self.backend.nonkey_frame(stream.size, stream.ism)
+            self._nonkey_memo[key] = self.backend.seconds(result)
+        return self._nonkey_memo[key]
+
+    def frame_seconds(self, stream: FrameStream, is_key: bool) -> float:
+        """Service time of one frame of ``stream``."""
+        if is_key:
+            return self.key_frame_seconds(stream)
+        return self.nonkey_frame_seconds(stream)
+
+    def stream_demand(
+        self, stream: FrameStream, fps: float | None = None
+    ) -> float:
+        """Modeled utilization ``stream`` imposes on this backend.
+
+        The expected busy seconds per wall-clock second: the stream's
+        frame rate times the mean per-frame service time under its
+        planned key/non-key schedule.  A demand of 1.0 saturates the
+        backend on its own.  ``fps`` overrides the stream's own rate
+        (the capacity planner plans at a target rate).
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> stream = FrameStream("cam", size=(68, 120), fps=30.0)
+        >>> coster.stream_demand(stream, fps=60.0) == (
+        ...     2 * coster.stream_demand(stream))
+        True
+        """
+        keys = plan_keys(stream, self.backend.capabilities.supports_ism)
+        total = sum(self.frame_seconds(stream, k) for k in keys)
+        rate = stream.fps if fps is None else fps
+        return rate * total / len(keys)
+
+    # ------------------------------------------------------------------
+    # the FIFO simulation
+    # ------------------------------------------------------------------
+    def serve(self, streams: list[FrameStream]) -> ServeOutcome:
+        """Serve ``streams`` to completion on the backend, FIFO.
+
+        Every stream delivers frames at its camera rate; the backend
+        is a single shared resource servicing frames in arrival order.
+        The simulation is analytic (arrival, queueing wait, service) —
+        no wall clock, so runs are deterministic.  The run is recorded
+        in the backend's lifetime :class:`~repro.backends.base.
+        BackendOccupancy`.
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> out = coster.serve([FrameStream("cam", size=(68, 120),
+        ...                                 n_frames=4, mode="baseline")])
+        >>> out.total_frames, len(out.latencies_s[0])
+        (4, 4)
+        """
+        supports_ism = self.backend.capabilities.supports_ism
+
+        # arrival plan: (time, stream index, frame index, is_key)
+        arrivals = []
+        key_counts = [0] * len(streams)
+        for si, stream in enumerate(streams):
+            for i, is_key in enumerate(plan_keys(stream, supports_ism)):
+                key_counts[si] += is_key
+                arrivals.append((i / stream.fps, si, i, is_key))
+        arrivals.sort(key=lambda a: (a[0], a[1], a[2]))
+
+        latencies: list[list[float]] = [[] for _ in streams]
+        server_free = 0.0
+        busy = 0.0
+        for t, si, _i, is_key in arrivals:
+            service = self.frame_seconds(streams[si], is_key)
+            start = max(t, server_free)
+            done = start + service
+            server_free = done
+            busy += service
+            latencies[si].append(done - t)
+
+        outcome = ServeOutcome(
+            latencies_s=tuple(tuple(lat) for lat in latencies),
+            key_counts=tuple(key_counts),
+            total_frames=len(arrivals),
+            makespan_s=server_free,
+            busy_s=busy,
+        )
+        if streams:  # an idle shard's empty serve is not a run
+            self.backend.occupancy.record_run(
+                busy_s=outcome.busy_s,
+                span_s=outcome.makespan_s,
+                frames=outcome.total_frames,
+            )
+        return outcome

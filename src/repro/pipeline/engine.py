@@ -7,7 +7,7 @@ key-frame policy decides between full DNN inference and the cheap ISM
 non-key pipeline — on backends whose capabilities lack ISM support,
 every frame pays full inference, and requested execution modes
 degrade gracefully to the best mode the backend schedules
-(``ilar -> convr -> dct -> baseline``).
+(``ilar -> convr -> dct -> baseline``; see ``docs/serving.md``).
 
 Key-frame costs come from the backend's bounded per-``(network, mode,
 size)`` result cache, so a many-stream run schedules each distinct
@@ -15,32 +15,44 @@ workload once and the report can state its cache hit rate.
 
 The simulation is an analytic discrete-event model (arrival, queueing
 wait, service), which is exactly what the underlying latency models
-support — no wall-clock measurement, so runs are deterministic.
+support — no wall-clock measurement, so runs are deterministic.  The
+costing and FIFO core live in :mod:`repro.pipeline.costing` and are
+shared with the multi-accelerator :class:`~repro.cluster.engine.
+ClusterEngine`.
 
 Key-frame policies receive a per-stream context dict that persists
 across the stream's frames, but the engine is cost-only: it does not
 run optical flow, so pixel-derived signals (``last_flow``) are never
-populated and a :class:`MotionAdaptivePolicy` degrades to its static
-PW-``max_window`` behaviour here.  Accuracy-side experiments that
-want true adaptive keying should run :class:`repro.core.ISM` over the
-stream's pixel data instead.
+populated and a :class:`~repro.core.keyframe.MotionAdaptivePolicy`
+degrades to its static PW-``max_window`` behaviour here — the
+"Key-frame policies" section of ``docs/serving.md`` explains the
+cost-only contract and how to run true adaptive keying with
+:class:`repro.core.ISM` over the stream's pixel data instead.
 """
 
 from __future__ import annotations
 
 from repro.backends.base import ExecutionBackend
 from repro.backends.registry import get_backend
-from repro.pipeline.report import EngineReport, StreamStats
+from repro.pipeline.costing import MODE_FALLBACK, FrameCoster
+from repro.pipeline.report import EngineReport
 from repro.pipeline.stream import FrameStream
 
 __all__ = ["StreamEngine"]
 
-#: Mode degradation order: each entry falls back to the ones after it.
-_MODE_FALLBACK = ("ilar", "convr", "dct", "baseline")
+#: Backwards-compatible alias; the canonical order lives in costing.
+_MODE_FALLBACK = MODE_FALLBACK
 
 
 class StreamEngine:
-    """Schedules key/non-key frames of many streams on one backend."""
+    """Schedules key/non-key frames of many streams on one backend.
+
+    >>> from repro.pipeline import FrameStream, StreamEngine
+    >>> engine = StreamEngine("gpu")
+    >>> report = engine.run([FrameStream("cam", size=(68, 120), n_frames=6)])
+    >>> report.backend, report.total_frames
+    ('gpu', 6)
+    """
 
     def __init__(self, backend: str | ExecutionBackend, **backend_kwargs):
         if isinstance(backend, str):
@@ -48,90 +60,54 @@ class StreamEngine:
         elif backend_kwargs:
             raise ValueError("backend_kwargs only apply to named backends")
         self.backend = backend
-        # non-key costs depend only on (size, ism config); memoize so
-        # a long stream pays the analytic model once, like key frames
-        self._nonkey_memo: dict = {}
+        self.coster = FrameCoster(backend)
 
     # ------------------------------------------------------------------
-    # per-frame costs
+    # per-frame costs (delegated to the shared coster)
     # ------------------------------------------------------------------
     def effective_mode(self, requested: str) -> str:
-        """Best supported mode at or below the requested level."""
-        if requested not in _MODE_FALLBACK:
-            raise ValueError(
-                f"unknown mode {requested!r}; choose from {_MODE_FALLBACK}"
-            )
-        for mode in _MODE_FALLBACK[_MODE_FALLBACK.index(requested):]:
-            if self.backend.supports_mode(mode):
-                return mode
-        return "baseline"
+        """Best supported mode at or below the requested level.
+
+        >>> StreamEngine("gpu").effective_mode("ilar")
+        'baseline'
+        """
+        return self.coster.effective_mode(requested)
 
     def key_frame_seconds(self, stream: FrameStream) -> float:
-        result = self.backend.network_result(
-            stream.network, self.effective_mode(stream.mode), stream.size
-        )
-        return self.backend.seconds(result)
+        """Service time of one of ``stream``'s key frames.
+
+        >>> from repro.pipeline import FrameStream
+        >>> stream = FrameStream("cam", size=(68, 120))
+        >>> StreamEngine("gpu").key_frame_seconds(stream) > 0
+        True
+        """
+        return self.coster.key_frame_seconds(stream)
 
     def nonkey_frame_seconds(self, stream: FrameStream) -> float:
-        key = (tuple(stream.size), stream.ism)
-        if key not in self._nonkey_memo:
-            result = self.backend.nonkey_frame(stream.size, stream.ism)
-            self._nonkey_memo[key] = self.backend.seconds(result)
-        return self._nonkey_memo[key]
+        """Service time of one of ``stream``'s ISM non-key frames.
+
+        >>> from repro.pipeline import FrameStream
+        >>> stream = FrameStream("cam", size=(68, 120))
+        >>> StreamEngine("gpu").nonkey_frame_seconds(stream) > 0
+        True
+        """
+        return self.coster.nonkey_frame_seconds(stream)
 
     # ------------------------------------------------------------------
     # the run
     # ------------------------------------------------------------------
     def run(self, streams: list[FrameStream]) -> EngineReport:
-        """Serve every stream to completion; return the latency report."""
+        """Serve every stream to completion; return the latency report.
+
+        >>> from repro.pipeline import FrameStream
+        >>> report = StreamEngine("gpu").run(
+        ...     [FrameStream("cam", size=(68, 120), n_frames=4, pw=2)])
+        >>> report.streams[0].key_frames
+        2
+        """
         if not streams:
             raise ValueError("need at least one stream")
-        supports_ism = self.backend.capabilities.supports_ism
-
-        # arrival plan: (time, stream index, frame index, is_key)
-        arrivals = []
-        key_counts = [0] * len(streams)
-        for si, stream in enumerate(streams):
-            policy = stream.make_policy()
-            context: dict = {}
-            for i in range(stream.n_frames):
-                if supports_ism:
-                    # always consult the policy so stateful (adaptive)
-                    # policies see every frame; frame 0 is forced key
-                    is_key = policy.is_key(i, context) or i == 0
-                else:
-                    is_key = True
-                key_counts[si] += is_key
-                arrivals.append((i / stream.fps, si, i, is_key))
-        arrivals.sort(key=lambda a: (a[0], a[1], a[2]))
-
-        latencies: list[list[float]] = [[] for _ in streams]
-        server_free = 0.0
-        busy = 0.0
-        for t, si, _i, is_key in arrivals:
-            stream = streams[si]
-            service = (
-                self.key_frame_seconds(stream)
-                if is_key
-                else self.nonkey_frame_seconds(stream)
-            )
-            start = max(t, server_free)
-            done = start + service
-            server_free = done
-            busy += service
-            latencies[si].append(done - t)
-
-        total_frames = len(arrivals)
-        makespan = server_free
-        return EngineReport(
-            backend=self.backend.name,
-            streams=[
-                StreamStats.from_latencies(s.name, lat, keys)
-                for s, lat, keys in zip(streams, latencies, key_counts)
-            ],
-            total_frames=total_frames,
-            makespan_s=makespan,
-            aggregate_fps=total_frames / makespan if makespan > 0 else 0.0,
-            mean_service_s=busy / total_frames,
-            cache=self.backend.cache_info(),
+        outcome = self.coster.serve(streams)
+        return EngineReport.from_serve(
+            self.backend.name, streams, outcome, self.backend.cache_info()
         )

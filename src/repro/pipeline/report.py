@@ -3,9 +3,11 @@
 A stream deployment is judged by its tail, not its mean — SceneScan-
 class stereo systems advertise sustained frames per second and bounded
 worst-case latency.  :class:`EngineReport` therefore carries p50/p95/
-p99 per stream, the aggregate frame rate over the run's makespan, and
-the number of camera streams the backend could sustain at a target
-rate given the observed mean service time.
+p99 per stream, the aggregate frame rate over the run's makespan, the
+backend's busy fraction (utilization), and the number of camera
+streams the backend could sustain at a target rate given the observed
+mean service time.  The cluster layer aggregates these per-backend
+reports into a :class:`~repro.cluster.report.ClusterReport`.
 """
 
 from __future__ import annotations
@@ -27,7 +29,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class StreamStats:
-    """Latency statistics of one camera stream over a run."""
+    """Latency statistics of one camera stream over a run.
+
+    >>> stats = StreamStats.from_latencies("cam", [0.010, 0.020], 1)
+    >>> stats.frames, stats.key_frames, round(stats.mean_ms, 1)
+    (2, 1, 15.0)
+    """
 
     stream: str
     frames: int
@@ -42,6 +49,11 @@ class StreamStats:
     def from_latencies(
         cls, stream: str, latencies_s, key_frames: int
     ) -> "StreamStats":
+        """Summarize raw per-frame latencies (seconds) into statistics.
+
+        >>> StreamStats.from_latencies("cam", [0.004] * 10, 2).p99_ms
+        4.0
+        """
         lat_ms = 1e3 * np.asarray(latencies_s, dtype=np.float64)
         p50, p95, p99 = np.percentile(lat_ms, [50.0, 95.0, 99.0])
         return cls(
@@ -58,7 +70,16 @@ class StreamStats:
 
 @dataclass(frozen=True)
 class EngineReport:
-    """Outcome of serving a set of streams on one backend."""
+    """Outcome of serving a set of streams on one backend.
+
+    >>> from repro.cache import CacheInfo
+    >>> report = EngineReport(backend="toy", streams=[], total_frames=60,
+    ...                       makespan_s=2.0, aggregate_fps=30.0,
+    ...                       mean_service_s=0.001,
+    ...                       cache=CacheInfo(0, 0, 0, 0), busy_s=0.06)
+    >>> report.utilization
+    0.03
+    """
 
     backend: str
     streams: list[StreamStats]
@@ -67,10 +88,54 @@ class EngineReport:
     aggregate_fps: float
     mean_service_s: float
     cache: CacheInfo
+    busy_s: float = 0.0
+
+    @classmethod
+    def from_serve(
+        cls, backend: str, streams, outcome, cache: CacheInfo
+    ) -> "EngineReport":
+        """Build the report from a :class:`~repro.pipeline.costing.
+        ServeOutcome` (the raw FIFO-simulation result).
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> from repro.pipeline.costing import FrameCoster
+        >>> backend = get_backend("gpu")
+        >>> coster = FrameCoster(backend)
+        >>> streams = [FrameStream("cam", size=(68, 120), n_frames=4)]
+        >>> report = EngineReport.from_serve(
+        ...     "gpu", streams, coster.serve(streams), backend.cache_info())
+        >>> report.total_frames
+        4
+        """
+        return cls(
+            backend=backend,
+            streams=[
+                StreamStats.from_latencies(s.name, lat, keys)
+                for s, lat, keys in zip(
+                    streams, outcome.latencies_s, outcome.key_counts
+                )
+            ],
+            total_frames=outcome.total_frames,
+            makespan_s=outcome.makespan_s,
+            aggregate_fps=outcome.aggregate_fps,
+            mean_service_s=outcome.mean_service_s,
+            cache=cache,
+            busy_s=outcome.busy_s,
+        )
 
     def sustainable_streams(self, target_fps: float = 30.0) -> int:
         """Camera streams the backend sustains at ``target_fps`` given
-        the observed mean per-frame service time (capacity bound)."""
+        the observed mean per-frame service time (capacity bound).
+
+        >>> from repro.cache import CacheInfo
+        >>> report = EngineReport(backend="toy", streams=[], total_frames=1,
+        ...                       makespan_s=1.0, aggregate_fps=1.0,
+        ...                       mean_service_s=0.001,
+        ...                       cache=CacheInfo(0, 0, 0, 0))
+        >>> report.sustainable_streams(30.0)
+        33
+        """
         if target_fps <= 0:
             raise ValueError("target fps must be positive")
         if self.mean_service_s <= 0:
@@ -78,12 +143,32 @@ class EngineReport:
         return int(1.0 / (target_fps * self.mean_service_s))
 
     @property
+    def utilization(self) -> float:
+        """Busy fraction of the run's makespan (0.0 for an empty run)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.busy_s / self.makespan_s
+
+    @property
     def worst_p99_ms(self) -> float:
+        """The worst per-stream p99 latency — the deployment's tail.
+
+        0.0 for a report with no streams (an idle cluster shard).
+        """
+        if not self.streams:
+            return 0.0
         return max(s.p99_ms for s in self.streams)
 
 
 def format_report(report: EngineReport) -> str:
-    """Per-stream latency table for one backend run."""
+    """Per-stream latency table for one backend run.
+
+    >>> from repro.pipeline import FrameStream, StreamEngine
+    >>> report = StreamEngine("gpu").run(
+    ...     [FrameStream("cam", size=(68, 120), n_frames=4)])
+    >>> "p99 ms" in format_report(report)
+    True
+    """
     rows = [
         [s.stream, s.frames, s.key_frames, s.mean_ms,
          s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms]
@@ -103,7 +188,14 @@ def format_report(report: EngineReport) -> str:
 def format_backend_comparison(
     reports: list[EngineReport], target_fps: float = 30.0
 ) -> str:
-    """Streams-vs-backend throughput table across engine runs."""
+    """Streams-vs-backend throughput table across engine runs.
+
+    >>> from repro.pipeline import FrameStream, StreamEngine
+    >>> report = StreamEngine("gpu").run(
+    ...     [FrameStream("cam", size=(68, 120), n_frames=4)])
+    >>> "streams@30fps" in format_backend_comparison([report])
+    True
+    """
     rows = [
         [r.backend, len(r.streams), r.total_frames, r.aggregate_fps,
          r.worst_p99_ms, r.sustainable_streams(target_fps)]

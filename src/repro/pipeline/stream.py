@@ -40,6 +40,12 @@ class FrameStream:
     is used.  ``frame_source`` is a zero-argument callable returning
     an iterable of :class:`StereoFrame`; cost-only streams leave it
     ``None``.
+
+    >>> stream = FrameStream("cam", network="DispNet", pw=4, fps=30.0)
+    >>> stream.has_pixels       # cost-only: geometry without pixels
+    False
+    >>> stream.make_policy()
+    PW-4
     """
 
     name: str
@@ -64,17 +70,33 @@ class FrameStream:
             raise ValueError("propagation window must be >= 1")
 
     def make_policy(self):
-        """A fresh key-frame policy instance for one engine run."""
+        """A fresh key-frame policy instance for one engine run.
+
+        >>> from repro.core.keyframe import MotionAdaptivePolicy
+        >>> stream = FrameStream("cam", policy_factory=MotionAdaptivePolicy)
+        >>> stream.make_policy()
+        Adaptive(max=8, thr=4.0)
+        """
         if self.policy_factory is not None:
             return self.policy_factory()
         return StaticKeyFramePolicy(self.pw)
 
     @property
     def has_pixels(self) -> bool:
+        """Whether a pixel :attr:`frame_source` is attached.
+
+        >>> FrameStream("cam").has_pixels
+        False
+        """
         return self.frame_source is not None
 
     def frames(self) -> Iterator[StereoFrame]:
-        """Yield the stream's pixel data (requires a frame source)."""
+        """Yield the stream's pixel data (requires a frame source).
+
+        >>> frame = next(sceneflow_stream(seed=0, size=(32, 48)).frames())
+        >>> frame.left.shape
+        (32, 48)
+        """
         if self.frame_source is None:
             raise ValueError(
                 f"stream {self.name!r} is cost-only; attach a frame_source"
@@ -90,7 +112,12 @@ def sceneflow_stream(
     max_disp: int = 48,
     **kwargs,
 ) -> FrameStream:
-    """A stream over one SceneFlow-style flying-objects scene."""
+    """A stream over one SceneFlow-style flying-objects scene.
+
+    >>> stream = sceneflow_stream(seed=1, size=(32, 48), n_frames=2)
+    >>> stream.name, len(list(stream.frames()))
+    ('sceneflow-1', 2)
+    """
     def source():
         scene = sceneflow_scene(seed, size=size, max_disp=max_disp)
         for t in range(n_frames):
@@ -118,6 +145,10 @@ def kitti_stream(
     KITTI's structure is two consecutive frames per scene, so a longer
     stream chains scene pairs — matching how the paper's KITTI
     evaluation only exercises PW-2 propagation.
+
+    >>> stream = kitti_stream(seed=0, size=(32, 48), n_frames=3)
+    >>> stream.name, len(list(stream.frames()))
+    ('kitti-0', 3)
     """
     def source():
         produced = 0
@@ -149,7 +180,16 @@ def stress_stream(
     max_disp: int = 32,
     **kwargs,
 ) -> FrameStream:
-    """A stream over one of the stereo-matching stress scenes."""
+    """A stream over one of the stereo-matching stress scenes.
+
+    >>> stress_stream(kind="repetitive", seed=2, size=(32, 48)).name
+    'repetitive-2'
+    >>> stress_stream(kind="foggy")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown stress kind 'foggy'; choose from \
+['repetitive', 'textureless']
+    """
     makers = {"textureless": textureless_scene, "repetitive": repetitive_scene}
     try:
         maker = makers[kind]

@@ -1,0 +1,314 @@
+"""The heterogeneous cluster layer: placement, serving, planning."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.cluster import (
+    ClusterEngine,
+    available_policies,
+    format_capacity_plan,
+    format_cluster_report,
+    format_policy_comparison,
+    get_policy,
+    plan_capacity,
+    register_placement_policy,
+)
+from repro.pipeline import FrameStream, StreamEngine
+
+TINY = (68, 120)
+POLICIES = ("round-robin", "least-loaded", "capability-aware")
+
+
+def _stream(name, **kwargs):
+    kwargs.setdefault("network", "DispNet")
+    kwargs.setdefault("mode", "baseline")
+    kwargs.setdefault("n_frames", 8)
+    return FrameStream(name, size=TINY, **kwargs)
+
+
+def _mixed_streams():
+    return [
+        _stream("cam0", pw=4),
+        _stream("cam1", pw=2, network="FlowNetC"),
+        _stream("cam2", pw=1, mode="dct"),
+        _stream("cam3", pw=8),
+    ]
+
+
+# ----------------------------------------------------------------------
+# placement policies
+# ----------------------------------------------------------------------
+class TestPlacementPolicies:
+    def test_registry(self):
+        assert set(POLICIES) <= set(available_policies())
+        for name in POLICIES:
+            assert get_policy(name).name == name
+        with pytest.raises(ValueError, match="unknown placement policy"):
+            get_policy("random")
+
+    def test_round_robin_pattern(self):
+        engine = ClusterEngine(["gpu", "gpu", "gpu"], policy="round-robin")
+        streams = [_stream(f"cam{i}") for i in range(5)]
+        assert engine.place(streams) == [0, 1, 2, 0, 1]
+
+    def test_least_loaded_balances_identical_streams(self):
+        engine = ClusterEngine(["gpu", "gpu"], policy="least-loaded")
+        streams = [_stream(f"cam{i}") for i in range(4)]
+        assert engine.place(streams) == [0, 1, 0, 1]
+
+    def test_least_loaded_prefers_cheaper_backend(self):
+        # one ilar stream: the co-designed systolic array is far
+        # cheaper per frame than the dense GPU, so it goes there
+        engine = ClusterEngine(["gpu", "systolic"], policy="least-loaded")
+        assert engine.place([_stream("cam", mode="ilar", pw=4)]) == [1]
+
+    def test_capability_aware_routes_ism_streams(self):
+        engine = ClusterEngine(["eyeriss", "gpu"], policy="capability-aware")
+        # PW-4 leaves non-key frames to propagate: needs ISM -> gpu
+        assert engine.place([_stream("ism-heavy", pw=4)]) == [1]
+        # PW-1 never propagates; eyeriss natively schedules dct
+        assert engine.place([_stream("all-key", pw=1, mode="dct")]) == [0]
+
+    def test_capability_aware_falls_back_without_ism_backends(self):
+        engine = ClusterEngine(
+            ["eyeriss", "eyeriss"], policy="capability-aware"
+        )
+        placement = engine.place([_stream("cam", pw=4)])
+        assert placement in ([0], [1])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_placement_is_deterministic(self, policy):
+        def fresh_placement():
+            engine = ClusterEngine(
+                ["systolic", "eyeriss", "gpu"], policy=policy
+            )
+            return engine.place(_mixed_streams())
+
+        first = fresh_placement()
+        assert fresh_placement() == first
+        assert len(first) == 4
+        assert all(0 <= i < 3 for i in first)
+
+    def test_custom_policy_plugs_in(self):
+        @register_placement_policy("pin-last")
+        class PinLast:
+            name = "pin-last"
+
+            def assign(self, streams, costers):
+                return [len(costers) - 1] * len(streams)
+
+        engine = ClusterEngine(["gpu", "gpu"], policy="pin-last")
+        report = engine.run([_stream("cam", n_frames=4)])
+        assert report.shard_for("cam") == "gpu:1"
+
+    def test_bad_policy_output_rejected(self):
+        class Broken:
+            name = "broken"
+
+            def assign(self, streams, costers):
+                return [99] * len(streams)
+
+        engine = ClusterEngine(["gpu"], policy=Broken())
+        with pytest.raises(ValueError, match="outside the fleet"):
+            engine.place([_stream("cam")])
+
+        class Short:
+            name = "short"
+
+            def assign(self, streams, costers):
+                return []
+
+        engine = ClusterEngine(["gpu"], policy=Short())
+        with pytest.raises(ValueError, match="placed 0 of 1"):
+            engine.place([_stream("cam")])
+
+
+# ----------------------------------------------------------------------
+# the cluster engine
+# ----------------------------------------------------------------------
+class TestClusterEngine:
+    @pytest.mark.parametrize("backend", ["gpu", "systolic"])
+    def test_one_backend_cluster_is_exactly_stream_engine(self, backend):
+        """The degenerate case: ClusterEngine([b]) == StreamEngine(b).
+
+        round-robin never probes costs, so even the cache statistics
+        match and the embedded report is *equal*, field for field.
+        """
+        streams = _mixed_streams()
+        single = StreamEngine(backend).run(streams)
+        cluster = ClusterEngine([backend], policy="round-robin").run(streams)
+        assert len(cluster.shards) == 1
+        assert cluster.shards[0].report == single
+        assert cluster.makespan_s == single.makespan_s
+        assert cluster.aggregate_fps == single.aggregate_fps
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_degenerate_latencies_match_across_policies(self, policy):
+        """Cost-probing policies may touch the cache, but the served
+        latencies, key counts and makespan are still identical."""
+        streams = _mixed_streams()
+        single = StreamEngine("gpu").run(streams)
+        cluster = ClusterEngine(["gpu"], policy=policy).run(streams)
+        assert cluster.shards[0].report.streams == single.streams
+        assert cluster.makespan_s == single.makespan_s
+
+    def test_labels_disambiguate_repeated_types(self):
+        engine = ClusterEngine(["systolic", "systolic", "gpu"])
+        assert engine.labels == ["systolic:0", "systolic:1", "gpu:0"]
+
+    def test_run_conserves_streams_and_frames(self):
+        streams = _mixed_streams()
+        report = ClusterEngine(
+            ["systolic", "eyeriss", "gpu"], policy="capability-aware"
+        ).run(streams)
+        assert report.total_frames == sum(s.n_frames for s in streams)
+        assert sorted(name for name, _ in report.placement) == sorted(
+            s.name for s in streams
+        )
+        assert [s.stream for s in report.stream_stats] == [
+            s.name for s in streams
+        ]
+        assert report.aggregate_fps > 0
+        assert report.worst_p99_ms > 0
+
+    def test_idle_shard_reported_as_headroom(self):
+        backends = [get_backend("gpu"), get_backend("gpu")]
+        report = ClusterEngine(backends, policy="round-robin").run(
+            [_stream("cam", n_frames=4)]
+        )
+        busy, idle = report.shards
+        assert not busy.idle and idle.idle
+        assert idle.utilization == 0.0
+        assert idle.report.streams == []
+        # an idle shard's empty serve is not a run in the ledger
+        assert backends[1].occupancy.runs == 0
+        assert backends[0].occupancy.runs == 1
+
+    def test_shard_utilizations_bounded(self):
+        report = ClusterEngine(
+            ["systolic", "gpu"], policy="least-loaded"
+        ).run(_mixed_streams())
+        for shard in report.shards:
+            assert 0.0 <= shard.utilization <= 1.0
+        assert max(s.utilization for s in report.shards) > 0.0
+
+    def test_occupancy_ledger_filled(self):
+        backend = get_backend("gpu")
+        report = ClusterEngine([backend]).run([_stream("cam", n_frames=6)])
+        assert backend.occupancy.frames == 6
+        assert backend.occupancy.runs == 1
+        assert backend.occupancy.busy_s > 0
+        assert report.shards[0].report.total_frames == 6
+
+    def test_sustainable_streams_sums_shards(self):
+        report = ClusterEngine(["gpu", "gpu"], policy="round-robin").run(
+            [_stream("a", n_frames=6), _stream("b", n_frames=6)]
+        )
+        per_shard = [
+            shard.report.sustainable_streams(30.0) for shard in report.shards
+        ]
+        assert report.sustainable_streams(30.0) == sum(per_shard)
+
+    def test_shard_for_unknown_stream(self):
+        report = ClusterEngine(["gpu"]).run([_stream("cam", n_frames=2)])
+        with pytest.raises(KeyError):
+            report.shard_for("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            ClusterEngine([])
+        with pytest.raises(ValueError, match="at least one stream"):
+            ClusterEngine(["gpu"]).run([])
+
+    def test_duplicate_stream_names_rejected(self):
+        """Placement and reports are keyed by name; dupes would
+        silently alias one stream's stats onto the other."""
+        with pytest.raises(ValueError, match="unique.*'cam'"):
+            ClusterEngine(["gpu"]).run(
+                [_stream("cam", n_frames=2), _stream("cam", n_frames=6)]
+            )
+
+    def test_idle_shard_worst_p99_is_zero(self):
+        report = ClusterEngine(["gpu", "gpu", "gpu"]).run(
+            [_stream("cam", n_frames=4)]
+        )
+        idle = [s for s in report.shards if s.idle]
+        assert idle and all(s.report.worst_p99_ms == 0.0 for s in idle)
+        assert report.worst_p99_ms > 0
+
+    def test_formatting(self):
+        streams = [_stream("cam", n_frames=4)]
+        reports = [
+            ClusterEngine(["gpu", "gpu"], policy=p).run(streams)
+            for p in POLICIES
+        ]
+        text = format_cluster_report(reports[0])
+        assert "gpu:0" in text and "util" in text and "cam" in text
+        comparison = format_policy_comparison(reports, target_fps=30.0)
+        for policy in POLICIES:
+            assert policy in comparison
+
+
+# ----------------------------------------------------------------------
+# the capacity planner
+# ----------------------------------------------------------------------
+class TestCapacityPlanner:
+    def test_plan_shape_and_ranking(self):
+        plan = plan_capacity(
+            _mixed_streams(), target_fps=30.0, catalog=("eyeriss", "gpu")
+        )
+        assert plan.n_streams == 4
+        keys = [(p.instances, p.demand, p.backend) for p in plan.options]
+        assert keys == sorted(keys)
+        assert plan.best is plan.options[0]
+        for option in plan.options:
+            assert option.instances >= 1
+            assert option.demand > 0
+            assert option.fleet_utilization <= option.utilization_cap + 1e-9
+
+    def test_ism_capable_systolic_needs_least_capacity(self):
+        # ISM-heavy mix: the co-designed array's demand is lowest
+        streams = [_stream(f"cam{i}", pw=4, mode="ilar") for i in range(3)]
+        plan = plan_capacity(
+            streams, target_fps=30.0, catalog=("systolic", "eyeriss", "gpu")
+        )
+        by_name = {p.backend: p for p in plan.options}
+        assert by_name["systolic"].demand < by_name["eyeriss"].demand
+        assert by_name["systolic"].demand < by_name["gpu"].demand
+        assert plan.best.backend == "systolic"
+
+    def test_demand_scales_linearly_with_target_fps(self):
+        streams = [_stream("cam")]
+        at30 = plan_capacity(streams, 30.0, catalog=("gpu",))
+        at60 = plan_capacity(streams, 60.0, catalog=("gpu",))
+        assert at60.options[0].demand == pytest.approx(
+            2 * at30.options[0].demand
+        )
+
+    def test_large_fleet_scales_out(self):
+        streams = [_stream(f"cam{i}", pw=1) for i in range(64)]
+        plan = plan_capacity(streams, 60.0, catalog=("gpu",))
+        gpu = plan.options[0]
+        assert gpu.instances > 1
+        assert gpu.streams_per_instance == pytest.approx(64 / gpu.instances)
+
+    def test_determinism(self):
+        streams = _mixed_streams()
+        first = plan_capacity(streams, 30.0, catalog=("eyeriss", "gpu"))
+        second = plan_capacity(streams, 30.0, catalog=("eyeriss", "gpu"))
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one stream"):
+            plan_capacity([], 30.0)
+        with pytest.raises(ValueError, match="target fps"):
+            plan_capacity([_stream("cam")], 0.0)
+        with pytest.raises(ValueError, match="utilization cap"):
+            plan_capacity([_stream("cam")], 30.0, utilization_cap=1.5)
+        with pytest.raises(ValueError, match="catalog"):
+            plan_capacity([_stream("cam")], 30.0, catalog=())
+
+    def test_formatting(self):
+        plan = plan_capacity([_stream("cam")], 30.0, catalog=("gpu",))
+        text = format_capacity_plan(plan)
+        assert "gpu" in text and "instances" in text

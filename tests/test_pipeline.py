@@ -3,14 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.backends import get_backend
+from repro.backends import BackendCapabilities, ExecutionBackend, get_backend
 from repro.core.keyframe import StaticKeyFramePolicy
+from repro.hw.energy import EnergyBreakdown
+from repro.hw.systolic import LayerResult, RunResult
 from repro.pipeline import (
     FrameStream,
     StreamEngine,
     format_backend_comparison,
     format_report,
     kitti_stream,
+    plan_keys,
     sceneflow_stream,
     stress_stream,
 )
@@ -153,6 +156,85 @@ class TestStreamEngine:
         # queue grows linearly: the tail is ~2x the median, far above
         # the flat profile of an unloaded server
         assert s.p99_ms > 1.5 * s.p50_ms
+
+
+class _RecordingBackend(ExecutionBackend):
+    """A stub target with configurable capabilities that records the
+    execution mode each scheduled network actually ran under."""
+
+    name = "recording-stub"
+    frequency_hz = 1.0e9
+
+    def __init__(self, capabilities: BackendCapabilities):
+        super().__init__()
+        self.capabilities = capabilities
+        self.modes_run: list[str] = []
+
+    def _result(self, name, cycles):
+        return LayerResult(
+            name=name, cycles=cycles, compute_cycles=cycles,
+            memory_cycles=0, macs=cycles, dram_bytes=0, sram_bytes=0,
+            energy=EnergyBreakdown(),
+        )
+
+    def run_network(self, specs, mode="baseline"):
+        self.require_mode(mode)
+        self.modes_run.append(mode)
+        return RunResult([self._result("stub-net", 1000)])
+
+    def nonkey_frame(self, size=(68, 120), config=None):
+        return self._result("stub-nonkey", 10)
+
+
+class TestModeDegradation:
+    """Requested modes degrade along ilar -> convr -> dct -> baseline
+    to the best mode a restricted backend supports."""
+
+    CASES = [
+        # (dct, ilar) capability -> expected chain per requested mode
+        ((True, True), {"ilar": "ilar", "convr": "convr",
+                        "dct": "dct", "baseline": "baseline"}),
+        ((True, False), {"ilar": "dct", "convr": "dct",
+                         "dct": "dct", "baseline": "baseline"}),
+        # ILAR without DCT: reuse modes run natively, but a plain DCT
+        # request must skip to baseline (dct is not below convr)
+        ((False, True), {"ilar": "ilar", "convr": "convr",
+                         "dct": "baseline", "baseline": "baseline"}),
+        ((False, False), {"ilar": "baseline", "convr": "baseline",
+                          "dct": "baseline", "baseline": "baseline"}),
+    ]
+
+    @pytest.mark.parametrize("caps,expected", CASES)
+    def test_effective_mode_chain(self, caps, expected):
+        dct, ilar = caps
+        backend = _RecordingBackend(BackendCapabilities(
+            supports_dct=dct, supports_ilar=ilar, supports_ism=True))
+        engine = StreamEngine(backend)
+        for requested, effective in expected.items():
+            assert engine.effective_mode(requested) == effective
+
+    def test_degraded_mode_reaches_the_backend(self):
+        """The engine schedules the *degraded* mode, not the request."""
+        backend = _RecordingBackend(BackendCapabilities(
+            supports_dct=True, supports_ilar=False, supports_ism=True))
+        engine = StreamEngine(backend)
+        report = engine.run([FrameStream(
+            "cam", size=(68, 120), n_frames=4, pw=2, mode="ilar")])
+        assert backend.modes_run == ["dct"]  # scheduled once, cached
+        assert report.total_frames == 4
+
+    def test_ism_less_restricted_backend_keys_every_frame(self):
+        backend = _RecordingBackend(BackendCapabilities(
+            supports_dct=False, supports_ilar=False, supports_ism=False))
+        report = StreamEngine(backend).run([FrameStream(
+            "cam", size=(68, 120), n_frames=5, pw=4, mode="ilar")])
+        assert report.streams[0].key_frames == 5
+        assert backend.modes_run == ["baseline"]
+
+    def test_plan_keys_matches_served_key_counts(self):
+        stream = FrameStream("cam", size=(68, 120), n_frames=9, pw=3)
+        assert sum(plan_keys(stream)) == 3
+        assert plan_keys(stream, supports_ism=False) == [True] * 9
 
 
 class TestReportFormatting:
