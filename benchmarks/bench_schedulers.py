@@ -1,0 +1,114 @@
+"""Frame schedulers under overload — FIFO vs EDF vs priority vs shed.
+
+Serves an overloaded eight-stream mix (~1.1x the systolic array's
+capacity: four tight-deadline HUD streams at 8 ms budgets, four
+patient logging streams at 600 ms) under every registered scheduling
+discipline and tabulates the trade-offs.
+
+Shape assertions (the QoS contract, also pinned at small scale in
+``tests/test_schedulers.py``): ``edf`` misses strictly fewer
+deadlines than ``fifo``; ``shed`` achieves a strictly lower p99
+latency than ``fifo`` with a nonzero drop rate; ``fifo`` never drops;
+every discipline accounts for every offered frame; and all outcomes
+are deterministic across fresh runs.
+
+``ASV_BENCH_FRAMES`` overrides the per-stream frame count so CI can
+smoke-run the bench with a tiny budget (see ``.github/workflows/
+ci.yml``).
+"""
+
+import os
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.backends import get_backend
+from repro.pipeline import (
+    EngineReport,
+    FrameStream,
+    StreamEngine,
+    format_report,
+)
+from repro.tables import render_table
+
+SIZE = (68, 120)
+N_FRAMES = int(os.environ.get("ASV_BENCH_FRAMES", "60"))
+FPS = 60.0
+SCHEDULERS = ("fifo", "edf", "priority", "shed")
+
+
+def _streams():
+    """Four tight-deadline streams + four patient ones, ~1.1x load."""
+    tight = [
+        FrameStream(f"hud-{i}", size=SIZE, n_frames=N_FRAMES, fps=FPS,
+                    mode="baseline", pw=2, deadline_s=0.008, priority=1)
+        for i in range(4)
+    ]
+    loose = [
+        FrameStream(f"log-{i}", size=SIZE, n_frames=N_FRAMES, fps=FPS,
+                    mode="baseline", pw=2, deadline_s=0.6)
+        for i in range(4)
+    ]
+    return tight + loose
+
+
+def _run_all():
+    return {
+        name: StreamEngine("systolic", scheduler=name).run(_streams())
+        for name in SCHEDULERS
+    }
+
+
+def _p99_ms(report: EngineReport) -> float:
+    return max(s.p99_ms for s in report.streams if s.frames)
+
+
+def _comparison_table(reports) -> str:
+    rows = [
+        [name, r.total_frames, r.dropped_frames, r.deadline_miss_rate,
+         r.drop_rate, _p99_ms(r), r.worst_lateness_ms, r.utilization]
+        for name, r in reports.items()
+    ]
+    return render_table(
+        f"Schedulers on an overloaded 8-stream mix "
+        f"({N_FRAMES} frames/stream at {FPS:.0f} fps)",
+        ["scheduler", "served", "dropped", "miss rate", "drop rate",
+         "p99 ms", "worst late ms", "util"],
+        rows,
+    )
+
+
+def test_scheduler_disciplines(benchmark, save_table):
+    reports = once(benchmark, _run_all)
+
+    save_table("scheduler_disciplines", _comparison_table(reports))
+    save_table("scheduler_shed_streams", format_report(reports["shed"]))
+
+    offered = sum(s.n_frames for s in _streams())
+    for name, report in reports.items():
+        assert report.scheduler == name
+        assert report.offered_frames == offered
+        assert 0.0 <= report.drop_rate <= report.deadline_miss_rate <= 1.0
+
+    # EDF spends the machine on frames that can still make it
+    assert (reports["edf"].deadline_miss_rate
+            < reports["fifo"].deadline_miss_rate)
+
+    # shedding bounds the tail and reports what it refused
+    assert _p99_ms(reports["shed"]) < _p99_ms(reports["fifo"])
+    assert reports["shed"].drop_rate > 0.0
+    assert reports["fifo"].drop_rate == 0.0
+    assert reports["priority"].drop_rate == 0.0
+
+    # the high-priority HUD streams beat the logging streams under
+    # the priority discipline
+    by_name = {s.stream: s for s in reports["priority"].streams}
+    worst_hud = max(by_name[f"hud-{i}"].p99_ms for i in range(4))
+    best_log = min(by_name[f"log-{i}"].p99_ms for i in range(4))
+    assert worst_hud < best_log
+
+    # determinism: fresh engines reproduce every outcome exactly
+    rerun = _run_all()
+    for name in SCHEDULERS:
+        assert rerun[name].streams == reports[name].streams
+        assert rerun[name].makespan_s == reports[name].makespan_s

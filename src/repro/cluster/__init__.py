@@ -18,12 +18,14 @@ The scaling layer above :mod:`repro.pipeline`::
 
 * :class:`ClusterEngine` — shard N camera streams across M
   heterogeneous :class:`~repro.backends.base.ExecutionBackend`
-  instances and serve every shard with the shared FIFO cost core;
+  instances and serve every shard with the shared cost core under a
+  pluggable frame scheduler (``scheduler="fifo" | "edf" | "priority"
+  | "shed"``, see ``docs/scheduling.md``);
 * placement policies (``round-robin`` / ``least-loaded`` /
-  ``capability-aware``), pluggable via
+  ``capability-aware`` / ``deadline-aware``), pluggable via
   :func:`register_placement_policy`;
 * :class:`ClusterReport` — per-stream tails, per-shard utilization,
-  and fleet throughput;
+  fleet throughput, and fleet-wide deadline-miss / drop accounting;
 * :func:`plan_capacity` — "how many of which accelerator do I need"
   for a stream set and target rate.
 
@@ -40,6 +42,7 @@ from repro.cluster.planner import (
 )
 from repro.cluster.policies import (
     CapabilityAwarePolicy,
+    DeadlineAwarePolicy,
     LeastLoadedPolicy,
     PlacementPolicy,
     RoundRobinPolicy,
@@ -61,6 +64,7 @@ __all__ = [
     "CapacityPlan",
     "ClusterEngine",
     "ClusterReport",
+    "DeadlineAwarePolicy",
     "LeastLoadedPolicy",
     "PlacementPolicy",
     "RoundRobinPolicy",

@@ -28,6 +28,7 @@ from repro.cluster.policies import PlacementPolicy, get_policy
 from repro.cluster.report import BackendShard, ClusterReport
 from repro.pipeline.costing import FrameCoster
 from repro.pipeline.report import EngineReport
+from repro.pipeline.schedulers import FrameScheduler, get_scheduler
 from repro.pipeline.stream import FrameStream
 
 __all__ = ["ClusterEngine"]
@@ -41,6 +42,9 @@ class ClusterEngine:
     distinct shard labels (``systolic:0``, ``systolic:1``).
     ``policy`` is a registered policy name or a
     :class:`~repro.cluster.policies.PlacementPolicy` instance.
+    ``scheduler`` — a registered name or a :class:`~repro.pipeline.
+    schedulers.FrameScheduler` — is the service discipline every shard
+    runs (``fifo`` by default; see ``docs/scheduling.md``).
 
     >>> from repro.pipeline import FrameStream
     >>> engine = ClusterEngine(["gpu", "gpu"], policy="round-robin")
@@ -50,12 +54,15 @@ class ClusterEngine:
     ...                                  n_frames=4) for i in range(3)])
     >>> report.placement
     (('cam0', 'gpu:0'), ('cam1', 'gpu:1'), ('cam2', 'gpu:0'))
+    >>> ClusterEngine(["gpu"], scheduler="edf").scheduler.name
+    'edf'
     """
 
     def __init__(
         self,
         backends: Sequence[str | ExecutionBackend],
         policy: str | PlacementPolicy = "least-loaded",
+        scheduler: str | FrameScheduler = "fifo",
     ):
         if not backends:
             raise ValueError("a cluster needs at least one backend")
@@ -65,6 +72,9 @@ class ClusterEngine:
         self.costers = [FrameCoster(b) for b in self.backends]
         self.labels = self._label_backends(self.backends)
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        if isinstance(scheduler, str):
+            scheduler = get_scheduler(scheduler)
+        self.scheduler = scheduler
 
     @staticmethod
     def _label_backends(backends: Sequence[ExecutionBackend]) -> list[str]:
@@ -127,7 +137,7 @@ class ClusterEngine:
             groups[index].append(stream)
 
         outcomes = [
-            coster.serve(group)
+            coster.serve(group, scheduler=self.scheduler)
             for coster, group in zip(self.costers, groups)
         ]
         makespan = max(o.makespan_s for o in outcomes)
@@ -146,6 +156,7 @@ class ClusterEngine:
         )
         return ClusterReport(
             policy=self.policy.name,
+            scheduler=self.scheduler.name,
             shards=shards,
             placement=tuple(
                 (stream.name, self.labels[index])

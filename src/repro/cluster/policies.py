@@ -15,7 +15,13 @@ discusses when to pick which):
 * ``capability-aware`` — like least-loaded, but first route streams
   that benefit from the ISM non-key pipeline to ISM-capable backends
   and prefer backends that natively schedule the stream's requested
-  execution mode.
+  execution mode;
+* ``deadline-aware`` — like least-loaded, but packing by
+  scheduler-aware *deadline pressure*
+  (:meth:`~repro.pipeline.costing.FrameCoster.deadline_pressure`):
+  a stream whose per-frame deadline is tighter than its frame period
+  counts for more than its raw busy time, so tight-deadline traffic
+  spreads out instead of piling onto one shard.
 
 New policies plug in with :func:`register_placement_policy`, mirroring
 the backend registry.
@@ -33,6 +39,7 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "CapabilityAwarePolicy",
+    "DeadlineAwarePolicy",
     "available_policies",
     "get_policy",
     "register_placement_policy",
@@ -119,18 +126,24 @@ def _greedy_least_loaded(
     streams: Sequence[FrameStream],
     costers: Sequence[FrameCoster],
     candidates_for: Callable[[FrameStream], Sequence[int]],
+    demand_fn: Callable[[FrameCoster, FrameStream], float] | None = None,
 ) -> list[int]:
     """Greedy packing: each stream goes to its least-loaded candidate.
 
-    Load is the summed modeled utilization already placed on a
-    backend; ties break toward the lowest backend index so the
-    placement is deterministic.
+    Load is the summed modeled demand already placed on a backend —
+    :meth:`~repro.pipeline.costing.FrameCoster.stream_demand` unless
+    ``demand_fn`` supplies another metric (the deadline-aware policy
+    packs by :meth:`~repro.pipeline.costing.FrameCoster.
+    deadline_pressure`); ties break toward the lowest backend index so
+    the placement is deterministic.
     """
+    if demand_fn is None:
+        demand_fn = FrameCoster.stream_demand
     load = [0.0] * len(costers)
     placement: list[int] = []
     for stream in streams:
         candidates = candidates_for(stream)
-        demands = {j: costers[j].stream_demand(stream) for j in candidates}
+        demands = {j: demand_fn(costers[j], stream) for j in candidates}
         best = min(candidates, key=lambda j: (load[j] + demands[j], j))
         load[best] += demands[best]
         placement.append(best)
@@ -221,3 +234,37 @@ class CapabilityAwarePolicy(PlacementPolicy):
             return native or pool
 
         return _greedy_least_loaded(streams, costers, candidates_for)
+
+
+@register_placement_policy("deadline-aware")
+class DeadlineAwarePolicy(PlacementPolicy):
+    """Greedy packing by scheduler-aware deadline pressure.
+
+    Identical to ``least-loaded`` except the load metric: instead of
+    raw modeled busy time, each stream charges its
+    :meth:`~repro.pipeline.costing.FrameCoster.deadline_pressure` —
+    demand scaled up when the per-frame deadline is tighter than the
+    frame period.  Two shards with equal busy time are then *not*
+    equally loaded if one holds all the tight-deadline traffic, so
+    urgent streams spread across the fleet and each shard's
+    deadline-aware scheduler (``edf`` / ``shed``) has slack to work
+    with.  For streams without deadlines the policy degenerates to
+    ``least-loaded`` exactly.
+
+    >>> from repro.backends import get_backend
+    >>> from repro.pipeline import FrameCoster, FrameStream
+    >>> costers = [FrameCoster(get_backend("gpu")) for _ in range(2)]
+    >>> tight = [FrameStream(f"hud{i}", size=(68, 120), fps=30.0,
+    ...                      deadline_s=1 / 120.0) for i in range(2)]
+    >>> DeadlineAwarePolicy().assign(tight, costers)  # spread, not piled
+    [0, 1]
+    """
+
+    name = "deadline-aware"
+
+    def assign(self, streams, costers):
+        indices = tuple(range(len(costers)))
+        return _greedy_least_loaded(
+            streams, costers, lambda _s: indices,
+            demand_fn=FrameCoster.deadline_pressure,
+        )

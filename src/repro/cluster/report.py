@@ -78,6 +78,8 @@ class ClusterReport:
     placement: tuple[tuple[str, str], ...]
     total_frames: int
     makespan_s: float
+    #: the service discipline every shard ran (``docs/scheduling.md``)
+    scheduler: str = "fifo"
 
     @property
     def aggregate_fps(self) -> float:
@@ -85,6 +87,40 @@ class ClusterReport:
         if self.makespan_s <= 0:
             return 0.0
         return self.total_frames / self.makespan_s
+
+    @property
+    def offered_frames(self) -> int:
+        """Frames that arrived fleet-wide: served plus dropped."""
+        return self.total_frames + self.dropped_frames
+
+    @property
+    def dropped_frames(self) -> int:
+        """Frames admission control removed anywhere in the fleet."""
+        return sum(shard.report.dropped_frames for shard in self.shards)
+
+    @property
+    def missed_deadlines(self) -> int:
+        """Fleet-wide deadline misses (drops count as misses)."""
+        return sum(shard.report.missed_deadlines for shard in self.shards)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed fraction of offered frames across the fleet."""
+        offered = self.offered_frames
+        return self.missed_deadlines / offered if offered else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped fraction of offered frames across the fleet."""
+        offered = self.offered_frames
+        return self.dropped_frames / offered if offered else 0.0
+
+    @property
+    def worst_lateness_ms(self) -> float:
+        """The worst completion lateness anywhere in the fleet."""
+        return max(
+            (s.worst_lateness_ms for s in self.stream_stats), default=0.0
+        )
 
     @property
     def stream_stats(self) -> list[StreamStats]:
@@ -142,15 +178,16 @@ def format_cluster_report(report: ClusterReport) -> str:
     placed = dict(report.placement)
     stream_rows = [
         [s.stream, placed[s.stream], s.frames, s.key_frames,
-         s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms]
+         s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms,
+         s.missed_deadlines, s.dropped_frames]
         for s in report.stream_stats
     ]
     streams_table = render_table(
-        f"Cluster serving ({report.policy}) — "
+        f"Cluster serving ({report.policy}, {report.scheduler}) — "
         f"{report.aggregate_fps:.1f} fps aggregate over "
         f"{len(report.shards)} backends",
         ["stream", "shard", "frames", "keys",
-         "mean ms", "p50 ms", "p95 ms", "p99 ms"],
+         "mean ms", "p50 ms", "p95 ms", "p99 ms", "miss", "drop"],
         stream_rows,
     )
     shard_rows = [
@@ -182,12 +219,14 @@ def format_policy_comparison(
     rows = [
         [r.policy, len(r.shards), r.total_frames, r.aggregate_fps,
          r.worst_p99_ms, max(s.utilization for s in r.shards),
+         r.deadline_miss_rate, r.drop_rate,
          r.sustainable_streams(target_fps)]
         for r in reports
     ]
     return render_table(
         f"Placement policies at {target_fps:.0f} fps target",
         ["policy", "backends", "frames", "agg fps",
-         "worst p99 ms", "max util", f"streams@{target_fps:.0f}fps"],
+         "worst p99 ms", "max util", "miss rate", "drop rate",
+         f"streams@{target_fps:.0f}fps"],
         rows,
     )

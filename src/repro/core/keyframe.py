@@ -6,6 +6,13 @@ the correspondence invariant is propagated across the k-1 frames in
 between.  The paper notes adaptive schemes (EVA2/Euphrates-style) are
 possible but finds the static policy sufficient (Sec. 7.2); an
 adaptive policy is provided as the natural extension point.
+
+Stateful policies may additionally implement the optional hook
+``sync_forced_key(index)``: the serving planner (:func:`repro.
+pipeline.costing.plan_keys`) calls it when it forces a key frame the
+policy did not ask for (frame 0 of a stream is always key — there is
+nothing to propagate from), so the policy's internal last-key state
+stays in sync with the plan actually served.
 """
 
 from __future__ import annotations
@@ -60,6 +67,17 @@ class MotionAdaptivePolicy:
                 return True
         self._since_key += 1
         return False
+
+    def sync_forced_key(self, index: int) -> None:
+        """A caller forced frame ``index`` key; reset the key clock.
+
+        Keeps :attr:`_since_key` consistent with the served plan when
+        the planner overrides a non-key verdict (it always does for
+        frame 0), so the next adaptive re-key lands ``max_window``
+        frames after the key actually served, not after the one this
+        policy believed in.
+        """
+        self._since_key = 0
 
     def __repr__(self):
         return f"Adaptive(max={self.max_window}, thr={self.motion_threshold})"

@@ -1,4 +1,4 @@
-"""Reusable per-frame costing and FIFO service simulation.
+"""Reusable per-frame costing and the service-simulation entry point.
 
 This module is the cost core that :class:`~repro.pipeline.engine.
 StreamEngine` (one backend) and :class:`~repro.cluster.engine.
@@ -12,8 +12,14 @@ questions about a :class:`~repro.pipeline.stream.FrameStream` on one
   and :meth:`FrameCoster.nonkey_frame_seconds`, with execution modes
   degraded along :data:`MODE_FALLBACK` to what the backend supports;
 * *what happens when frames queue?* — :meth:`FrameCoster.serve`, the
-  analytic FIFO discrete-event simulation, returning a
+  analytic discrete-event simulation, returning a
   :class:`ServeOutcome`.
+
+The service discipline itself is pluggable: :meth:`FrameCoster.serve`
+delegates the event loop to a :class:`~repro.pipeline.schedulers.
+FrameScheduler` (``fifo`` by default, bit-exact with the historical
+FIFO-only simulation; ``edf`` / ``priority`` / ``shed`` for
+deadline-aware serving — see ``docs/scheduling.md``).
 
 Because both engines route every frame through the same
 :class:`FrameCoster`, a one-backend cluster reproduces the
@@ -23,9 +29,13 @@ single-backend engine *exactly* (this is regression-tested).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.backends.base import ExecutionBackend
 from repro.pipeline.stream import FrameStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.pipeline.schedulers import FrameScheduler
 
 __all__ = ["MODE_FALLBACK", "FrameCoster", "ServeOutcome", "plan_keys"]
 
@@ -41,6 +51,12 @@ def plan_keys(stream: FrameStream, supports_ism: bool = True) -> list[bool]:
     frame even when frame 0 is forced key).  On a backend without ISM
     support every frame is a key frame.
 
+    When a stateful policy says *non-key* for frame 0, the frame is
+    still forced key (there is nothing to propagate from) and the
+    policy is told through its optional ``sync_forced_key(index)``
+    hook, so its internal last-key state matches the plan actually
+    served.
+
     >>> from repro.pipeline import FrameStream
     >>> plan_keys(FrameStream("cam", n_frames=6, pw=3))
     [True, False, False, True, False, False]
@@ -51,18 +67,38 @@ def plan_keys(stream: FrameStream, supports_ism: bool = True) -> list[bool]:
         return [True] * stream.n_frames
     policy = stream.make_policy()
     context: dict = {}
+    keys: list[bool] = []
     # always consult the policy so stateful (adaptive) policies see
     # every frame; frame 0 is forced key
-    return [policy.is_key(i, context) or i == 0 for i in range(stream.n_frames)]
+    for i in range(stream.n_frames):
+        is_key = bool(policy.is_key(i, context))
+        if i == 0 and not is_key:
+            is_key = True
+            sync = getattr(policy, "sync_forced_key", None)
+            if sync is not None:
+                sync(0)
+        keys.append(is_key)
+    return keys
 
 
 @dataclass(frozen=True)
 class ServeOutcome:
-    """Raw result of one FIFO service simulation.
+    """Raw result of one service simulation.
 
     Engine layers wrap this into their user-facing reports
     (:class:`~repro.pipeline.report.EngineReport`,
     :class:`~repro.cluster.report.ClusterReport`).
+
+    Counting conventions: ``total_frames`` counts frames actually
+    *served*; frames removed by admission control appear only in
+    ``dropped_frames``.  A dropped frame also counts as a deadline
+    miss (it never completed), so ``missed_deadlines`` covers both
+    late completions and drops.  ``worst_lateness_s`` tracks served
+    frames only (a dropped frame has no completion time).  Every
+    served frame satisfies ``latency == wait + service`` against the
+    ``waits_s`` / ``services_s`` breakdown, up to float rounding
+    (latencies keep the historical ``completion - arrival``
+    arithmetic, bit-exact with the pre-scheduler FIFO simulation).
 
     >>> out = ServeOutcome(latencies_s=((0.01, 0.02),), key_counts=(1,),
     ...                    total_frames=2, makespan_s=0.5, busy_s=0.03)
@@ -70,6 +106,8 @@ class ServeOutcome:
     4.0
     >>> out.mean_service_s
     0.015
+    >>> out.drop_rate, out.deadline_miss_rate
+    (0.0, 0.0)
     """
 
     #: per-stream frame latencies (seconds), in stream order
@@ -80,6 +118,18 @@ class ServeOutcome:
     makespan_s: float
     #: summed service time — the backend's busy time during the run
     busy_s: float
+    #: per-stream per-frame queueing waits (seconds); latency = wait + service
+    waits_s: tuple[tuple[float, ...], ...] = ()
+    #: per-stream per-frame service times (seconds)
+    services_s: tuple[tuple[float, ...], ...] = ()
+    #: per-stream deadline misses (late completions + dropped frames)
+    missed_deadlines: tuple[int, ...] = ()
+    #: per-stream frames removed by admission control (never served)
+    dropped_frames: tuple[int, ...] = ()
+    #: per-stream worst completion lateness (seconds) over served frames
+    worst_lateness_s: tuple[float, ...] = ()
+    #: the discipline that produced this outcome
+    scheduler: str = "fifo"
 
     @property
     def aggregate_fps(self) -> float:
@@ -90,6 +140,23 @@ class ServeOutcome:
     def mean_service_s(self) -> float:
         """Mean per-frame service time (0.0 for an empty run)."""
         return self.busy_s / self.total_frames if self.total_frames else 0.0
+
+    @property
+    def offered_frames(self) -> int:
+        """Frames that arrived: served plus dropped."""
+        return self.total_frames + sum(self.dropped_frames)
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped fraction of offered frames (0.0 for an empty run)."""
+        offered = self.offered_frames
+        return sum(self.dropped_frames) / offered if offered else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed fraction of offered frames (drops count as misses)."""
+        offered = self.offered_frames
+        return sum(self.missed_deadlines) / offered if offered else 0.0
 
 
 class FrameCoster:
@@ -190,17 +257,57 @@ class FrameCoster:
         rate = stream.fps if fps is None else fps
         return rate * total / len(keys)
 
+    def deadline_pressure(
+        self, stream: FrameStream, fps: float | None = None
+    ) -> float:
+        """Scheduler-aware load: modeled demand scaled by urgency.
+
+        :meth:`stream_demand` weights every stream the same second of
+        busy time equally, but a stream whose per-frame deadline is
+        tighter than its frame period leaves the scheduler no slack to
+        absorb queueing — its load is harder to place.  The pressure
+        is the demand times ``max(1, frame period / deadline)``; a
+        stream without a deadline exerts plain demand.  Cluster
+        placement can pack by this instead of raw busy time (the
+        ``deadline-aware`` policy does).
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> loose = FrameStream("a", size=(68, 120), fps=30.0)
+        >>> tight = FrameStream("b", size=(68, 120), fps=30.0,
+        ...                     deadline_s=1 / 120.0)
+        >>> coster.deadline_pressure(loose) == coster.stream_demand(loose)
+        True
+        >>> coster.deadline_pressure(tight) == (
+        ...     4 * coster.stream_demand(tight))
+        True
+        """
+        demand = self.stream_demand(stream, fps)
+        if stream.deadline_s is None:
+            return demand
+        rate = stream.fps if fps is None else fps
+        urgency = max(1.0, (1.0 / rate) / stream.deadline_s)
+        return demand * urgency
+
     # ------------------------------------------------------------------
-    # the FIFO simulation
+    # the service simulation
     # ------------------------------------------------------------------
-    def serve(self, streams: list[FrameStream]) -> ServeOutcome:
-        """Serve ``streams`` to completion on the backend, FIFO.
+    def serve(
+        self,
+        streams: list[FrameStream],
+        scheduler: "str | FrameScheduler | None" = None,
+    ) -> ServeOutcome:
+        """Serve ``streams`` to completion on the backend.
 
         Every stream delivers frames at its camera rate; the backend
-        is a single shared resource servicing frames in arrival order.
-        The simulation is analytic (arrival, queueing wait, service) —
-        no wall clock, so runs are deterministic.  The run is recorded
-        in the backend's lifetime :class:`~repro.backends.base.
+        is a single shared resource and ``scheduler`` — a registered
+        name or a :class:`~repro.pipeline.schedulers.FrameScheduler`
+        instance, ``fifo`` when omitted — decides which stream's frame
+        it services next (see ``docs/scheduling.md``).  The simulation
+        is analytic (arrival, queueing wait, service) — no wall clock,
+        so runs are deterministic.  The run is recorded in the
+        backend's lifetime :class:`~repro.backends.base.
         BackendOccupancy`.
 
         >>> from repro.backends import get_backend
@@ -210,36 +317,19 @@ class FrameCoster:
         ...                                 n_frames=4, mode="baseline")])
         >>> out.total_frames, len(out.latencies_s[0])
         (4, 4)
+        >>> coster.serve([FrameStream("cam", size=(68, 120), n_frames=4,
+        ...                           mode="baseline")], scheduler="edf"
+        ...              ).scheduler
+        'edf'
         """
-        supports_ism = self.backend.capabilities.supports_ism
+        # local import: schedulers builds on plan_keys/ServeOutcome above
+        from repro.pipeline.schedulers import get_scheduler
 
-        # arrival plan: (time, stream index, frame index, is_key)
-        arrivals = []
-        key_counts = [0] * len(streams)
-        for si, stream in enumerate(streams):
-            for i, is_key in enumerate(plan_keys(stream, supports_ism)):
-                key_counts[si] += is_key
-                arrivals.append((i / stream.fps, si, i, is_key))
-        arrivals.sort(key=lambda a: (a[0], a[1], a[2]))
-
-        latencies: list[list[float]] = [[] for _ in streams]
-        server_free = 0.0
-        busy = 0.0
-        for t, si, _i, is_key in arrivals:
-            service = self.frame_seconds(streams[si], is_key)
-            start = max(t, server_free)
-            done = start + service
-            server_free = done
-            busy += service
-            latencies[si].append(done - t)
-
-        outcome = ServeOutcome(
-            latencies_s=tuple(tuple(lat) for lat in latencies),
-            key_counts=tuple(key_counts),
-            total_frames=len(arrivals),
-            makespan_s=server_free,
-            busy_s=busy,
-        )
+        if scheduler is None:
+            scheduler = "fifo"
+        if isinstance(scheduler, str):
+            scheduler = get_scheduler(scheduler)
+        outcome = scheduler.serve(streams, self)
         if streams:  # an idle shard's empty serve is not a run
             self.backend.occupancy.record_run(
                 busy_s=outcome.busy_s,

@@ -2,11 +2,14 @@
 
 Models a production serving deployment: every stream delivers frames
 at its camera rate; the execution backend is a single shared resource
-servicing frames in arrival order (FIFO).  Per frame, the stream's
-key-frame policy decides between full DNN inference and the cheap ISM
-non-key pipeline — on backends whose capabilities lack ISM support,
-every frame pays full inference, and requested execution modes
-degrade gracefully to the best mode the backend schedules
+and a pluggable :class:`~repro.pipeline.schedulers.FrameScheduler`
+(``fifo`` by default; ``edf`` / ``priority`` / ``shed`` for
+deadline-aware QoS — see ``docs/scheduling.md``) decides which
+stream's frame it services next.  Per frame, the stream's key-frame
+policy decides between full DNN inference and the cheap ISM non-key
+pipeline — on backends whose capabilities lack ISM support, every
+frame pays full inference, and requested execution modes degrade
+gracefully to the best mode the backend schedules
 (``ilar -> convr -> dct -> baseline``; see ``docs/serving.md``).
 
 Key-frame costs come from the backend's bounded per-``(network, mode,
@@ -36,6 +39,7 @@ from repro.backends.base import ExecutionBackend
 from repro.backends.registry import get_backend
 from repro.pipeline.costing import MODE_FALLBACK, FrameCoster
 from repro.pipeline.report import EngineReport
+from repro.pipeline.schedulers import FrameScheduler, get_scheduler
 from repro.pipeline.stream import FrameStream
 
 __all__ = ["StreamEngine"]
@@ -47,20 +51,34 @@ _MODE_FALLBACK = MODE_FALLBACK
 class StreamEngine:
     """Schedules key/non-key frames of many streams on one backend.
 
+    ``scheduler`` selects the service discipline — a registered name
+    (``fifo`` / ``edf`` / ``priority`` / ``shed``) or a
+    :class:`~repro.pipeline.schedulers.FrameScheduler` instance.
+
     >>> from repro.pipeline import FrameStream, StreamEngine
     >>> engine = StreamEngine("gpu")
     >>> report = engine.run([FrameStream("cam", size=(68, 120), n_frames=6)])
     >>> report.backend, report.total_frames
     ('gpu', 6)
+    >>> StreamEngine("gpu", scheduler="edf").scheduler.name
+    'edf'
     """
 
-    def __init__(self, backend: str | ExecutionBackend, **backend_kwargs):
+    def __init__(
+        self,
+        backend: str | ExecutionBackend,
+        scheduler: str | FrameScheduler = "fifo",
+        **backend_kwargs,
+    ):
         if isinstance(backend, str):
             backend = get_backend(backend, **backend_kwargs)
         elif backend_kwargs:
             raise ValueError("backend_kwargs only apply to named backends")
         self.backend = backend
         self.coster = FrameCoster(backend)
+        if isinstance(scheduler, str):
+            scheduler = get_scheduler(scheduler)
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
     # per-frame costs (delegated to the shared coster)
@@ -104,10 +122,13 @@ class StreamEngine:
         ...     [FrameStream("cam", size=(68, 120), n_frames=4, pw=2)])
         >>> report.streams[0].key_frames
         2
+        >>> StreamEngine("gpu", scheduler="shed").run(
+        ...     [FrameStream("cam", size=(68, 120), n_frames=4)]).scheduler
+        'shed'
         """
         if not streams:
             raise ValueError("need at least one stream")
-        outcome = self.coster.serve(streams)
+        outcome = self.coster.serve(streams, scheduler=self.scheduler)
         return EngineReport.from_serve(
             self.backend.name, streams, outcome, self.backend.cache_info()
         )

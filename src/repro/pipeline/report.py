@@ -8,6 +8,14 @@ backend's busy fraction (utilization), and the number of camera
 streams the backend could sustain at a target rate given the observed
 mean service time.  The cluster layer aggregates these per-backend
 reports into a :class:`~repro.cluster.report.ClusterReport`.
+
+Deadline-aware serving (``docs/scheduling.md``) adds quality-of-
+service accounting on top: each :class:`StreamStats` carries the mean
+queueing wait (so tail latency can be attributed to waiting vs
+service), the stream's deadline misses, dropped frames, and worst-
+case completion lateness; the report aggregates these into
+:attr:`EngineReport.deadline_miss_rate` / :attr:`EngineReport.
+drop_rate` over *offered* frames (a dropped frame counts as a miss).
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ __all__ = [
 class StreamStats:
     """Latency statistics of one camera stream over a run.
 
+    ``frames`` counts frames actually served; ``dropped_frames``
+    counts frames admission control removed.  ``missed_deadlines``
+    covers late completions *and* drops, and ``worst_lateness_ms`` is
+    the worst completion lateness over served frames.  ``mean_wait_ms``
+    attributes the mean latency to queueing (the rest is service).
+
     >>> stats = StreamStats.from_latencies("cam", [0.010, 0.020], 1)
     >>> stats.frames, stats.key_frames, round(stats.mean_ms, 1)
     (2, 1, 15.0)
@@ -44,28 +58,60 @@ class StreamStats:
     p95_ms: float
     p99_ms: float
     max_ms: float
+    mean_wait_ms: float = 0.0
+    missed_deadlines: int = 0
+    dropped_frames: int = 0
+    worst_lateness_ms: float = 0.0
 
     @classmethod
     def from_latencies(
-        cls, stream: str, latencies_s, key_frames: int
+        cls,
+        stream: str,
+        latencies_s,
+        key_frames: int,
+        waits_s=(),
+        missed_deadlines: int = 0,
+        dropped_frames: int = 0,
+        worst_lateness_s: float = 0.0,
     ) -> "StreamStats":
         """Summarize raw per-frame latencies (seconds) into statistics.
 
+        A stream whose every frame was dropped reports zero latency
+        statistics (there are no completions to summarize) but keeps
+        its drop and miss counts.
+
         >>> StreamStats.from_latencies("cam", [0.004] * 10, 2).p99_ms
         4.0
+        >>> StreamStats.from_latencies("cam", [0.004], 1,
+        ...                            waits_s=[0.001]).mean_wait_ms
+        1.0
         """
         lat_ms = 1e3 * np.asarray(latencies_s, dtype=np.float64)
-        p50, p95, p99 = np.percentile(lat_ms, [50.0, 95.0, 99.0])
+        if lat_ms.size:
+            p50, p95, p99 = np.percentile(lat_ms, [50.0, 95.0, 99.0])
+            mean, peak = float(lat_ms.mean()), float(lat_ms.max())
+        else:
+            p50 = p95 = p99 = mean = peak = 0.0
+        waits_ms = 1e3 * np.asarray(waits_s, dtype=np.float64)
         return cls(
             stream=stream,
-            frames=len(lat_ms),
+            frames=int(lat_ms.size),
             key_frames=key_frames,
-            mean_ms=float(lat_ms.mean()),
+            mean_ms=mean,
             p50_ms=float(p50),
             p95_ms=float(p95),
             p99_ms=float(p99),
-            max_ms=float(lat_ms.max()),
+            max_ms=peak,
+            mean_wait_ms=float(waits_ms.mean()) if waits_ms.size else 0.0,
+            missed_deadlines=missed_deadlines,
+            dropped_frames=dropped_frames,
+            worst_lateness_ms=1e3 * worst_lateness_s,
         )
+
+    @property
+    def offered_frames(self) -> int:
+        """Frames that arrived for this stream: served plus dropped."""
+        return self.frames + self.dropped_frames
 
 
 @dataclass(frozen=True)
@@ -89,13 +135,16 @@ class EngineReport:
     mean_service_s: float
     cache: CacheInfo
     busy_s: float = 0.0
+    scheduler: str = "fifo"
+    missed_deadlines: int = 0
+    dropped_frames: int = 0
 
     @classmethod
     def from_serve(
         cls, backend: str, streams, outcome, cache: CacheInfo
     ) -> "EngineReport":
         """Build the report from a :class:`~repro.pipeline.costing.
-        ServeOutcome` (the raw FIFO-simulation result).
+        ServeOutcome` (the raw simulation result).
 
         >>> from repro.backends import get_backend
         >>> from repro.pipeline import FrameStream
@@ -108,12 +157,22 @@ class EngineReport:
         >>> report.total_frames
         4
         """
+        n = len(streams)
+        waits = outcome.waits_s or ((),) * n
+        missed = outcome.missed_deadlines or (0,) * n
+        dropped = outcome.dropped_frames or (0,) * n
+        lateness = outcome.worst_lateness_s or (0.0,) * n
         return cls(
             backend=backend,
             streams=[
-                StreamStats.from_latencies(s.name, lat, keys)
-                for s, lat, keys in zip(
-                    streams, outcome.latencies_s, outcome.key_counts
+                StreamStats.from_latencies(
+                    s.name, lat, keys,
+                    waits_s=wait, missed_deadlines=miss,
+                    dropped_frames=drop, worst_lateness_s=late,
+                )
+                for s, lat, keys, wait, miss, drop, late in zip(
+                    streams, outcome.latencies_s, outcome.key_counts,
+                    waits, missed, dropped, lateness,
                 )
             ],
             total_frames=outcome.total_frames,
@@ -122,6 +181,9 @@ class EngineReport:
             mean_service_s=outcome.mean_service_s,
             cache=cache,
             busy_s=outcome.busy_s,
+            scheduler=outcome.scheduler,
+            missed_deadlines=sum(missed),
+            dropped_frames=sum(dropped),
         )
 
     def sustainable_streams(self, target_fps: float = 30.0) -> int:
@@ -159,6 +221,33 @@ class EngineReport:
             return 0.0
         return max(s.p99_ms for s in self.streams)
 
+    @property
+    def offered_frames(self) -> int:
+        """Frames that arrived during the run: served plus dropped."""
+        return self.total_frames + self.dropped_frames
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed fraction of offered frames (drops count as misses).
+
+        0.0 when the streams carry no deadlines (nothing can miss).
+        """
+        offered = self.offered_frames
+        return self.missed_deadlines / offered if offered else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped fraction of offered frames (0.0 for an empty run)."""
+        offered = self.offered_frames
+        return self.dropped_frames / offered if offered else 0.0
+
+    @property
+    def worst_lateness_ms(self) -> float:
+        """The worst completion lateness anywhere in the run."""
+        if not self.streams:
+            return 0.0
+        return max(s.worst_lateness_ms for s in self.streams)
+
 
 def format_report(report: EngineReport) -> str:
     """Per-stream latency table for one backend run.
@@ -170,16 +259,17 @@ def format_report(report: EngineReport) -> str:
     True
     """
     rows = [
-        [s.stream, s.frames, s.key_frames, s.mean_ms,
-         s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms]
+        [s.stream, s.frames, s.key_frames, s.mean_ms, s.mean_wait_ms,
+         s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
+         s.missed_deadlines, s.dropped_frames]
         for s in report.streams
     ]
     table = render_table(
-        f"Stream serving on {report.backend!r} — "
+        f"Stream serving on {report.backend!r} ({report.scheduler}) — "
         f"{report.aggregate_fps:.1f} fps aggregate, "
         f"cache hit rate {report.cache.hit_rate:.0%}",
-        ["stream", "frames", "keys", "mean ms",
-         "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        ["stream", "frames", "keys", "mean ms", "wait ms",
+         "p50 ms", "p95 ms", "p99 ms", "max ms", "miss", "drop"],
         rows,
     )
     return table

@@ -1,0 +1,385 @@
+"""Pluggable frame schedulers: the QoS discipline of the serving core.
+
+Real stereo deployments (AR headsets, driving stacks, 100 fps FPGA
+stereo cameras) are judged by deadline misses and overload behaviour,
+not just mean latency.  This module turns the serving layer's single
+hard-wired FIFO simulation into a policy point: a
+:class:`FrameScheduler` decides, whenever the accelerator goes free,
+which stream's next frame to dispatch — and, for admission-controlled
+policies, whether to dispatch it at all.
+
+Four built-ins cover the standard disciplines (``docs/scheduling.md``
+discusses when to pick which):
+
+* ``fifo`` — arrival order; bit-exact with the historical simulation
+  (regression-pinned);
+* ``edf`` — earliest deadline first among the queued streams;
+* ``priority`` — highest stream priority first, key frames breaking
+  ties;
+* ``shed`` — FIFO with drop-on-late admission control: a non-key
+  frame that would *start* past its deadline is dropped, and the
+  stream's next served frame is forced to be a key frame (the dropped
+  frame broke the ISM propagation chain).
+
+Two invariants hold for every scheduler:
+
+* **frames of one stream never reorder** — the ISM chain is
+  sequential, so scheduling chooses *which stream goes next*, never
+  which frame within a stream;
+* **key frames are never dropped** — only the cheap non-key
+  propagation frames are sheddable; dropping a key frame would strand
+  the whole chain behind it.
+
+New disciplines plug in with :func:`register_scheduler`, mirroring
+:func:`repro.backends.register_backend` and
+:func:`repro.cluster.register_placement_policy`.
+
+>>> available_schedulers()
+('edf', 'fifo', 'priority', 'shed')
+>>> get_scheduler("edf").name
+'edf'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.pipeline.costing import ServeOutcome, plan_keys
+from repro.pipeline.stream import FrameStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.pipeline.costing import FrameCoster
+
+__all__ = [
+    "FrameJob",
+    "FrameScheduler",
+    "FifoScheduler",
+    "EdfScheduler",
+    "PriorityScheduler",
+    "ShedScheduler",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+]
+
+_REGISTRY: dict[str, Callable[[], "FrameScheduler"]] = {}
+
+
+def register_scheduler(name: str):
+    """Class/factory decorator adding a scheduler to the registry.
+
+    >>> @register_scheduler("doc-lifo")
+    ... class LifoScheduler(FrameScheduler):
+    ...     name = "doc-lifo"
+    ...     def select(self, ready, now_s):
+    ...         return self.stream_heads(ready)[-1]
+    >>> "doc-lifo" in available_schedulers()
+    True
+    >>> _ = _REGISTRY.pop("doc-lifo")  # keep the example side-effect-free
+    """
+
+    def decorate(factory: Callable[[], "FrameScheduler"]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Sorted names of every registered frame scheduler.
+
+    >>> {"fifo", "edf", "priority", "shed"} <= set(available_schedulers())
+    True
+    """
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scheduler(name: str) -> "FrameScheduler":
+    """Construct a frame scheduler by name.
+
+    >>> get_scheduler("fifo").name
+    'fifo'
+    >>> get_scheduler("lottery")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown scheduler 'lottery'; available: \
+('edf', 'fifo', 'priority', 'shed')
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+    return factory()
+
+
+@dataclass
+class FrameJob:
+    """One frame awaiting service in the discrete-event simulation.
+
+    ``deadline_s`` is *absolute* (arrival plus the stream's relative
+    :attr:`~repro.pipeline.stream.FrameStream.deadline_s`); streams
+    without a deadline carry ``math.inf``.  ``is_key`` is the planned
+    key/non-key decision — admission-control re-keying happens at
+    dispatch time and never mutates the plan.
+    """
+
+    seq: int
+    arrival_s: float
+    stream_index: int
+    frame_index: int
+    is_key: bool
+    deadline_s: float
+    priority: int
+
+
+class FrameScheduler:
+    """The protocol: pick which ready frame the backend serves next.
+
+    Subclasses implement :meth:`select` (an index into the ready
+    queue, restricted to :meth:`stream_heads` candidates so streams
+    never internally reorder) and may override :meth:`admit` for
+    drop-on-late admission control.  The shared discrete-event loop in
+    :meth:`serve` does everything else: arrivals at camera rate, a
+    single non-preemptive server, queue-wait vs service-time
+    accounting, deadline bookkeeping, and ISM re-keying after drops.
+
+    Schedulers are stateless across runs — the registry hands out
+    fresh instances, and :meth:`serve` keeps all per-run state local —
+    so one instance may be shared by many engines.
+    """
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # the policy points
+    # ------------------------------------------------------------------
+    def select(self, ready: Sequence[FrameJob], now_s: float) -> int:
+        """Index (into ``ready``) of the job to dispatch at ``now_s``.
+
+        ``ready`` is ordered by arrival (``seq``); implementations
+        must pick one of :meth:`stream_heads` so frames of one stream
+        never reorder.
+        """
+        raise NotImplementedError
+
+    def admit(self, job: FrameJob, start_s: float, is_key: bool) -> bool:
+        """Whether to serve ``job`` at ``start_s`` (``False`` drops it).
+
+        ``is_key`` is the *effective* key status after re-keying; the
+        event loop never drops a frame it reports as key.
+        """
+        return True
+
+    @staticmethod
+    def stream_heads(ready: Sequence[FrameJob]) -> list[int]:
+        """Indices of each stream's earliest ready frame, by arrival.
+
+        The only legal candidates for :meth:`select`: dispatching any
+        later frame of a stream would reorder its ISM chain.
+        """
+        seen: set[int] = set()
+        heads = []
+        for idx, job in enumerate(ready):
+            if job.stream_index not in seen:
+                seen.add(job.stream_index)
+                heads.append(idx)
+        return heads
+
+    # ------------------------------------------------------------------
+    # the shared discrete-event loop
+    # ------------------------------------------------------------------
+    def serve(
+        self, streams: Sequence[FrameStream], coster: "FrameCoster"
+    ) -> ServeOutcome:
+        """Run the discrete-event simulation under this discipline.
+
+        Engines call :meth:`FrameCoster.serve
+        <repro.pipeline.costing.FrameCoster.serve>` (which delegates
+        here and records backend occupancy) rather than this method
+        directly.
+
+        >>> from repro.backends import get_backend
+        >>> from repro.pipeline import FrameCoster, FrameStream
+        >>> coster = FrameCoster(get_backend("gpu"))
+        >>> out = get_scheduler("fifo").serve(
+        ...     [FrameStream("cam", size=(68, 120), n_frames=4)], coster)
+        >>> out.total_frames, out.scheduler
+        (4, 'fifo')
+        """
+        supports_ism = coster.backend.capabilities.supports_ism
+
+        jobs: list[FrameJob] = []
+        for si, stream in enumerate(streams):
+            for fi, is_key in enumerate(plan_keys(stream, supports_ism)):
+                jobs.append(FrameJob(
+                    seq=0,
+                    arrival_s=fi / stream.fps,
+                    stream_index=si,
+                    frame_index=fi,
+                    is_key=is_key,
+                    deadline_s=stream.frame_deadline(fi),
+                    priority=stream.priority,
+                ))
+        jobs.sort(key=lambda j: (j.arrival_s, j.stream_index, j.frame_index))
+        for seq, job in enumerate(jobs):
+            job.seq = seq
+
+        n = len(streams)
+        latencies: list[list[float]] = [[] for _ in streams]
+        waits: list[list[float]] = [[] for _ in streams]
+        services: list[list[float]] = [[] for _ in streams]
+        key_counts = [0] * n
+        missed = [0] * n
+        dropped = [0] * n
+        worst_late = [0.0] * n
+        rekey = [False] * n
+
+        server_free = 0.0
+        busy = 0.0
+        ready: list[FrameJob] = []
+        i = 0
+        while i < len(jobs) or ready:
+            # everything that has arrived by the time the server frees
+            while i < len(jobs) and jobs[i].arrival_s <= server_free:
+                ready.append(jobs[i])
+                i += 1
+            now = server_free
+            if not ready:
+                # idle server: jump to the next arrival instant — the
+                # dispatch decision then happens at that instant
+                now = jobs[i].arrival_s
+                while i < len(jobs) and jobs[i].arrival_s <= now:
+                    ready.append(jobs[i])
+                    i += 1
+            job = ready.pop(self.select(ready, now))
+            si = job.stream_index
+            start = max(job.arrival_s, server_free)
+            is_key = job.is_key or rekey[si]
+            if not self.admit(job, start, is_key):
+                dropped[si] += 1
+                missed[si] += 1  # a dropped frame never met its deadline
+                rekey[si] = True  # the ISM chain broke; re-key the stream
+                continue
+            if is_key:
+                rekey[si] = False
+            service = coster.frame_seconds(streams[si], is_key)
+            done = start + service
+            server_free = done
+            busy += service
+            key_counts[si] += is_key
+            latencies[si].append(done - job.arrival_s)
+            waits[si].append(start - job.arrival_s)
+            services[si].append(service)
+            if done > job.deadline_s:
+                missed[si] += 1
+                late = done - job.deadline_s
+                if late > worst_late[si]:
+                    worst_late[si] = late
+
+        return ServeOutcome(
+            latencies_s=tuple(tuple(lat) for lat in latencies),
+            key_counts=tuple(key_counts),
+            total_frames=sum(len(lat) for lat in latencies),
+            makespan_s=server_free,
+            busy_s=busy,
+            waits_s=tuple(tuple(w) for w in waits),
+            services_s=tuple(tuple(s) for s in services),
+            missed_deadlines=tuple(missed),
+            dropped_frames=tuple(dropped),
+            worst_lateness_s=tuple(worst_late),
+            scheduler=self.name,
+        )
+
+    def __repr__(self):
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+@register_scheduler("fifo")
+class FifoScheduler(FrameScheduler):
+    """Arrival order — the historical discipline, bit-exact with the
+    pre-scheduler FIFO simulation (regression-pinned).
+
+    >>> from repro.backends import get_backend
+    >>> from repro.pipeline import FrameCoster, FrameStream
+    >>> coster = FrameCoster(get_backend("gpu"))
+    >>> streams = [FrameStream("cam", size=(68, 120), n_frames=3)]
+    >>> coster.serve(streams) == FifoScheduler().serve(streams, coster)
+    True
+    """
+
+    name = "fifo"
+
+    def select(self, ready, now_s):
+        return 0  # ready is kept in arrival order
+
+
+@register_scheduler("edf")
+class EdfScheduler(FrameScheduler):
+    """Earliest deadline first among the queued streams.
+
+    Under overload EDF serves urgent frames (tight ``deadline_s``)
+    before patient ones, trading FIFO's arrival fairness for fewer
+    deadline misses.  Streams without a deadline sort last (infinite
+    deadline); ties break toward arrival order, so with no deadlines
+    at all EDF degenerates to FIFO.
+    """
+
+    name = "edf"
+
+    def select(self, ready, now_s):
+        return min(
+            self.stream_heads(ready),
+            key=lambda idx: (ready[idx].deadline_s, ready[idx].seq),
+        )
+
+
+@register_scheduler("priority")
+class PriorityScheduler(FrameScheduler):
+    """Highest stream priority first; key frames break ties.
+
+    Priorities come from :attr:`FrameStream.priority` (higher is more
+    important).  Within one priority level key frames dispatch before
+    non-key frames — a late key frame stalls its whole ISM chain, a
+    late non-key frame only itself — and remaining ties fall back to
+    arrival order.
+    """
+
+    name = "priority"
+
+    def select(self, ready, now_s):
+        return min(
+            self.stream_heads(ready),
+            key=lambda idx: (
+                -ready[idx].priority,
+                not ready[idx].is_key,
+                ready[idx].seq,
+            ),
+        )
+
+
+@register_scheduler("shed")
+class ShedScheduler(FrameScheduler):
+    """FIFO with drop-on-late admission control (load shedding).
+
+    A non-key frame that would *start* service past its absolute
+    deadline is dropped instead of served: under overload this spends
+    the backend on frames that can still be useful, bounding the queue
+    instead of letting it grow without limit.  Every drop breaks the
+    stream's ISM propagation chain, so the event loop forces the
+    stream's next served frame to be a key frame (and key frames are
+    never dropped — they carry the state everything after them needs).
+
+    Dropped frames are reported as both dropped *and* missed in the
+    :class:`~repro.pipeline.costing.ServeOutcome`.
+    """
+
+    name = "shed"
+
+    def select(self, ready, now_s):
+        return 0  # FIFO order; shedding happens at admission
+
+    def admit(self, job, start_s, is_key):
+        return is_key or start_s <= job.deadline_s

@@ -41,11 +41,22 @@ class FrameStream:
     an iterable of :class:`StereoFrame`; cost-only streams leave it
     ``None``.
 
+    Two attributes describe the stream's quality of service for
+    deadline-aware schedulers (``docs/scheduling.md``):
+    ``deadline_s`` is the per-frame latency budget relative to the
+    frame's arrival (``None`` means no deadline), and ``priority``
+    ranks the stream for the ``priority`` scheduler (higher is more
+    important; the default 0 is neutral).
+
     >>> stream = FrameStream("cam", network="DispNet", pw=4, fps=30.0)
     >>> stream.has_pixels       # cost-only: geometry without pixels
     False
     >>> stream.make_policy()
     PW-4
+    >>> stream.frame_deadline(3)  # no deadline_s set: never late
+    inf
+    >>> FrameStream("hud", fps=30.0, deadline_s=0.1).frame_deadline(3)
+    0.2
     """
 
     name: str
@@ -57,6 +68,8 @@ class FrameStream:
     pw: int = 4
     ism: ISMConfig | None = None
     policy_factory: Callable[[], object] | None = None
+    deadline_s: float | None = None
+    priority: int = 0
     frame_source: Callable[[], Iterable[StereoFrame]] | None = field(
         default=None, repr=False
     )
@@ -68,6 +81,21 @@ class FrameStream:
             raise ValueError("camera rate must be positive")
         if self.pw < 1:
             raise ValueError("propagation window must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("frame deadline must be positive (or None)")
+
+    def frame_deadline(self, index: int) -> float:
+        """Absolute deadline of frame ``index`` (``inf`` without one).
+
+        Frame ``index`` arrives at ``index / fps``; its deadline is
+        that arrival plus the stream's relative :attr:`deadline_s`.
+
+        >>> FrameStream("cam", fps=10.0, deadline_s=0.05).frame_deadline(2)
+        0.25
+        """
+        if self.deadline_s is None:
+            return math.inf
+        return index / self.fps + self.deadline_s
 
     def make_policy(self):
         """A fresh key-frame policy instance for one engine run.

@@ -20,6 +20,7 @@ REQUIRED_PAGES = (
     "architecture.md",
     "backends.md",
     "serving.md",
+    "scheduling.md",
     "reproducing.md",
 )
 
