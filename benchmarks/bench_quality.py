@@ -1,0 +1,171 @@
+"""Quality vs latency under load — what scheduling decisions cost in depth.
+
+The scheduler bench (``bench_schedulers.py``) shows ``shed`` buying a
+strictly lower p99 than ``fifo`` on an overloaded mix; this bench
+prices that win in *depth accuracy*.  The same overloaded eight-stream
+mix is served under ``fifo`` / ``edf`` / ``shed`` with a
+:class:`~repro.pipeline.quality.QualityProbe` attached, which replays
+each run's real key/non-key/drop record through the full stereo
+pipeline (matcher key frames, flow-propagated ISM non-key frames,
+stale scoring for drops) against ground truth.
+
+Shape assertions (the quality contract, pinned small-scale in
+``tests/test_quality.py``):
+
+* ``shed`` keeps its strictly lower p99 **and** pays a strictly worse
+  end-point error than ``fifo`` — the drop rate is not free;
+* ``edf`` reorders between streams but serves the same frames, so its
+  depth quality is *identical* to ``fifo``'s — reordering is free;
+* a wider propagation window (PW) degrades accuracy monotonically in
+  exchange for throughput (the paper's Fig. 9/10 trade, serving-
+  facing).
+
+``ASV_BENCH_FRAMES`` overrides the per-stream frame count so CI can
+smoke-run the bench with a tiny budget (see ``.github/workflows/
+ci.yml``).
+"""
+
+import os
+
+from benchmarks.conftest import once
+from repro.pipeline import (
+    FrameStream,
+    QualityProbe,
+    StreamEngine,
+    format_quality_report,
+    sceneflow_stream,
+)
+from repro.tables import render_table
+
+SIZE = (68, 120)
+MAX_DISP = 32
+N_FRAMES = int(os.environ.get("ASV_BENCH_FRAMES", "36"))
+FPS = 60.0
+SCHEDULERS = ("fifo", "edf", "shed")
+
+
+def _streams():
+    """The bench_schedulers overload mix (~1.1x systolic capacity),
+    with pixels attached to the tight-deadline streams so the probe
+    can score what each discipline actually delivered."""
+    tight = [
+        sceneflow_stream(seed=i, name=f"hud-{i}", size=SIZE,
+                         n_frames=N_FRAMES, max_disp=MAX_DISP, fps=FPS,
+                         mode="baseline", pw=2, deadline_s=0.008, priority=1)
+        for i in range(4)
+    ]
+    loose = [
+        FrameStream(f"log-{i}", size=SIZE, n_frames=N_FRAMES, fps=FPS,
+                    mode="baseline", pw=2, deadline_s=0.6)
+        for i in range(4)
+    ]
+    return tight + loose
+
+
+def _probe():
+    return QualityProbe(matcher="bm", max_disp=MAX_DISP)
+
+
+def _run_all():
+    return {
+        name: StreamEngine("systolic", scheduler=name,
+                           quality=_probe()).run(_streams())
+        for name in SCHEDULERS
+    }
+
+
+def _p99_ms(report) -> float:
+    return max(s.p99_ms for s in report.streams if s.frames)
+
+
+def _comparison_table(reports) -> str:
+    rows = []
+    for name, r in reports.items():
+        stale = [
+            s.quality.stale_epe_px
+            for s in r.probed_streams
+            if s.quality.stale_epe_px is not None
+        ]
+        rows.append([
+            name, r.total_frames, r.dropped_frames, _p99_ms(r),
+            r.deadline_miss_rate, r.drop_rate,
+            100.0 * r.bad_pixel_rate, r.epe_px,
+            max(stale) if stale else "-",
+        ])
+    return render_table(
+        f"Depth quality vs latency on an overloaded 8-stream mix "
+        f"({N_FRAMES} frames/stream at {FPS:.0f} fps)",
+        ["scheduler", "served", "dropped", "p99 ms", "miss rate",
+         "drop rate", "bad px %", "epe px", "worst stale epe"],
+        rows,
+    )
+
+
+def _pw_table(probe) -> str:
+    rows = []
+    for pw in (1, 2, 4, 8):
+        stream = sceneflow_stream(seed=9, size=SIZE, max_disp=MAX_DISP,
+                                  n_frames=min(N_FRAMES, 16), pw=pw)
+        q = probe.score_plan(stream)
+        rows.append([
+            f"PW-{pw}", q.n_frames, sum(f.disposition == "key"
+                                        for f in q.frames),
+            100.0 * q.bad_pixel_rate, q.epe_px,
+            "-" if q.nonkey_epe_px is None else q.nonkey_epe_px,
+        ])
+    return render_table(
+        "Key-frame policy (PW) sensitivity — planned schedule, no load",
+        ["policy", "frames", "keys", "bad px %", "epe px", "nonkey epe"],
+        rows,
+    )
+
+
+def test_quality_vs_latency(benchmark, save_table):
+    reports = once(benchmark, _run_all)
+
+    save_table("quality_schedulers", _comparison_table(reports))
+    save_table("quality_shed_streams",
+               format_quality_report(reports["shed"]))
+
+    fifo, edf, shed = (reports[n] for n in SCHEDULERS)
+    for report in reports.values():
+        assert len(report.probed_streams) == 4  # the HUD streams
+        assert report.bad_pixel_rate is not None
+
+    # shed's tail win is real — and so is its accuracy bill
+    assert _p99_ms(shed) < _p99_ms(fifo)
+    assert shed.drop_rate > 0.0 and fifo.drop_rate == 0.0
+    assert shed.epe_px > fifo.epe_px
+    assert shed.bad_pixel_rate > fifo.bad_pixel_rate
+
+    # edf reorders between streams but serves every planned frame, so
+    # its depth quality is bit-identical to fifo's
+    assert edf.drop_rate == 0.0
+    assert edf.epe_px == fifo.epe_px
+    assert edf.bad_pixel_rate == fifo.bad_pixel_rate
+
+    # within each shed stream, the stale depth a drop leaves behind is
+    # worse than the fresh key-frame depth the same scene gets
+    assert any(s.quality.stale_epe_px is not None
+               for s in shed.probed_streams)
+    for s in shed.probed_streams:
+        if s.quality.stale_epe_px is not None:
+            assert s.quality.stale_epe_px > s.quality.key_epe_px
+
+
+def test_pw_sensitivity(benchmark, save_table):
+    table = once(benchmark, _pw_table, _probe())
+    save_table("quality_pw_sensitivity", table)
+
+    probe = _probe()
+    qualities = {
+        pw: probe.score_plan(sceneflow_stream(
+            seed=9, size=SIZE, max_disp=MAX_DISP,
+            n_frames=min(N_FRAMES, 16), pw=pw))
+        for pw in (1, 2, 8)
+    }
+    # all-key (PW-1) bounds the matcher's own accuracy; wider windows
+    # propagate further and degrade (paper Fig. 9/10, serving-facing)
+    assert qualities[1].epe_px < qualities[2].epe_px
+    assert qualities[2].epe_px < qualities[8].epe_px
+    assert qualities[8].nonkey_epe_px > qualities[8].key_epe_px

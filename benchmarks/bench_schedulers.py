@@ -15,6 +15,11 @@ are deterministic across fresh runs.
 ``ASV_BENCH_FRAMES`` overrides the per-stream frame count so CI can
 smoke-run the bench with a tiny budget (see ``.github/workflows/
 ci.yml``).
+
+This bench is latency-only; ``bench_quality.py`` serves the same
+overloaded mix with a :class:`~repro.pipeline.quality.QualityProbe`
+attached and prices each discipline's wins in depth accuracy (shed's
+drop rate costs EPE, edf's reordering is free).
 """
 
 import os

@@ -1,0 +1,75 @@
+"""Quality-aware serving: pricing a scheduler's latency win in depth.
+
+The serving engines are analytic — they simulate latency without
+computing disparities — so a load-shedding scheduler looks like a
+free p99 win.  This tour attaches a :class:`~repro.pipeline.quality.
+QualityProbe` to make the other half of the trade visible:
+
+1. build an overloaded camera mix (tight-deadline HUD streams with
+   real pixel data, patient logging streams without);
+2. serve it under ``fifo``, ``edf`` and load-shedding ``shed`` with
+   the probe replaying every run's real key/non-key/drop decisions
+   through the full stereo pipeline against ground truth;
+3. print the quality-vs-latency tables: ``shed`` buys its lower p99
+   with stale frames (worse EPE), ``edf``'s reordering costs nothing.
+
+Run:  python examples/quality_aware_serving.py
+"""
+
+from repro.pipeline import (
+    FrameStream,
+    QualityProbe,
+    StreamEngine,
+    format_quality_report,
+    sceneflow_stream,
+)
+
+SIZE = (68, 120)
+MAX_DISP = 32
+N_FRAMES = 18
+FPS = 60.0
+SCHEDULERS = ("fifo", "edf", "shed")
+
+
+def build_streams():
+    """Four HUD cameras on 8 ms budgets plus four patient loggers —
+    about 1.1x what one systolic array sustains."""
+    hud = [
+        sceneflow_stream(seed=i, name=f"hud-{i}", size=SIZE,
+                         n_frames=N_FRAMES, max_disp=MAX_DISP, fps=FPS,
+                         mode="baseline", pw=2, deadline_s=0.008)
+        for i in range(4)
+    ]
+    log = [
+        FrameStream(f"log-{i}", size=SIZE, n_frames=N_FRAMES, fps=FPS,
+                    mode="baseline", pw=2, deadline_s=0.6)
+        for i in range(4)
+    ]
+    return hud + log
+
+
+def main():
+    probe = QualityProbe(matcher="bm", max_disp=MAX_DISP)
+    print(f"probing with {probe}\n")
+
+    reports = {}
+    for name in SCHEDULERS:
+        engine = StreamEngine("systolic", scheduler=name, quality=probe)
+        reports[name] = engine.run(build_streams())
+        print(format_quality_report(reports[name]))
+        print()
+
+    fifo, edf, shed = (reports[n] for n in SCHEDULERS)
+    print("the trade, summarized:")
+    print(f"  fifo: p99 {fifo.worst_p99_ms:7.2f} ms, "
+          f"drop {fifo.drop_rate:4.0%}, EPE {fifo.epe_px:.3f} px")
+    print(f"  edf : p99 {edf.worst_p99_ms:7.2f} ms, "
+          f"drop {edf.drop_rate:4.0%}, EPE {edf.epe_px:.3f} px "
+          f"(same frames, same depth — reordering is free)")
+    print(f"  shed: p99 {shed.worst_p99_ms:7.2f} ms, "
+          f"drop {shed.drop_rate:4.0%}, EPE {shed.epe_px:.3f} px "
+          f"(+{shed.epe_px - fifo.epe_px:.3f} px — the price of the tail)")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,9 @@ The scaling layer above :mod:`repro.pipeline`::
   ``capability-aware`` / ``deadline-aware``), pluggable via
   :func:`register_placement_policy`;
 * :class:`ClusterReport` — per-stream tails, per-shard utilization,
-  fleet throughput, and fleet-wide deadline-miss / drop accounting;
+  fleet throughput, fleet-wide deadline-miss / drop accounting, and
+  (when the engine carries a ``quality=`` probe, see
+  ``docs/quality.md``) fleet depth-accuracy aggregation;
 * :func:`plan_capacity` — "how many of which accelerator do I need"
   for a stream set and target rate.
 
@@ -53,6 +55,7 @@ from repro.cluster.policies import (
 from repro.cluster.report import (
     BackendShard,
     ClusterReport,
+    format_cluster_quality,
     format_cluster_report,
     format_policy_comparison,
 )
@@ -70,6 +73,7 @@ __all__ = [
     "RoundRobinPolicy",
     "available_policies",
     "format_capacity_plan",
+    "format_cluster_quality",
     "format_cluster_report",
     "format_policy_comparison",
     "get_policy",

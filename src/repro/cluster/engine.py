@@ -27,6 +27,7 @@ from repro.backends.registry import get_backend
 from repro.cluster.policies import PlacementPolicy, get_policy
 from repro.cluster.report import BackendShard, ClusterReport
 from repro.pipeline.costing import FrameCoster
+from repro.pipeline.quality import QualityProbe
 from repro.pipeline.report import EngineReport
 from repro.pipeline.schedulers import FrameScheduler, get_scheduler
 from repro.pipeline.stream import FrameStream
@@ -45,6 +46,10 @@ class ClusterEngine:
     ``scheduler`` — a registered name or a :class:`~repro.pipeline.
     schedulers.FrameScheduler` — is the service discipline every shard
     runs (``fifo`` by default; see ``docs/scheduling.md``).
+    ``quality`` — a :class:`~repro.pipeline.quality.QualityProbe`, or
+    ``True`` for the default probe — scores every shard's depth
+    accuracy by replaying its served decisions through the real
+    pipeline (``docs/quality.md``).
 
     >>> from repro.pipeline import FrameStream
     >>> engine = ClusterEngine(["gpu", "gpu"], policy="round-robin")
@@ -63,6 +68,7 @@ class ClusterEngine:
         backends: Sequence[str | ExecutionBackend],
         policy: str | PlacementPolicy = "least-loaded",
         scheduler: str | FrameScheduler = "fifo",
+        quality: QualityProbe | bool | None = None,
     ):
         if not backends:
             raise ValueError("a cluster needs at least one backend")
@@ -75,6 +81,9 @@ class ClusterEngine:
         if isinstance(scheduler, str):
             scheduler = get_scheduler(scheduler)
         self.scheduler = scheduler
+        if quality is True:
+            quality = QualityProbe()
+        self.quality = quality or None
 
     @staticmethod
     def _label_backends(backends: Sequence[ExecutionBackend]) -> list[str]:
@@ -137,7 +146,7 @@ class ClusterEngine:
             groups[index].append(stream)
 
         outcomes = [
-            coster.serve(group, scheduler=self.scheduler)
+            coster.serve(group, scheduler=self.scheduler, quality=self.quality)
             for coster, group in zip(self.costers, groups)
         ]
         makespan = max(o.makespan_s for o in outcomes)

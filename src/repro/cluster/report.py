@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.pipeline.report import EngineReport, StreamStats
+from repro.pipeline.report import (
+    EngineReport,
+    StreamStats,
+    _quality_cells,
+    _weighted_quality_mean,
+)
 from repro.tables import render_table
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "ClusterReport",
     "format_cluster_report",
     "format_policy_comparison",
+    "format_cluster_quality",
 ]
 
 
@@ -123,6 +129,26 @@ class ClusterReport:
         )
 
     @property
+    def probed_streams(self) -> list[StreamStats]:
+        """Fleet-wide streams carrying a depth-quality sample."""
+        return [s for s in self.stream_stats if s.quality is not None]
+
+    @property
+    def bad_pixel_rate(self) -> float | None:
+        """Probed fleet bad-pixel fraction, weighted by scored frames.
+
+        ``None`` when the run carried no quality probe.  Shares the
+        engine report's aggregation helper, so the two layers can
+        never diverge.
+        """
+        return _weighted_quality_mean(self.stream_stats, "bad_pixel_rate")
+
+    @property
+    def epe_px(self) -> float | None:
+        """Probed fleet end-point error, weighted by scored frames."""
+        return _weighted_quality_mean(self.stream_stats, "epe_px")
+
+    @property
     def stream_stats(self) -> list[StreamStats]:
         """Every stream's statistics, in original placement order."""
         by_name = {
@@ -176,18 +202,24 @@ def format_cluster_report(report: ClusterReport) -> str:
     True
     """
     placed = dict(report.placement)
-    stream_rows = [
-        [s.stream, placed[s.stream], s.frames, s.key_frames,
-         s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms,
-         s.missed_deadlines, s.dropped_frames]
-        for s in report.stream_stats
-    ]
+    with_quality = bool(report.probed_streams)
+    stream_rows = []
+    for s in report.stream_stats:
+        row = [s.stream, placed[s.stream], s.frames, s.key_frames,
+               s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms,
+               s.missed_deadlines, s.dropped_frames]
+        if with_quality:
+            row += _quality_cells(s)
+        stream_rows.append(row)
+    headers = ["stream", "shard", "frames", "keys",
+               "mean ms", "p50 ms", "p95 ms", "p99 ms", "miss", "drop"]
+    if with_quality:
+        headers += ["bad px %", "epe px"]
     streams_table = render_table(
         f"Cluster serving ({report.policy}, {report.scheduler}) — "
         f"{report.aggregate_fps:.1f} fps aggregate over "
         f"{len(report.shards)} backends",
-        ["stream", "shard", "frames", "keys",
-         "mean ms", "p50 ms", "p95 ms", "p99 ms", "miss", "drop"],
+        headers,
         stream_rows,
     )
     shard_rows = [
@@ -228,5 +260,47 @@ def format_policy_comparison(
         ["policy", "backends", "frames", "agg fps",
          "worst p99 ms", "max util", "miss rate", "drop rate",
          f"streams@{target_fps:.0f}fps"],
+        rows,
+    )
+
+
+def format_cluster_quality(report: ClusterReport) -> str:
+    """Fleet quality-vs-latency summary: accuracy next to the tail.
+
+    One row per probed stream — shard, latency tail, drops, and the
+    depth accuracy the placement/scheduling combination delivered —
+    so a fleet's p99 win can be judged against its accuracy cost
+    (``docs/quality.md``).
+
+    >>> from repro.cluster import ClusterEngine
+    >>> from repro.pipeline import QualityProbe, sceneflow_stream
+    >>> run = ClusterEngine(["gpu"], quality=QualityProbe(
+    ...     matcher="bm", max_disp=16)).run(
+    ...     [sceneflow_stream(seed=3, size=(32, 48), n_frames=3,
+    ...                       max_disp=16, mode="baseline")])
+    >>> "epe px" in format_cluster_quality(run)
+    True
+    """
+    probed = report.probed_streams
+    if not probed:
+        raise ValueError(
+            "cluster report carries no quality samples; run the engine "
+            "with quality= (and pixel-carrying streams) first"
+        )
+    placed = dict(report.placement)
+    fmt = lambda v: "-" if v is None else v
+    rows = [
+        [s.stream, placed[s.stream], s.quality.n_frames, s.key_frames,
+         s.dropped_frames, s.p99_ms, 100.0 * s.bad_pixel_rate, s.epe_px,
+         fmt(s.quality.stale_epe_px)]
+        for s in probed
+    ]
+    return render_table(
+        f"Fleet quality vs latency ({report.policy}, {report.scheduler}, "
+        f"matcher {probed[0].quality.matcher!r}) — "
+        f"miss rate {report.deadline_miss_rate:.0%}, "
+        f"drop rate {report.drop_rate:.0%}",
+        ["stream", "shard", "scored", "keys", "drop", "p99 ms",
+         "bad px %", "epe px", "stale epe"],
         rows,
     )

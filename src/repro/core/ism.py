@@ -93,11 +93,34 @@ class ISM:
         self._accumulated = None
         self._context: dict = {}
 
-    def step(self, frame: StereoFrame) -> tuple[np.ndarray, bool]:
-        """Process the next frame; returns ``(disparity, is_key_frame)``."""
-        is_key = self._key_disp is None or self.policy.is_key(
-            self._index, self._context
-        )
+    def step(
+        self, frame: StereoFrame, is_key: bool | None = None
+    ) -> tuple[np.ndarray, bool]:
+        """Process the next frame; returns ``(disparity, is_key_frame)``.
+
+        ``is_key`` overrides the key-frame policy when given — the
+        serving stack's :class:`~repro.pipeline.quality.QualityProbe`
+        replays decisions an engine actually made (including ``shed``
+        re-keying after a drop), so the decision comes from outside.
+        ``None`` (the default) consults the policy as before.  A
+        forced key is reported to the policy through its optional
+        ``sync_forced_key(index)`` hook (the same contract
+        :func:`repro.pipeline.costing.plan_keys` honours), so a
+        stateful policy's last-key state tracks what was actually
+        served if the caller later resumes policy-driven stepping.
+        """
+        if is_key is None:
+            is_key = self._key_disp is None or self.policy.is_key(
+                self._index, self._context
+            )
+        elif not is_key and self._key_disp is None:
+            raise ValueError(
+                "cannot serve a non-key frame before any key frame"
+            )
+        elif is_key:
+            sync = getattr(self.policy, "sync_forced_key", None)
+            if sync is not None:
+                sync(self._index)
         if is_key:
             disp = np.asarray(self.dnn(frame), dtype=np.float64)
             self._key_disp = disp

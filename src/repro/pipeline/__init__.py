@@ -24,14 +24,18 @@ Production-shaped serving on top of the execution-backend layer::
   and the load-shedding ``shed``;
 * :class:`StreamEngine` — discrete-event scheduling of key and
   non-key frames across N concurrent streams on one backend;
+* :class:`QualityProbe` / :class:`StreamQuality` — depth accuracy of
+  a served run, scored by replaying the engine's per-frame decisions
+  (key / non-key / drop) through the *real* stereo pipeline on the
+  procedural datasets' exact ground truth;
 * :class:`EngineReport` / :class:`StreamStats` — p50/p95/p99 frame
   latency per stream, queue-wait attribution, deadline-miss / drop
   rates, worst-case lateness, aggregate fps, backend utilization,
-  streams sustainable at a target rate, and result-cache hit
-  statistics.
+  streams sustainable at a target rate, result-cache hit statistics,
+  and (on probed runs) bad-pixel rate / end-point error.
 
 The serving guide lives in ``docs/serving.md``; the scheduler guide
-in ``docs/scheduling.md``.
+in ``docs/scheduling.md``; the quality guide in ``docs/quality.md``.
 """
 
 from repro.pipeline.costing import (
@@ -41,10 +45,17 @@ from repro.pipeline.costing import (
     plan_keys,
 )
 from repro.pipeline.engine import StreamEngine
+from repro.pipeline.quality import (
+    FrameQuality,
+    QualityProbe,
+    StreamQuality,
+    available_matchers,
+)
 from repro.pipeline.report import (
     EngineReport,
     StreamStats,
     format_backend_comparison,
+    format_quality_report,
     format_report,
 )
 from repro.pipeline.schedulers import (
@@ -71,16 +82,21 @@ __all__ = [
     "FifoScheduler",
     "FrameCoster",
     "FrameJob",
+    "FrameQuality",
     "FrameScheduler",
     "FrameStream",
     "MODE_FALLBACK",
     "PriorityScheduler",
+    "QualityProbe",
     "ServeOutcome",
     "ShedScheduler",
     "StreamEngine",
+    "StreamQuality",
     "StreamStats",
+    "available_matchers",
     "available_schedulers",
     "format_backend_comparison",
+    "format_quality_report",
     "format_report",
     "get_scheduler",
     "kitti_stream",

@@ -28,6 +28,7 @@ single-backend engine *exactly* (this is regression-tested).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -35,6 +36,7 @@ from repro.backends.base import ExecutionBackend
 from repro.pipeline.stream import FrameStream
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.pipeline.quality import QualityProbe, StreamQuality
     from repro.pipeline.schedulers import FrameScheduler
 
 __all__ = ["MODE_FALLBACK", "FrameCoster", "ServeOutcome", "plan_keys"]
@@ -130,6 +132,12 @@ class ServeOutcome:
     worst_lateness_s: tuple[float, ...] = ()
     #: the discipline that produced this outcome
     scheduler: str = "fifo"
+    #: per-stream frame-order record of what actually happened to each
+    #: offered frame: ``"key"`` / ``"nonkey"`` (served) or ``"drop"``
+    dispositions: tuple[tuple[str, ...], ...] = ()
+    #: per-stream depth-quality samples (``None`` for unprobed
+    #: streams); populated only when ``serve`` ran a ``quality=`` probe
+    quality: "tuple[StreamQuality | None, ...]" = ()
 
     @property
     def aggregate_fps(self) -> float:
@@ -297,6 +305,7 @@ class FrameCoster:
         self,
         streams: list[FrameStream],
         scheduler: "str | FrameScheduler | None" = None,
+        quality: "QualityProbe | None" = None,
     ) -> ServeOutcome:
         """Serve ``streams`` to completion on the backend.
 
@@ -309,6 +318,13 @@ class FrameCoster:
         so runs are deterministic.  The run is recorded in the
         backend's lifetime :class:`~repro.backends.base.
         BackendOccupancy`.
+
+        ``quality`` — a :class:`~repro.pipeline.quality.QualityProbe`
+        — additionally runs the *real* stereo pipeline over (a sample
+        of) the pixel-carrying streams, replaying the exact per-frame
+        decisions this simulation made, and attaches the per-stream
+        depth-accuracy scores to :attr:`ServeOutcome.quality` (see
+        ``docs/quality.md``).
 
         >>> from repro.backends import get_backend
         >>> from repro.pipeline import FrameStream
@@ -335,5 +351,9 @@ class FrameCoster:
                 busy_s=outcome.busy_s,
                 span_s=outcome.makespan_s,
                 frames=outcome.total_frames,
+            )
+        if quality is not None:
+            outcome = dataclasses.replace(
+                outcome, quality=quality.score_streams(streams, outcome)
             )
         return outcome

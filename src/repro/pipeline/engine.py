@@ -31,6 +31,12 @@ degrades to its static PW-``max_window`` behaviour here — the
 "Key-frame policies" section of ``docs/serving.md`` explains the
 cost-only contract and how to run true adaptive keying with
 :class:`repro.core.ISM` over the stream's pixel data instead.
+
+The latency simulation stays analytic even when a ``quality=``
+:class:`~repro.pipeline.quality.QualityProbe` is attached: the probe
+runs the real pipeline *after* the simulation, replaying the exact
+decisions it made, so quality scoring never perturbs the reported
+latencies (``docs/quality.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from __future__ import annotations
 from repro.backends.base import ExecutionBackend
 from repro.backends.registry import get_backend
 from repro.pipeline.costing import MODE_FALLBACK, FrameCoster
+from repro.pipeline.quality import QualityProbe
 from repro.pipeline.report import EngineReport
 from repro.pipeline.schedulers import FrameScheduler, get_scheduler
 from repro.pipeline.stream import FrameStream
@@ -54,6 +61,10 @@ class StreamEngine:
     ``scheduler`` selects the service discipline — a registered name
     (``fifo`` / ``edf`` / ``priority`` / ``shed``) or a
     :class:`~repro.pipeline.schedulers.FrameScheduler` instance.
+    ``quality`` — a :class:`~repro.pipeline.quality.QualityProbe`, or
+    ``True`` for the default probe — scores the run's depth accuracy
+    by replaying the served decisions through the real pipeline on
+    pixel-carrying streams (``docs/quality.md``).
 
     >>> from repro.pipeline import FrameStream, StreamEngine
     >>> engine = StreamEngine("gpu")
@@ -62,12 +73,15 @@ class StreamEngine:
     ('gpu', 6)
     >>> StreamEngine("gpu", scheduler="edf").scheduler.name
     'edf'
+    >>> StreamEngine("gpu", quality=True).quality
+    QualityProbe(matcher='bm', max_disp=48, sample=1.0)
     """
 
     def __init__(
         self,
         backend: str | ExecutionBackend,
         scheduler: str | FrameScheduler = "fifo",
+        quality: QualityProbe | bool | None = None,
         **backend_kwargs,
     ):
         if isinstance(backend, str):
@@ -79,6 +93,9 @@ class StreamEngine:
         if isinstance(scheduler, str):
             scheduler = get_scheduler(scheduler)
         self.scheduler = scheduler
+        if quality is True:
+            quality = QualityProbe()
+        self.quality = quality or None
 
     # ------------------------------------------------------------------
     # per-frame costs (delegated to the shared coster)
@@ -128,7 +145,9 @@ class StreamEngine:
         """
         if not streams:
             raise ValueError("need at least one stream")
-        outcome = self.coster.serve(streams, scheduler=self.scheduler)
+        outcome = self.coster.serve(
+            streams, scheduler=self.scheduler, quality=self.quality
+        )
         return EngineReport.from_serve(
             self.backend.name, streams, outcome, self.backend.cache_info()
         )

@@ -16,6 +16,14 @@ service), the stream's deadline misses, dropped frames, and worst-
 case completion lateness; the report aggregates these into
 :attr:`EngineReport.deadline_miss_rate` / :attr:`EngineReport.
 drop_rate` over *offered* frames (a dropped frame counts as a miss).
+
+Depth accuracy rides along when the run was served with a
+``quality=`` probe (``docs/quality.md``): probed streams carry a
+:class:`~repro.pipeline.quality.StreamQuality` sample (bad-pixel rate
+and end-point error from the *real* pipeline), the report aggregates
+them into :attr:`EngineReport.bad_pixel_rate` / :attr:`EngineReport.
+epe_px`, and :func:`format_quality_report` renders the quality-vs-
+latency summary the scheduler trade-offs are judged by.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cache import CacheInfo
+from repro.pipeline.quality import StreamQuality
 from repro.tables import render_table
 
 __all__ = [
@@ -32,7 +41,31 @@ __all__ = [
     "EngineReport",
     "format_report",
     "format_backend_comparison",
+    "format_quality_report",
 ]
+
+
+def _weighted_quality_mean(stream_stats, attr: str) -> float | None:
+    """Frame-weighted mean of a quality attribute over probed streams.
+
+    Shared by the engine and cluster reports so the two aggregation
+    semantics can never diverge.  ``None`` when nothing was probed.
+    """
+    probed = [s for s in stream_stats if s.quality is not None]
+    total = sum(s.quality.n_frames for s in probed)
+    if not total:
+        return None
+    return (
+        sum(getattr(s.quality, attr) * s.quality.n_frames for s in probed)
+        / total
+    )
+
+
+def _quality_cells(stats: "StreamStats") -> list:
+    """The two accuracy cells of a stream row (``-`` when unprobed)."""
+    if stats.quality is None:
+        return ["-", "-"]
+    return [100.0 * stats.bad_pixel_rate, stats.epe_px]
 
 
 @dataclass(frozen=True)
@@ -62,6 +95,8 @@ class StreamStats:
     missed_deadlines: int = 0
     dropped_frames: int = 0
     worst_lateness_ms: float = 0.0
+    #: depth-accuracy sample when the run carried a quality probe
+    quality: StreamQuality | None = None
 
     @classmethod
     def from_latencies(
@@ -73,6 +108,7 @@ class StreamStats:
         missed_deadlines: int = 0,
         dropped_frames: int = 0,
         worst_lateness_s: float = 0.0,
+        quality: StreamQuality | None = None,
     ) -> "StreamStats":
         """Summarize raw per-frame latencies (seconds) into statistics.
 
@@ -106,12 +142,23 @@ class StreamStats:
             missed_deadlines=missed_deadlines,
             dropped_frames=dropped_frames,
             worst_lateness_ms=1e3 * worst_lateness_s,
+            quality=quality,
         )
 
     @property
     def offered_frames(self) -> int:
         """Frames that arrived for this stream: served plus dropped."""
         return self.frames + self.dropped_frames
+
+    @property
+    def bad_pixel_rate(self) -> float | None:
+        """Probed bad-pixel fraction (``None`` without a quality sample)."""
+        return self.quality.bad_pixel_rate if self.quality else None
+
+    @property
+    def epe_px(self) -> float | None:
+        """Probed mean end-point error (``None`` without a sample)."""
+        return self.quality.epe_px if self.quality else None
 
 
 @dataclass(frozen=True)
@@ -162,6 +209,7 @@ class EngineReport:
         missed = outcome.missed_deadlines or (0,) * n
         dropped = outcome.dropped_frames or (0,) * n
         lateness = outcome.worst_lateness_s or (0.0,) * n
+        quality = outcome.quality or (None,) * n
         return cls(
             backend=backend,
             streams=[
@@ -169,10 +217,11 @@ class EngineReport:
                     s.name, lat, keys,
                     waits_s=wait, missed_deadlines=miss,
                     dropped_frames=drop, worst_lateness_s=late,
+                    quality=qual,
                 )
-                for s, lat, keys, wait, miss, drop, late in zip(
+                for s, lat, keys, wait, miss, drop, late, qual in zip(
                     streams, outcome.latencies_s, outcome.key_counts,
-                    waits, missed, dropped, lateness,
+                    waits, missed, dropped, lateness, quality,
                 )
             ],
             total_frames=outcome.total_frames,
@@ -248,9 +297,32 @@ class EngineReport:
             return 0.0
         return max(s.worst_lateness_ms for s in self.streams)
 
+    @property
+    def probed_streams(self) -> list[StreamStats]:
+        """Streams that carry a depth-quality sample."""
+        return [s for s in self.streams if s.quality is not None]
+
+    @property
+    def bad_pixel_rate(self) -> float | None:
+        """Probed bad-pixel fraction, weighted by scored frames.
+
+        ``None`` when the run carried no quality probe (the analytic
+        reports stay purely latency-shaped).
+        """
+        return _weighted_quality_mean(self.streams, "bad_pixel_rate")
+
+    @property
+    def epe_px(self) -> float | None:
+        """Probed mean end-point error, weighted by scored frames."""
+        return _weighted_quality_mean(self.streams, "epe_px")
+
 
 def format_report(report: EngineReport) -> str:
     """Per-stream latency table for one backend run.
+
+    When the run carried a quality probe, two accuracy columns (bad-
+    pixel percentage and end-point error) join the latency columns;
+    cost-only runs render the historical latency-only table.
 
     >>> from repro.pipeline import FrameStream, StreamEngine
     >>> report = StreamEngine("gpu").run(
@@ -258,18 +330,24 @@ def format_report(report: EngineReport) -> str:
     >>> "p99 ms" in format_report(report)
     True
     """
-    rows = [
-        [s.stream, s.frames, s.key_frames, s.mean_ms, s.mean_wait_ms,
-         s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
-         s.missed_deadlines, s.dropped_frames]
-        for s in report.streams
-    ]
+    with_quality = bool(report.probed_streams)
+    rows = []
+    for s in report.streams:
+        row = [s.stream, s.frames, s.key_frames, s.mean_ms, s.mean_wait_ms,
+               s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
+               s.missed_deadlines, s.dropped_frames]
+        if with_quality:
+            row += _quality_cells(s)
+        rows.append(row)
+    headers = ["stream", "frames", "keys", "mean ms", "wait ms",
+               "p50 ms", "p95 ms", "p99 ms", "max ms", "miss", "drop"]
+    if with_quality:
+        headers += ["bad px %", "epe px"]
     table = render_table(
         f"Stream serving on {report.backend!r} ({report.scheduler}) — "
         f"{report.aggregate_fps:.1f} fps aggregate, "
         f"cache hit rate {report.cache.hit_rate:.0%}",
-        ["stream", "frames", "keys", "mean ms", "wait ms",
-         "p50 ms", "p95 ms", "p99 ms", "max ms", "miss", "drop"],
+        headers,
         rows,
     )
     return table
@@ -295,5 +373,48 @@ def format_backend_comparison(
         f"Multi-stream serving — backends at {target_fps:.0f} fps target",
         ["backend", "streams", "frames", "agg fps",
          "worst p99 ms", f"streams@{target_fps:.0f}fps"],
+        rows,
+    )
+
+
+def format_quality_report(report: EngineReport) -> str:
+    """Quality-vs-latency summary of a probed run.
+
+    One row per probed stream: the latency tail and QoS outcome next
+    to the depth accuracy it bought, with the EPE attributed to key /
+    non-key / stale frames.  This is the table the scheduler
+    trade-offs are judged by — a ``shed`` p99 win means nothing until
+    it sits next to the staleness it cost (``docs/quality.md``).
+
+    >>> from repro.pipeline import (QualityProbe, StreamEngine,
+    ...                             sceneflow_stream)
+    >>> report = StreamEngine("gpu", quality=QualityProbe(
+    ...     matcher="bm", max_disp=16)).run(
+    ...     [sceneflow_stream(seed=3, size=(32, 48), n_frames=3,
+    ...                       max_disp=16, mode="baseline")])
+    >>> "epe px" in format_quality_report(report)
+    True
+    """
+    probed = report.probed_streams
+    if not probed:
+        raise ValueError(
+            "report carries no quality samples; serve with quality= "
+            "(and pixel-carrying streams) first"
+        )
+    fmt = lambda v: "-" if v is None else v
+    rows = [
+        [s.stream, s.quality.n_frames, s.key_frames, s.dropped_frames,
+         s.p99_ms, 100.0 * s.bad_pixel_rate, s.epe_px,
+         fmt(s.quality.key_epe_px), fmt(s.quality.nonkey_epe_px),
+         fmt(s.quality.stale_epe_px)]
+        for s in probed
+    ]
+    return render_table(
+        f"Quality vs latency on {report.backend!r} ({report.scheduler}, "
+        f"matcher {probed[0].quality.matcher!r}) — "
+        f"miss rate {report.deadline_miss_rate:.0%}, "
+        f"drop rate {report.drop_rate:.0%}",
+        ["stream", "scored", "keys", "drop", "p99 ms", "bad px %",
+         "epe px", "key epe", "nonkey epe", "stale epe"],
         rows,
     )

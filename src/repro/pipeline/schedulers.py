@@ -236,6 +236,10 @@ class FrameScheduler:
         dropped = [0] * n
         worst_late = [0.0] * n
         rekey = [False] * n
+        # per-stream frame-order record of what actually happened:
+        # "key" / "nonkey" (served) or "drop" — the quality probe
+        # replays the real pipeline from exactly this record
+        dispositions: list[list[str]] = [[] for _ in streams]
 
         server_free = 0.0
         busy = 0.0
@@ -262,6 +266,7 @@ class FrameScheduler:
                 dropped[si] += 1
                 missed[si] += 1  # a dropped frame never met its deadline
                 rekey[si] = True  # the ISM chain broke; re-key the stream
+                dispositions[si].append("drop")
                 continue
             if is_key:
                 rekey[si] = False
@@ -270,6 +275,7 @@ class FrameScheduler:
             server_free = done
             busy += service
             key_counts[si] += is_key
+            dispositions[si].append("key" if is_key else "nonkey")
             latencies[si].append(done - job.arrival_s)
             waits[si].append(start - job.arrival_s)
             services[si].append(service)
@@ -291,6 +297,7 @@ class FrameScheduler:
             dropped_frames=tuple(dropped),
             worst_lateness_s=tuple(worst_late),
             scheduler=self.name,
+            dispositions=tuple(tuple(d) for d in dispositions),
         )
 
     def __repr__(self):

@@ -84,7 +84,15 @@ def sad_cost_volume(
 
 
 def _subpixel_refine(cost: np.ndarray, disp: np.ndarray) -> np.ndarray:
-    """Parabola fit over the winning cost and its two neighbours."""
+    """Parabola fit over the winning cost and its two neighbours.
+
+    The fit is only meaningful at a *convex* minimum: the curvature
+    ``c0 - 2*c1 + c2`` must be strictly positive.  On a plateau (all
+    three costs equal, e.g. saturated ``_BIG`` regions) or a concave
+    triple the parabola has no interior minimum, so the integer
+    disparity is kept unchanged rather than nudged by a spurious
+    +/- 0.5 pixel shift.
+    """
     d_max, h, w = cost.shape
     d = disp.astype(int)
     inner = (d > 0) & (d < d_max - 1)
@@ -93,9 +101,8 @@ def _subpixel_refine(cost: np.ndarray, disp: np.ndarray) -> np.ndarray:
     c1 = cost[d, yy, xx]
     c2 = cost[np.clip(d + 1, 0, d_max - 1), yy, xx]
     denom = c0 - 2 * c1 + c2
-    offset = np.where(
-        inner & (np.abs(denom) > 1e-12), (c0 - c2) / (2 * np.maximum(denom, 1e-12)), 0.0
-    )
+    convex = inner & (denom > 1e-12)
+    offset = np.where(convex, (c0 - c2) / (2 * np.where(convex, denom, 1.0)), 0.0)
     return disp + np.clip(offset, -0.5, 0.5)
 
 

@@ -14,7 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.stereo.block_matching import _as_float, _subpixel_refine, shift_right_image
+from repro.stereo.block_matching import (
+    _BIG,
+    _as_float,
+    _subpixel_refine,
+    shift_right_image,
+)
 
 __all__ = ["census_transform", "hamming_cost_volume", "census_block_match"]
 
@@ -24,7 +29,9 @@ def census_transform(img: np.ndarray, window: int = 5) -> np.ndarray:
 
     Bit ``i`` is set when the i-th neighbour (row-major over the
     ``window x window`` patch, centre excluded) is darker than the
-    centre pixel.  Windows up to 8x8 fit the 64-bit code.
+    centre pixel.  Windows must be odd (the code is centred on a
+    pixel), so the largest that fits the 64-bit code is 7x7
+    (48 comparison bits).
     """
     img = _as_float(img)
     if window % 2 == 0 or window < 3:
@@ -71,7 +78,7 @@ def hamming_cost_volume(
         shifted = shift_right_image(cr, d)
         cost[d] = _popcount64(np.bitwise_xor(cl, shifted))
         if d:
-            cost[d, :, w - d :] = 1e9
+            cost[d, :, w - d :] = _BIG
     return cost
 
 

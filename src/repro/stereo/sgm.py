@@ -73,11 +73,19 @@ def aggregate_path(cost: np.ndarray, dy: int, dx: int, p1: float, p2: float) -> 
                 shifted = prev
             elif dx > 0:
                 shifted[dx:] = prev[:-dx]
-                shifted[:dx] = prev[:dx]  # replicate at the border
+                shifted[:dx] = prev[:dx]  # placeholder; term zeroed below
             else:
                 shifted[:dx] = prev[-dx:]
                 shifted[dx:] = prev[dx:]
-            cur += _step_costs(shifted, p1, p2)
+            step = _step_costs(shifted, p1, p2)
+            # a diagonal path's predecessor of a border-entering pixel
+            # lies outside the image; standard SGM restarts the path
+            # there (L_r = C), so those pixels take no additive term
+            if dx > 0:
+                step[:dx] = 0.0
+            elif dx < 0:
+                step[dx:] = 0.0
+            cur += step
         out[y] = cur
         prev = cur
     return np.moveaxis(out, -1, 0)

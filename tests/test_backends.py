@@ -178,6 +178,98 @@ class TestBoundedCache:
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
 
+    def test_concurrent_get_or_create_runs_factory_once(self):
+        """Racing threads on one key must not double-run the factory."""
+        import threading
+
+        cache = LRUCache(maxsize=8)
+        calls = []
+        started = threading.Barrier(8)
+
+        def slow_factory():
+            calls.append(1)
+            time_waster = sum(range(1000))  # keep the lock held a while
+            return time_waster
+
+        def worker():
+            started.wait()
+            cache.get_or_create("hot", slow_factory)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        info = cache.cache_info()
+        assert (info.hits, info.misses) == (7, 1)
+
+    def test_misses_on_different_keys_compute_concurrently(self):
+        """Factory-once must not serialize unrelated keys: while key
+        'a' is computing, a miss on key 'b' proceeds concurrently."""
+        import threading
+
+        cache = LRUCache(maxsize=4)
+        b_started = threading.Event()
+
+        def factory_a():
+            # stalls until b's factory runs; under a cache-wide
+            # factory lock this would deadlock-timeout
+            return b_started.wait(timeout=5.0)
+
+        t_a = threading.Thread(
+            target=lambda: cache.get_or_create("a", factory_a)
+        )
+        t_a.start()
+        while "a" not in cache._pending:  # wait for a to own its key
+            pass
+        cache.get_or_create("b", lambda: b_started.set() or "b")
+        t_a.join(timeout=5.0)
+        assert not t_a.is_alive()
+        assert cache.get("a") is True   # factory_a saw b start
+        assert cache.get("b") == "b"
+
+    def test_failed_factory_releases_the_key(self):
+        cache = LRUCache(maxsize=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert cache.get_or_create("k", lambda: "ok") == "ok"
+        assert not cache._pending
+
+    def test_multithreaded_stress_keeps_counts_consistent(self):
+        """Hammer one cache from many threads; the books must balance."""
+        import threading
+
+        cache = LRUCache(maxsize=16)
+        n_threads, n_ops = 8, 300
+        started = threading.Barrier(n_threads)
+
+        def worker(tid):
+            started.wait()
+            for i in range(n_ops):
+                key = (tid * 7 + i) % 24  # some keys shared, some evicted
+                cache.get_or_create(key, lambda k=key: k * 2)
+                if i % 5 == 0:
+                    cache.get(key)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        info = cache.cache_info()
+        total_ops = n_threads * (n_ops + n_ops // 5)
+        assert info.hits + info.misses == total_ops
+        assert info.currsize == len(cache) <= 16
+        # every stored value is the one its factory computed
+        for key in range(24):
+            value = cache.get(key, default=None)
+            assert value is None or value == key * 2
+
     def test_system_cache_info_and_identity(self):
         system = ASVSystem(cache_size=8)
         a = system.dnn_frame("DispNet", "baseline", TINY)

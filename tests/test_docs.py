@@ -21,6 +21,7 @@ REQUIRED_PAGES = (
     "backends.md",
     "serving.md",
     "scheduling.md",
+    "quality.md",
     "reproducing.md",
 )
 

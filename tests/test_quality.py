@@ -1,0 +1,301 @@
+"""Tests for the quality-aware serving layer (``repro.pipeline.quality``).
+
+Covers the probe itself (matcher selection, sampling, disposition
+replay), the per-frame disposition record every scheduler now emits,
+the ISM degradation contract (non-key EPE grows with distance from
+the key frame; a ``shed``-forced re-key resets it), and the quality
+threading through ``StreamEngine`` / ``ClusterEngine`` reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.cluster import ClusterEngine, format_cluster_quality
+from repro.datasets.scenes import SceneObject, StereoScene
+from repro.pipeline import (
+    FrameCoster,
+    FrameStream,
+    QualityProbe,
+    StreamEngine,
+    format_quality_report,
+    format_report,
+    sceneflow_stream,
+)
+
+SIZE = (52, 72)
+
+
+def translating_stream(n_frames=7, name="translate", **kwargs):
+    """Two textured layers translating over a panning background —
+    steady motion, so ISM propagation error accumulates smoothly."""
+    objects = [
+        SceneObject(center=(20.0, 18.0), size=(16, 14), disparity=10.0,
+                    velocity=(0.0, 2.0), texture_seed=1),
+        SceneObject(center=(34.0, 44.0), size=(14, 16), disparity=6.0,
+                    velocity=(1.0, -1.5), texture_seed=2),
+    ]
+    scene = StereoScene(SIZE[0], SIZE[1], objects, background_disparity=2.0,
+                        background_velocity=(0.0, 1.0), seed=5)
+    return FrameStream(
+        name, size=SIZE, n_frames=n_frames,
+        frame_source=lambda: iter(scene.sequence(n_frames)), **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def probe():
+    return QualityProbe(matcher="bm", max_disp=16)
+
+
+class TestProbeConfig:
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(ValueError, match="unknown matcher"):
+            QualityProbe(matcher="orb")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_disp=0), dict(max_frames=0), dict(sample=0.0),
+        dict(sample=1.5),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            QualityProbe(**kwargs)
+
+    def test_all_matchers_score_a_frame(self):
+        stream = sceneflow_stream(seed=3, size=(32, 48), n_frames=2,
+                                  max_disp=16)
+        for matcher in ("bm", "census", "sgm"):
+            q = QualityProbe(matcher=matcher, max_disp=16).score_stream(
+                stream, ["key", "nonkey"]
+            )
+            assert q.matcher == matcher
+            assert q.n_frames == 2
+            assert 0.0 <= q.bad_pixel_rate <= 1.0
+            assert q.epe_px >= 0.0
+
+
+class TestDispositionReplay:
+    def test_score_plan_follows_policy(self, probe):
+        q = probe.score_plan(translating_stream(6, pw=3))
+        assert [f.disposition for f in q.frames] == [
+            "key", "nonkey", "nonkey", "key", "nonkey", "nonkey"
+        ]
+
+    def test_drop_before_key_rejected(self, probe):
+        with pytest.raises(ValueError, match="key frame"):
+            probe.score_stream(translating_stream(2), ["drop", "key"])
+
+    def test_nonkey_before_key_rejected(self, probe):
+        with pytest.raises(ValueError, match="non-key frame"):
+            probe.score_stream(translating_stream(2), ["nonkey", "key"])
+
+    def test_nonkey_right_after_drop_rejected(self, probe):
+        """A drop breaks the ISM chain; propagating across the gap
+        would score flow the pipeline never ran."""
+        with pytest.raises(ValueError, match="after a drop"):
+            probe.score_stream(
+                translating_stream(4), ["key", "drop", "nonkey", "key"]
+            )
+
+    def test_forced_key_syncs_stateful_policies(self):
+        """ISM.step(is_key=True) must reset a stateful policy's key
+        clock, mirroring plan_keys' sync_forced_key contract."""
+        from repro.core import ISM
+        from repro.core.keyframe import MotionAdaptivePolicy
+
+        policy = MotionAdaptivePolicy(max_window=4)
+        ism = ISM(lambda f: f.disparity, policy=policy)
+        frames = list(translating_stream(4).frames())
+        ism.step(frames[0])                    # frame 0: policy key
+        ism.step(frames[1])                    # policy non-key
+        assert policy._since_key == 1
+        ism.step(frames[2], is_key=True)       # forced re-key
+        assert policy._since_key == 0          # clock resynced
+        _, is_key = ism.step(frames[3])        # back to policy-driven
+        assert not is_key                      # 1 frame after the key
+
+    def test_max_frames_truncates(self):
+        probe = QualityProbe(matcher="bm", max_disp=16, max_frames=3)
+        q = probe.score_stream(translating_stream(6), ["key"] + ["nonkey"] * 5)
+        assert q.n_frames == 3
+
+    def test_stale_frames_scored_against_last_served(self, probe):
+        q = probe.score_stream(
+            translating_stream(4), ["key", "nonkey", "drop", "key"]
+        )
+        assert q.n_stale == 1
+        # the stale score is strictly worse than the frame it reuses
+        served = {f.index: f for f in q.frames if f.disposition != "drop"}
+        stale = next(f for f in q.frames if f.disposition == "drop")
+        assert stale.epe_px > served[1].epe_px
+
+    def test_deterministic(self, probe):
+        a = probe.score_stream(translating_stream(4), ["key"] + ["nonkey"] * 3)
+        b = probe.score_stream(translating_stream(4), ["key"] + ["nonkey"] * 3)
+        assert a == b
+
+
+class TestIsmDegradation:
+    """The paper's quality/speed trade, measured: propagation error
+    grows with distance from the key frame, and a forced re-key (what
+    ``shed`` does after a drop) resets it."""
+
+    def test_nonkey_epe_grows_with_propagation_distance(self, probe):
+        q = probe.score_stream(
+            translating_stream(7), ["key"] + ["nonkey"] * 6
+        )
+        epe = [f.epe_px for f in q.frames]
+        # monotone growth along the chain (tiny slack for flow noise)
+        for earlier, later in zip(epe[1:], epe[2:]):
+            assert later >= earlier - 0.02
+        assert epe[-1] > epe[1] + 0.1   # the growth is real, not noise
+        assert q.nonkey_epe_px > q.key_epe_px
+
+    def test_shed_rekey_resets_degradation(self, probe):
+        q = probe.score_stream(
+            translating_stream(7),
+            ["key", "nonkey", "nonkey", "nonkey", "drop", "key", "nonkey"],
+        )
+        by_index = {f.index: f for f in q.frames}
+        drifted = by_index[3]       # deepest into the broken chain
+        rekeyed = by_index[5]       # the forced key after the drop
+        assert rekeyed.epe_px < drifted.epe_px
+        # and the stale dropped frame is the worst of the run
+        assert by_index[4].epe_px == max(f.epe_px for f in q.frames)
+
+
+class TestSchedulerDispositions:
+    """Every scheduler now records what happened to each offered frame."""
+
+    def _serve(self, scheduler, streams):
+        coster = FrameCoster(get_backend("systolic"))
+        return coster.serve(streams, scheduler=scheduler)
+
+    def _overloaded(self):
+        return [
+            FrameStream(f"cam{i}", size=(68, 120), n_frames=8, fps=120.0,
+                        mode="baseline", pw=2, deadline_s=0.004)
+            for i in range(4)
+        ]
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "edf", "priority", "shed"])
+    def test_dispositions_account_for_every_offered_frame(self, scheduler):
+        streams = self._overloaded()
+        out = self._serve(scheduler, streams)
+        assert len(out.dispositions) == len(streams)
+        for si, record in enumerate(out.dispositions):
+            assert len(record) == streams[si].n_frames
+            assert record[0] == "key"
+            served = [d for d in record if d != "drop"]
+            assert len(served) == len(out.latencies_s[si])
+            assert record.count("drop") == out.dropped_frames[si]
+            assert record.count("key") == out.key_counts[si]
+
+    def test_shed_rekeys_after_every_drop(self):
+        out = self._serve("shed", self._overloaded())
+        assert sum(out.dropped_frames) > 0
+        for record in out.dispositions:
+            pending_rekey = False
+            for what in record:
+                if pending_rekey and what != "drop":
+                    assert what == "key"
+                    pending_rekey = False
+                if what == "drop":
+                    pending_rekey = True
+
+    def test_nonshedding_schedulers_share_one_disposition_record(self):
+        streams = self._overloaded()
+        fifo = self._serve("fifo", streams)
+        edf = self._serve("edf", streams)
+        # edf reorders *between* streams but serves the same plan, so
+        # depth quality is identical by construction
+        assert fifo.dispositions == edf.dispositions
+
+
+class TestEngineQuality:
+    def test_cost_only_streams_are_unprobed(self, probe):
+        report = StreamEngine("gpu", quality=probe).run(
+            [FrameStream("cam", size=(68, 120), n_frames=4)]
+        )
+        assert report.streams[0].quality is None
+        assert report.bad_pixel_rate is None and report.epe_px is None
+        with pytest.raises(ValueError, match="no quality samples"):
+            format_quality_report(report)
+
+    def test_no_probe_means_no_quality(self):
+        report = StreamEngine("gpu").run(
+            [sceneflow_stream(seed=3, size=(32, 48), n_frames=2,
+                              max_disp=16, mode="baseline")]
+        )
+        assert report.streams[0].quality is None
+        assert "bad px %" not in format_report(report)
+
+    def test_quality_true_uses_default_probe(self):
+        engine = StreamEngine("gpu", quality=True)
+        assert engine.quality.matcher_name == "bm"
+
+    def test_probed_report_carries_accuracy(self, probe):
+        report = StreamEngine("gpu", quality=probe).run(
+            [translating_stream(4, mode="baseline"),
+             FrameStream("costonly", size=(68, 120), n_frames=4)]
+        )
+        stats = report.streams[0]
+        assert stats.quality is not None
+        assert stats.quality.n_frames == 4
+        assert report.bad_pixel_rate == stats.bad_pixel_rate
+        assert report.epe_px == stats.epe_px
+        assert "bad px %" in format_report(report)
+        assert "stale epe" in format_quality_report(report)
+
+    def test_sampling_probes_a_subset(self):
+        probe = QualityProbe(matcher="bm", max_disp=16, sample=0.5)
+        streams = [
+            sceneflow_stream(seed=i, name=f"cam{i}", size=(32, 48),
+                             n_frames=2, max_disp=16, mode="baseline")
+            for i in range(4)
+        ]
+        report = StreamEngine("gpu", quality=probe).run(streams)
+        probed = report.probed_streams
+        assert len(probed) == 2
+        # deterministic: a fresh engine probes the same subset
+        again = StreamEngine("gpu", quality=probe).run(streams)
+        assert [s.stream for s in again.probed_streams] == [
+            s.stream for s in probed
+        ]
+
+    def test_latencies_unchanged_by_probing(self, probe):
+        streams = [translating_stream(4, mode="baseline")]
+        plain = StreamEngine("gpu").run(streams)
+        probed = StreamEngine("gpu", quality=probe).run(streams)
+        assert [s.p99_ms for s in plain.streams] == [
+            s.p99_ms for s in probed.streams
+        ]
+        assert plain.makespan_s == probed.makespan_s
+
+
+class TestClusterQuality:
+    def test_fleet_report_aggregates_accuracy(self, probe):
+        streams = [
+            translating_stream(4, name=f"cam{i}", mode="baseline")
+            for i in range(2)
+        ]
+        run = ClusterEngine(["gpu", "gpu"], quality=probe).run(streams)
+        assert all(s.quality is not None for s in run.stream_stats)
+        assert run.epe_px > 0.0
+        assert "epe px" in format_cluster_quality(run)
+
+    def test_shed_cluster_scores_stale_frames(self):
+        probe = QualityProbe(matcher="bm", max_disp=16)
+        streams = [
+            sceneflow_stream(seed=i, name=f"cam{i}", size=(48, 64),
+                             n_frames=6, max_disp=16, fps=120.0,
+                             mode="baseline", pw=2, deadline_s=0.004)
+            for i in range(4)
+        ]
+        run = ClusterEngine(["systolic"], scheduler="shed",
+                            quality=probe).run(streams)
+        assert run.drop_rate > 0.0
+        assert any(s.quality.n_stale for s in run.probed_streams)
+        # stale frames are scored, so every offered frame is accounted
+        for s in run.probed_streams:
+            assert s.quality.n_frames == 6

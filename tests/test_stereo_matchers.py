@@ -14,6 +14,8 @@ from repro.stereo import (
     sgm,
     shift_right_image,
 )
+from repro.stereo.block_matching import _BIG, _subpixel_refine
+from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path
 
 MAX_DISP = 48
 
@@ -121,6 +123,107 @@ class TestGuidedBlockMatch:
         init = np.zeros(frame.shape)
         disp = guided_block_match(frame.left, frame.right, init, radius=2)
         assert (disp >= 0).all()
+
+
+class TestSubpixelRefine:
+    def test_plateau_keeps_integer_disparity(self):
+        """Zero-curvature fits (e.g. saturated ``_BIG`` regions) must
+        not shift the winner — regression for the ``np.maximum`` clamp
+        that turned them into +/- 0.5 px offsets."""
+        cost = np.full((5, 3, 4), _BIG)
+        disp = np.full((3, 4), 2.0)
+        assert np.array_equal(_subpixel_refine(cost, disp), disp)
+
+    def test_concave_fit_keeps_integer_disparity(self):
+        """A negative-curvature cost triple has no interior minimum.
+
+        ``guided_block_match``'s accept margin can keep a non-argmin
+        index, so the refined index's neighbours may both be cheaper;
+        the old clamp divided by +1e-12 and produced a spurious half-
+        pixel shift here."""
+        cost = np.empty((3, 2, 2))
+        cost[0], cost[1], cost[2] = 1.0, 0.8, 0.0  # denom = -0.6
+        disp = np.ones((2, 2))
+        assert np.array_equal(_subpixel_refine(cost, disp), disp)
+
+    def test_convex_fit_interpolates(self):
+        cost = np.empty((3, 2, 2))
+        cost[0], cost[1], cost[2] = 1.0, 0.2, 0.6  # denom = 1.2
+        refined = _subpixel_refine(cost, np.ones((2, 2)))
+        assert np.allclose(refined, 1.0 + (1.0 - 0.6) / (2 * 1.2))
+
+    def test_border_disparities_never_shift(self):
+        rng = np.random.default_rng(3)
+        cost = rng.uniform(size=(4, 5, 5))
+        for edge in (0.0, 3.0):  # first and last disparity level
+            disp = np.full((5, 5), edge)
+            assert np.array_equal(_subpixel_refine(cost, disp), disp)
+
+
+def _reference_aggregate(cost, dy, dx, p1, p2):
+    """Scalar SGM path DP, path restart at every border (L_r = C)."""
+    d_levels, h, w = cost.shape
+    out = np.empty_like(cost)
+    ys = range(h) if dy >= 0 else range(h - 1, -1, -1)
+    xs = range(w) if dx >= 0 else range(w - 1, -1, -1)
+    for y in ys:
+        for x in xs:
+            py, px = y - dy, x - dx
+            if not (0 <= py < h and 0 <= px < w):
+                out[:, y, x] = cost[:, y, x]
+                continue
+            prev = out[:, py, px]
+            floor = prev.min()
+            for d in range(d_levels):
+                best = min(
+                    prev[d],
+                    prev[d - 1] + p1 if d > 0 else np.inf,
+                    prev[d + 1] + p1 if d < d_levels - 1 else np.inf,
+                    floor + p2,
+                )
+                out[d, y, x] = cost[d, y, x] + best - floor
+    return out
+
+
+class TestAggregatePathGolden:
+    P1, P2 = 0.05, 0.5
+
+    @pytest.fixture(scope="class")
+    def volume(self):
+        rng = np.random.default_rng(11)
+        return rng.uniform(size=(5, 6, 7))
+
+    @pytest.mark.parametrize("dy,dx", _DIRECTIONS_8)
+    def test_matches_scalar_reference(self, volume, dy, dx):
+        got = aggregate_path(volume, dy, dx, self.P1, self.P2)
+        want = _reference_aggregate(volume, dy, dx, self.P1, self.P2)
+        assert np.allclose(got, want)
+
+    @pytest.mark.parametrize("dy,dx", [(1, 1), (1, -1), (-1, 1), (-1, -1)])
+    def test_diagonal_paths_restart_at_borders(self, volume, dy, dx):
+        """Border-entering pixels have no in-image predecessor, so
+        their aggregated cost is the raw matching cost — regression
+        for the replicate-at-the-border aggregation term."""
+        agg = aggregate_path(volume, dy, dx, self.P1, self.P2)
+        entry_row = 0 if dy > 0 else -1
+        entry_col = 0 if dx > 0 else -1
+        assert np.array_equal(agg[:, entry_row, :], volume[:, entry_row, :])
+        assert np.array_equal(agg[:, :, entry_col], volume[:, :, entry_col])
+
+    def test_sgm_wta_pinned_to_reference(self, volume):
+        """Pin the summed 4-path and 8-path aggregations (and their
+        WTA disparities) to the scalar reference."""
+        for paths in (4, 8):
+            total = sum(
+                _reference_aggregate(volume, dy, dx, self.P1, self.P2)
+                for dy, dx in _DIRECTIONS_8[:paths]
+            )
+            got = sum(
+                aggregate_path(volume, dy, dx, self.P1, self.P2)
+                for dy, dx in _DIRECTIONS_8[:paths]
+            )
+            assert np.allclose(got, total)
+            assert np.array_equal(got.argmin(axis=0), total.argmin(axis=0))
 
 
 class TestSGM:
