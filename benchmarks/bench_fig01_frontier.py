@@ -5,14 +5,20 @@ accurate but slow (GPU slowest), and ASV sits in the real-time,
 DNN-accuracy corner.
 """
 
+import os
+
 import numpy as np
 
 from benchmarks.conftest import once
 from repro.evaluation import format_fig1, run_fig1
 
+#: kernel worker-pool size for the classic matcher points; the
+#: frontier numbers are bit-identical at any value (tiled execution)
+WORKERS = int(os.environ.get("ASV_BENCH_WORKERS", "1"))
+
 
 def test_fig1_frontier(benchmark, save_table):
-    points = once(benchmark, run_fig1)
+    points = once(benchmark, run_fig1, workers=WORKERS)
     save_table("fig01_frontier", format_fig1(points))
 
     by_kind = {}

@@ -8,6 +8,7 @@ Top-level subpackages:
 * :mod:`repro.backends`   — unified execution-backend protocol + registry
 * :mod:`repro.models`     — stereo DNN and GAN layer tables + accuracy proxies
 * :mod:`repro.stereo`     — classic stereo matching substrate
+* :mod:`repro.parallel`   — tiled multi-core execution of the stereo kernels
 * :mod:`repro.flow`       — dense optical flow (Farneback)
 * :mod:`repro.datasets`   — procedural stereo video generators
 * :mod:`repro.core`       — the ISM algorithm and the ASV system

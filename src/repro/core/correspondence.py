@@ -114,9 +114,18 @@ def refine_correspondences(
     initial: np.ndarray,
     radius: int = 4,
     block_size: int = 9,
+    matcher=None,
 ) -> np.ndarray:
-    """ISM step 4: local search around the propagated estimate."""
-    disp = guided_block_match(
+    """ISM step 4: local search around the propagated estimate.
+
+    ``matcher`` swaps the guided search implementation — e.g. a
+    :meth:`repro.parallel.TileExecutor.guided_block_match` bound
+    method for tiled multi-core execution; ``None`` runs the plain
+    single-core :func:`~repro.stereo.block_matching.
+    guided_block_match`.  Any replacement must keep its signature.
+    """
+    match = guided_block_match if matcher is None else matcher
+    disp = match(
         frame.left, frame.right, initial, radius=radius, block_size=block_size
     )
     return median_clean(disp, size=3)

@@ -67,7 +67,11 @@ class ISM:
 
     ``dnn`` is any callable mapping a :class:`StereoFrame` to a
     disparity map — a :class:`repro.models.proxy.StereoDNNProxy`, a
-    classic matcher, or a real network.
+    classic matcher, or a real network.  ``refiner`` likewise swaps
+    the non-key guided-search implementation (same signature as
+    :func:`~repro.stereo.block_matching.guided_block_match`); the
+    serving stack passes a :class:`repro.parallel.TileExecutor` bound
+    method here so non-key frames run tiled multi-core.
 
     The estimator is *stateful and online*: :meth:`step` consumes one
     frame at a time (the shape a robot control loop needs);
@@ -79,10 +83,13 @@ class ISM:
     already-refined estimates.
     """
 
-    def __init__(self, dnn, config: ISMConfig | None = None, policy=None):
+    def __init__(
+        self, dnn, config: ISMConfig | None = None, policy=None, refiner=None
+    ):
         self.dnn = dnn
         self.config = config or ISMConfig()
         self.policy = policy or StaticKeyFramePolicy(self.config.propagation_window)
+        self.refiner = refiner
         self.reset()
 
     def reset(self) -> None:
@@ -143,6 +150,7 @@ class ISM:
                 initial,
                 radius=self.config.search_radius,
                 block_size=self.config.block_size,
+                matcher=self.refiner,
             )
         self._prev_frame = frame
         self._index += 1

@@ -28,7 +28,8 @@ from repro.datasets import kitti_pairs
 from repro.evaluation.common import ExperimentScale, default_scale, render_table
 from repro.models import QHD, STEREO_NETWORKS
 from repro.models.proxy import StereoDNNProxy
-from repro.stereo import block_match, elas, error_rate, gcsf, sgm
+from repro.parallel import TileExecutor
+from repro.stereo import elas, error_rate, gcsf
 from repro.stereo.block_matching import block_match_ops
 from repro.stereo.sgm import sgm_ops
 
@@ -47,9 +48,12 @@ class FrontierPoint:
     fps: float
 
 
-def _classic_points(scale: ExperimentScale):
+def _classic_points(scale: ExperimentScale, executor: TileExecutor):
     h, w = scale.accuracy_size
     md = scale.accuracy_max_disp
+    # BM / SGM run through the tiled executor (multi-core when the
+    # caller asked for workers); GCSF / ELAS have no tiled adapter
+    sgm, block_match = executor.kernel("sgm"), executor.kernel("bm")
     algos = {
         "GCSF": (lambda f: gcsf(f.left, f.right, md),
                  0.35 * block_match_ops(*QHD, 160)),
@@ -81,10 +85,19 @@ def _classic_points(scale: ExperimentScale):
     return points, frames
 
 
-def run_fig1(scale: ExperimentScale | None = None) -> list[FrontierPoint]:
-    """All frontier points (classic, DNN-Acc, DNN-GPU, ASV)."""
+def run_fig1(
+    scale: ExperimentScale | None = None, workers: int = 1
+) -> list[FrontierPoint]:
+    """All frontier points (classic, DNN-Acc, DNN-GPU, ASV).
+
+    ``workers > 1`` runs the kernel-backed classic points (BM and the
+    SGM configurations) through a tiled multi-core
+    :class:`~repro.parallel.TileExecutor`; the numbers are
+    bit-identical either way.
+    """
     scale = scale or default_scale()
-    points, frames = _classic_points(scale)
+    with TileExecutor(workers=workers) as executor:
+        points, frames = _classic_points(scale, executor)
     system = ASVSystem()
     gpu = get_backend("gpu")
 

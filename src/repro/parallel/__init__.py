@@ -1,0 +1,23 @@
+"""Tiled parallel execution of the stereo kernel substrate.
+
+The paper's premise is that exact stereo kernels must be restructured
+for parallel hardware to serve in real time; this package is the
+software analogue for the reproduction's own hot path.  The real
+matchers that back every :class:`~repro.pipeline.quality.QualityProbe`
+replay and figure benchmark run single-core out of the box;
+:class:`TileExecutor` splits frames into overlap-halo row bands, fans
+them across a process/thread pool, and stitches results that are
+**bit-identical** to whole-frame execution (pinned by
+``tests/test_parallel.py``; design notes in ``docs/performance.md``).
+
+>>> from repro.parallel import TileExecutor, available_kernels
+>>> available_kernels()
+('bm', 'census', 'guided', 'sgm')
+>>> TileExecutor(workers=4).workers
+4
+"""
+
+from repro.parallel.executor import TileExecutor, available_kernels
+from repro.parallel.tiles import RowBand, split_rows
+
+__all__ = ["RowBand", "TileExecutor", "available_kernels", "split_rows"]

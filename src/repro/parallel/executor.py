@@ -1,0 +1,350 @@
+"""Tiled multi-core execution of the stereo kernels.
+
+:class:`TileExecutor` runs the four real matchers —
+:func:`~repro.stereo.block_matching.block_match`,
+:func:`~repro.stereo.census.census_block_match`,
+:func:`~repro.stereo.sgm.sgm` and
+:func:`~repro.stereo.block_matching.guided_block_match` — split into
+overlap-halo row bands (:mod:`repro.parallel.tiles`) and fanned across
+a process or thread pool, then stitches the bands back together.  The
+result is **bit-identical** to whole-frame execution:
+
+* the halo covers each kernel's vertical data dependence (the
+  box-filter / census window radius), so every payload pixel sees the
+  same inputs it would see un-tiled;
+* the cost volumes' box filter computes each output as an independent
+  window sum (:func:`repro.stereo.block_matching._box_mean`), so its
+  rounding cannot depend on where a band starts;
+* bands are stitched in order with plain concatenation.
+
+SGM is the exception that proves the halo rule: its path aggregation
+is a whole-image dynamic program (a vertical path runs top to bottom),
+so *no finite halo* can make independently aggregated bands exact.
+The SGM adapter therefore tiles the cost-volume build by rows and
+parallelises the aggregation across the 2/4/8 path *directions* —
+both embarrassingly parallel — and sums the per-direction volumes in
+the same order :func:`~repro.stereo.sgm.sgm` does, keeping
+bit-identity without approximating the DP.
+
+``workers=1`` executes inline (no pool, no pickling) and is the
+reference the seam-equivalence tests pin every multi-worker
+configuration against.  The ``precision`` knob selects the cost-volume
+dtype for every kernel the executor runs.
+
+>>> import numpy as np
+>>> from repro.datasets import sceneflow_scene
+>>> from repro.stereo import block_match
+>>> frame = sceneflow_scene(3, size=(31, 48), max_disp=12).render(0)
+>>> with TileExecutor(workers=2, pool="thread") as ex:
+...     tiled = ex.block_match(frame.left, frame.right, 12)
+>>> np.array_equal(tiled, block_match(frame.left, frame.right, 12))
+True
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.parallel.tiles import split_rows
+from repro.stereo.block_matching import (
+    block_match,
+    guided_block_match,
+    resolve_precision,
+    sad_cost_volume,
+)
+from repro.stereo.census import census_block_match
+from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, wta_disparity
+
+__all__ = ["TileExecutor", "available_kernels"]
+
+#: whole-frame callables a band job may name (names, not functions,
+#: cross the process boundary)
+_BAND_KERNELS = {
+    "bm": block_match,
+    "census": census_block_match,
+    "guided": guided_block_match,
+    "sad_cost": sad_cost_volume,
+}
+
+_POOLS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names accepted by :meth:`TileExecutor.kernel`.
+
+    >>> available_kernels()
+    ('bm', 'census', 'guided', 'sgm')
+    """
+    return ("bm", "census", "guided", "sgm")
+
+
+def _run_band(kernel: str, arrays, kwargs, crop, row_axis: int):
+    """Execute one haloed band and crop it back to its payload rows.
+
+    Top-level so process pools can pickle the job; the kernel is named
+    rather than passed.
+    """
+    out = _BAND_KERNELS[kernel](*arrays, **kwargs)
+    index = (slice(None),) * row_axis + (slice(*crop),)
+    return out[index]
+
+
+def _run_direction(cost, dy: int, dx: int, p1: float, p2: float):
+    """One SGM path-direction aggregation (top-level for pickling)."""
+    return aggregate_path(cost, dy, dx, p1, p2)
+
+
+class TileExecutor:
+    """Fan stereo kernels across row-band tiles on a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` (the default) executes inline — same code
+        path, no pool — and is the bit-identical reference.
+    pool:
+        ``"process"`` (default; real multi-core, inputs are pickled to
+        the workers) or ``"thread"`` (no pickling; NumPy releases the
+        GIL in the heavy ops, so scaling is workload-dependent).
+    tile_rows:
+        Rows per band.  ``None`` (default) cuts one band per worker;
+        a small explicit value exercises many more bands than workers
+        (the seam-equivalence tests use this).
+    precision:
+        Cost-volume dtype knob, ``"float64"`` (default) or
+        ``"float32"``, passed to every kernel the executor runs.
+
+    The pool is created lazily on first multi-band call; use the
+    executor as a context manager (or call :meth:`close`) to release
+    worker processes deterministically.
+
+    >>> TileExecutor(workers=2, pool="thread", tile_rows=8)
+    TileExecutor(workers=2, pool='thread', tile_rows=8, precision='float64')
+    >>> TileExecutor(pool="greenlet")
+    Traceback (most recent call last):
+        ...
+    ValueError: pool must be one of ('process', 'thread'), got 'greenlet'
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        pool: str = "process",
+        tile_rows: int | None = None,
+        precision: str = "float64",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if pool not in _POOLS:
+            raise ValueError(
+                f"pool must be one of {tuple(sorted(_POOLS))}, got {pool!r}"
+            )
+        if tile_rows is not None and tile_rows < 1:
+            raise ValueError("tile_rows must be >= 1 (or None)")
+        resolve_precision(precision)  # validate eagerly
+        self.workers = int(workers)
+        self.pool = pool
+        self.tile_rows = tile_rows
+        self.precision = precision
+        self._pool: Executor | None = None
+
+    def __repr__(self):
+        return (
+            f"TileExecutor(workers={self.workers}, pool={self.pool!r}, "
+            f"tile_rows={self.tile_rows}, precision={self.precision!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "TileExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _iter_map(self, fn, jobs: list[tuple]):
+        """Yield ``fn``'s results over argument tuples, in job order.
+
+        Lazy so reducers (the SGM direction sum) can consume one
+        result at a time instead of holding every part in memory.
+        """
+        if self.workers == 1 or len(jobs) == 1:
+            for job in jobs:
+                yield fn(*job)
+            return
+        if self._pool is None:
+            self._pool = _POOLS[self.pool](max_workers=self.workers)
+        for future in [self._pool.submit(fn, *job) for job in jobs]:
+            yield future.result()
+
+    def _map(self, fn, jobs: list[tuple]) -> list:
+        """Run ``fn`` over argument tuples, results in job order."""
+        return list(self._iter_map(fn, jobs))
+
+    # ------------------------------------------------------------------
+    # row-band tiling
+    # ------------------------------------------------------------------
+    def _n_bands(self, height: int) -> int:
+        if self.tile_rows is not None:
+            return -(-height // self.tile_rows)  # ceil
+        return self.workers
+
+    def _tiled(self, kernel, arrays, kwargs, halo, row_axis=0) -> np.ndarray:
+        arrays = tuple(np.asarray(a) for a in arrays)
+        height = arrays[0].shape[0]
+        bands = split_rows(height, self._n_bands(height), halo)
+        if len(bands) == 1:
+            return _run_band(kernel, arrays, kwargs, bands[0].crop, row_axis)
+        parts = self._map(
+            _run_band,
+            [
+                (
+                    kernel,
+                    tuple(a[band.lo : band.hi] for a in arrays),
+                    kwargs,
+                    band.crop,
+                    row_axis,
+                )
+                for band in bands
+            ],
+        )
+        return np.concatenate(parts, axis=row_axis)
+
+    # ------------------------------------------------------------------
+    # the four matchers
+    # ------------------------------------------------------------------
+    def block_match(
+        self, left, right, max_disp: int, block_size: int = 9, subpixel: bool = True
+    ) -> np.ndarray:
+        """Tiled :func:`~repro.stereo.block_matching.block_match`."""
+        return self._tiled(
+            "bm",
+            (left, right),
+            dict(
+                max_disp=max_disp,
+                block_size=block_size,
+                subpixel=subpixel,
+                precision=self.precision,
+            ),
+            halo=block_size // 2,
+        )
+
+    def census_block_match(
+        self, left, right, max_disp: int, window: int = 5, subpixel: bool = True
+    ) -> np.ndarray:
+        """Tiled :func:`~repro.stereo.census.census_block_match`."""
+        return self._tiled(
+            "census",
+            (left, right),
+            dict(
+                max_disp=max_disp,
+                window=window,
+                subpixel=subpixel,
+                precision=self.precision,
+            ),
+            halo=window // 2,
+        )
+
+    def guided_block_match(
+        self,
+        left,
+        right,
+        init,
+        radius: int = 4,
+        block_size: int = 9,
+        subpixel: bool = True,
+        accept_margin: float = 0.1,
+    ) -> np.ndarray:
+        """Tiled :func:`~repro.stereo.block_matching.guided_block_match`.
+
+        The per-pixel init map is banded alongside the images; the
+        guided gather is same-row, so the halo is still just the
+        box-filter radius no matter how large ``radius`` is.
+        """
+        return self._tiled(
+            "guided",
+            (left, right, init),
+            dict(
+                radius=radius,
+                block_size=block_size,
+                subpixel=subpixel,
+                accept_margin=accept_margin,
+                precision=self.precision,
+            ),
+            halo=block_size // 2,
+        )
+
+    def sgm(
+        self,
+        left,
+        right,
+        max_disp: int,
+        block_size: int = 5,
+        p1: float = 0.05,
+        p2: float = 0.5,
+        paths: int = 8,
+        subpixel: bool = True,
+    ) -> np.ndarray:
+        """Parallel :func:`~repro.stereo.sgm.sgm`.
+
+        The cost volume is built from row bands; the aggregation — a
+        whole-image DP that no finite halo can tile exactly — is
+        parallelised across path directions instead, and the
+        per-direction volumes are summed in :func:`~repro.stereo.sgm.
+        sgm`'s direction order so the result stays bit-identical.
+        """
+        if paths not in (2, 4, 8):
+            raise ValueError("paths must be 2, 4 or 8")
+        cost = self._tiled(
+            "sad_cost",
+            (left, right),
+            dict(max_disp=max_disp, block_size=block_size, precision=self.precision),
+            halo=block_size // 2,
+            row_axis=1,
+        )
+        total = np.zeros_like(cost)
+        # consume lazily, in sgm()'s direction order: bit-identical
+        # summation while holding one aggregated volume at a time
+        for part in self._iter_map(
+            _run_direction,
+            [(cost, dy, dx, p1, p2) for dy, dx in _DIRECTIONS_8[:paths]],
+        ):
+            total += part
+        return wta_disparity(total, subpixel)
+
+    def kernel(self, name: str):
+        """The tiled kernel registered under ``name``.
+
+        ``"bm"`` / ``"census"`` / ``"sgm"`` return matchers with the
+        ``(left, right, max_disp, ...)`` signature the serving stack's
+        matcher registry expects; ``"guided"`` returns the ISM
+        refinement with its ``(left, right, init, ...)`` signature.
+
+        >>> ex = TileExecutor()
+        >>> ex.kernel("bm").__name__
+        'block_match'
+        >>> ex.kernel("orb")
+        Traceback (most recent call last):
+            ...
+        ValueError: unknown kernel 'orb'; choose from ('bm', 'census', 'guided', 'sgm')
+        """
+        kernels = {
+            "bm": self.block_match,
+            "census": self.census_block_match,
+            "guided": self.guided_block_match,
+            "sgm": self.sgm,
+        }
+        if name not in kernels:
+            raise ValueError(
+                f"unknown kernel {name!r}; choose from {available_kernels()}"
+            )
+        return kernels[name]

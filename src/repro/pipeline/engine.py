@@ -74,7 +74,7 @@ class StreamEngine:
     >>> StreamEngine("gpu", scheduler="edf").scheduler.name
     'edf'
     >>> StreamEngine("gpu", quality=True).quality
-    QualityProbe(matcher='bm', max_disp=48, sample=1.0)
+    QualityProbe(matcher='bm', max_disp=48, sample=1.0, workers=1)
     """
 
     def __init__(

@@ -45,17 +45,15 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.ism import ISM, ISMConfig
+from repro.parallel import TileExecutor
 from repro.pipeline.costing import ServeOutcome, plan_keys
 from repro.pipeline.stream import FrameStream
-from repro.stereo.block_matching import block_match
-from repro.stereo.census import census_block_match
 from repro.stereo.metrics import end_point_error, three_pixel_error
-from repro.stereo.sgm import sgm
 
 __all__ = [
     "FrameQuality",
@@ -64,12 +62,10 @@ __all__ = [
     "available_matchers",
 ]
 
-#: key-frame matchers the probe can stand in for the stereo DNN
-_MATCHERS: dict[str, Callable] = {
-    "bm": block_match,
-    "census": census_block_match,
-    "sgm": sgm,
-}
+#: key-frame matchers the probe can stand in for the stereo DNN; the
+#: names dispatch through :meth:`repro.parallel.TileExecutor.kernel`
+#: (the "guided" kernel is the non-key refinement, not a key matcher)
+_MATCHER_NAMES = ("bm", "census", "sgm")
 
 
 def available_matchers() -> tuple[str, ...]:
@@ -78,7 +74,7 @@ def available_matchers() -> tuple[str, ...]:
     >>> available_matchers()
     ('bm', 'census', 'sgm')
     """
-    return tuple(sorted(_MATCHERS))
+    return _MATCHER_NAMES
 
 
 @dataclass(frozen=True)
@@ -184,9 +180,25 @@ class QualityProbe:
         Fraction of the pixel-carrying streams to probe, in
         ``(0, 1]``; sub-sampling picks streams deterministically from
         ``seed``.  Cost-only streams are never probed.
+    workers:
+        Worker-pool size for the kernels the probe executes.  ``1``
+        (the default) runs single-core; larger values run every key
+        matcher and every non-key guided search through a
+        :class:`~repro.parallel.TileExecutor`, which splits frames
+        into halo-padded row bands and fans them across a pool.  The
+        scores are bit-identical either way (pinned by tests) — only
+        the wall-clock changes.
+    precision:
+        Cost-volume dtype for the executed kernels (``"float64"``
+        default, ``"float32"`` halves kernel memory traffic).
+    pool:
+        ``"process"`` (default) or ``"thread"`` worker pool, when
+        ``workers > 1``.
 
     >>> QualityProbe(matcher="sgm").matcher_name
     'sgm'
+    >>> QualityProbe(matcher="bm", workers=4).executor.workers
+    4
     >>> QualityProbe(matcher="orb")
     Traceback (most recent call last):
         ...
@@ -201,8 +213,11 @@ class QualityProbe:
         max_frames: int | None = None,
         sample: float = 1.0,
         seed: int = 0,
+        workers: int = 1,
+        precision: str = "float64",
+        pool: str = "process",
     ):
-        if matcher not in _MATCHERS:
+        if matcher not in _MATCHER_NAMES:
             raise ValueError(
                 f"unknown matcher {matcher!r}; choose from {available_matchers()}"
             )
@@ -213,7 +228,13 @@ class QualityProbe:
         if not 0.0 < sample <= 1.0:
             raise ValueError("sample must be in (0, 1]")
         self.matcher_name = matcher
-        self.matcher = _MATCHERS[matcher]
+        #: tiled kernel executor every probed frame runs through;
+        #: :meth:`close` (or using the probe as a context manager)
+        #: releases its worker processes
+        self.executor = TileExecutor(
+            workers=workers, pool=pool, precision=precision
+        )
+        self.matcher = self.executor.kernel(matcher)
         self.max_disp = max_disp
         self.ism = ism or ISMConfig()
         self.max_frames = max_frames
@@ -223,8 +244,24 @@ class QualityProbe:
     def __repr__(self):
         return (
             f"QualityProbe(matcher={self.matcher_name!r}, "
-            f"max_disp={self.max_disp}, sample={self.sample})"
+            f"max_disp={self.max_disp}, sample={self.sample}, "
+            f"workers={self.executor.workers})"
         )
+
+    def close(self) -> None:
+        """Release the executor's worker processes (idempotent).
+
+        Only relevant for ``workers > 1`` with a process pool; the
+        pool is spawned lazily on the first multi-band kernel call
+        and would otherwise live until interpreter exit.
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "QualityProbe":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # scoring one stream
@@ -258,6 +295,7 @@ class QualityProbe:
         ism = ISM(
             lambda f: self.matcher(f.left, f.right, self.max_disp),
             config=config,
+            refiner=self.executor.kernel("guided"),
         )
         records: list[FrameQuality] = []
         last_disp: np.ndarray | None = None

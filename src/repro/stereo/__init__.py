@@ -10,6 +10,7 @@ from repro.stereo.block_matching import (
     block_match_ops,
     guided_block_match,
     guided_block_match_ops,
+    resolve_precision,
     sad_cost_volume,
     shift_right_image,
 )
@@ -22,7 +23,7 @@ from repro.stereo.refine import (
     median_clean,
 )
 from repro.stereo.seeds import gcsf, grow_seeds
-from repro.stereo.sgm import sgm, sgm_ops
+from repro.stereo.sgm import sgm, sgm_ops, wta_disparity
 from repro.stereo.triangulate import BUMBLEBEE2, StereoCamera
 
 __all__ = [
@@ -45,9 +46,11 @@ __all__ = [
     "interpolate_prior",
     "left_right_check",
     "median_clean",
+    "resolve_precision",
     "sad_cost_volume",
     "sgm",
     "sgm_ops",
+    "wta_disparity",
     "shift_right_image",
     "support_points",
     "three_pixel_error",

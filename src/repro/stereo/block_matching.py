@@ -30,18 +30,57 @@ __all__ = [
     "guided_block_match",
     "block_match_ops",
     "guided_block_match_ops",
+    "resolve_precision",
 ]
 
 _BIG = 1e9
 
+#: cost-volume dtypes selectable through the ``precision`` knob; the
+#: float32 volumes halve the memory traffic (the resource the paper's
+#: accelerators are designed around) at ~1e-7 relative rounding
+_PRECISIONS = {"float32": np.float32, "float64": np.float64}
 
-def _as_float(img: np.ndarray) -> np.ndarray:
-    img = np.asarray(img, dtype=np.float64)
+
+def resolve_precision(precision: str) -> np.dtype:
+    """Map a ``precision`` knob value to the cost-volume dtype.
+
+    >>> resolve_precision("float32")
+    <class 'numpy.float32'>
+    """
+    try:
+        return _PRECISIONS[precision]
+    except KeyError:
+        raise ValueError(
+            f"precision must be one of {tuple(sorted(_PRECISIONS))}, "
+            f"got {precision!r}"
+        ) from None
+
+
+def _as_float(img: np.ndarray, dtype=np.float64) -> np.ndarray:
+    img = np.asarray(img, dtype=dtype)
     if img.ndim == 3:  # collapse colour to luminance
-        img = img.mean(axis=2)
+        img = img.mean(axis=2, dtype=dtype)
     if img.ndim != 2:
         raise ValueError(f"expected a (H, W) or (H, W, C) image, got {img.shape}")
     return img
+
+
+def _box_mean(img: np.ndarray, size: int) -> np.ndarray:
+    """Edge-replicated box mean with *translation-invariant* rounding.
+
+    Every output value is an independent window sum (two
+    :func:`~scipy.ndimage.correlate1d` passes), so the result at a
+    pixel depends only on the window contents — unlike
+    :func:`~scipy.ndimage.uniform_filter`, whose running-sum
+    implementation accumulates rounding from the start of each scan
+    line and therefore changes in the last bit when the same rows are
+    filtered as part of a band.  This is the property that makes the
+    halo-tiled execution in :mod:`repro.parallel` bit-identical to
+    whole-frame execution.
+    """
+    weights = np.full(size, 1.0 / size)
+    out = ndimage.correlate1d(img, weights, axis=0, mode="nearest")
+    return ndimage.correlate1d(out, weights, axis=1, mode="nearest")
 
 
 def shift_right_image(right: np.ndarray, d: int) -> np.ndarray:
@@ -59,24 +98,31 @@ def shift_right_image(right: np.ndarray, d: int) -> np.ndarray:
 
 
 def sad_cost_volume(
-    left: np.ndarray, right: np.ndarray, max_disp: int, block_size: int = 9
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disp: int,
+    block_size: int = 9,
+    precision: str = "float64",
 ) -> np.ndarray:
     """(D, H, W) sum-of-absolute-differences matching cost.
 
     ``cost[d, y, x]`` is the SAD between the block around ``<x, y>`` in
     the left image and the block around ``<x + d, y>`` in the right
     image, matching the paper's convolution-like formulation of BM.
+    ``precision`` selects the volume dtype (``"float32"`` halves the
+    memory traffic, ``"float64"`` is the default).
     """
-    left = _as_float(left)
-    right = _as_float(right)
+    dtype = resolve_precision(precision)
+    left = _as_float(left, dtype)
+    right = _as_float(right, dtype)
     if left.shape != right.shape:
         raise ValueError("left/right images must share a shape")
     if max_disp < 1:
         raise ValueError("max_disp must be >= 1")
-    cost = np.empty((max_disp, *left.shape))
+    cost = np.empty((max_disp, *left.shape), dtype=dtype)
     for d in range(max_disp):
         diff = np.abs(left - shift_right_image(right, d))
-        cost[d] = ndimage.uniform_filter(diff, size=block_size, mode="nearest")
+        cost[d] = _box_mean(diff, block_size)
         if d:
             # blocks that would read past the right edge are invalid
             cost[d, :, left.shape[1] - d :] = _BIG
@@ -112,9 +158,10 @@ def block_match(
     max_disp: int,
     block_size: int = 9,
     subpixel: bool = True,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Winner-takes-all disparity from a full SAD search."""
-    cost = sad_cost_volume(left, right, max_disp, block_size)
+    cost = sad_cost_volume(left, right, max_disp, block_size, precision)
     disp = cost.argmin(axis=0).astype(np.float64)
     if subpixel:
         disp = _subpixel_refine(cost, disp)
@@ -129,6 +176,7 @@ def guided_block_match(
     block_size: int = 9,
     subpixel: bool = True,
     accept_margin: float = 0.1,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Local search in a +/- ``radius`` window around ``init``.
 
@@ -140,28 +188,49 @@ def guided_block_match(
 
     ``accept_margin`` makes the search conservative: the winning offset
     replaces the initial estimate only where it beats the initial
-    estimate's own cost by the margin, so a good initialisation (the
-    common case in ISM — the propagated correspondences) is never
-    degraded by matching ambiguity.
+    estimate's own cost by the margin.  The guarantee holds *at the
+    image border too*: where the init-offset candidate itself is out of
+    range (``x + init >= w``, or a negative init) its cost cannot be
+    measured, so with a positive margin the pixel keeps the initial
+    estimate clipped into the geometrically valid range ``[0, w-1-x]``
+    instead of letting a nearer offset win against edge-replicated
+    texture.  Where *every* candidate is out of range (e.g. a strongly
+    negative init) the search has measured nothing, and the clipped
+    init is returned regardless of the margin rather than a
+    confident-looking argmin over sentinel costs.  A good
+    initialisation (the common case in ISM — the propagated
+    correspondences) is therefore never degraded by matching
+    ambiguity anywhere in the image: a kept estimate moves at most by
+    the integer rounding of ``init`` plus the sub-pixel half-step
+    (exactly the half-step for an integer init), or is clipped to the
+    reachable range where the geometry forces it.
     """
-    left = _as_float(left)
-    right = _as_float(right)
+    dtype = resolve_precision(precision)
+    left = _as_float(left, dtype)
+    right = _as_float(right, dtype)
     init = np.asarray(init, dtype=np.float64)
     if init.shape != left.shape:
         raise ValueError("init disparity must match the image shape")
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
     h, w = left.shape
     yy, xx = np.mgrid[0:h, 0:w]
     base = np.rint(init).astype(int)
     offsets = np.arange(-radius, radius + 1)
-    costs = np.empty((offsets.size, h, w))
+    costs = np.empty((offsets.size, h, w), dtype=dtype)
+    any_valid = np.zeros((h, w), dtype=bool)
+    init_valid = None
     for i, off in enumerate(offsets):
         d = base + off
         sample_x = xx + d
         valid = (sample_x >= 0) & (sample_x < w) & (d >= 0)
         sx = np.clip(sample_x, 0, w - 1)
         diff = np.abs(left - right[yy, sx])
-        costs[i] = ndimage.uniform_filter(diff, size=block_size, mode="nearest")
+        costs[i] = _box_mean(diff, block_size)
         costs[i][~valid] = _BIG
+        any_valid |= valid
+        if off == 0:
+            init_valid = valid
     best = costs.argmin(axis=0)
     if accept_margin > 0:
         init_cost = costs[radius]
@@ -172,6 +241,13 @@ def guided_block_match(
     if subpixel:
         frac = _subpixel_refine(costs, best.astype(np.float64))
         disp = base + offsets[0] + frac  # offset index back to disparity
+    # conservatism at the border (see docstring): an unmeasurable init
+    # candidate disables the margin test, and an all-invalid window
+    # makes the argmin (and its sub-pixel fit) meaningless
+    keep_init = ~any_valid
+    if accept_margin > 0:
+        keep_init |= ~init_valid
+    disp = np.where(keep_init, np.clip(init, 0.0, (w - 1 - xx).astype(np.float64)), disp)
     return np.maximum(disp, 0.0)
 
 

@@ -18,6 +18,7 @@ from repro.stereo.block_matching import (
     _BIG,
     _as_float,
     _subpixel_refine,
+    resolve_precision,
     shift_right_image,
 )
 
@@ -64,16 +65,26 @@ def _popcount64(x: np.ndarray) -> np.ndarray:
 
 
 def hamming_cost_volume(
-    left: np.ndarray, right: np.ndarray, max_disp: int, window: int = 5
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disp: int,
+    window: int = 5,
+    precision: str = "float64",
 ) -> np.ndarray:
-    """(D, H, W) Hamming-distance cost between census codes."""
+    """(D, H, W) Hamming-distance cost between census codes.
+
+    Hamming distances are small integers (at most 48 for the largest
+    7x7 window), so both ``precision`` dtypes represent them exactly;
+    ``"float32"`` simply halves the volume's memory traffic.
+    """
     if max_disp < 1:
         raise ValueError("max_disp must be >= 1")
+    dtype = resolve_precision(precision)
     cl = census_transform(left, window)
     cr = census_transform(right, window)
     d_levels = max_disp
     h, w = cl.shape
-    cost = np.empty((d_levels, h, w))
+    cost = np.empty((d_levels, h, w), dtype=dtype)
     for d in range(d_levels):
         shifted = shift_right_image(cr, d)
         cost[d] = _popcount64(np.bitwise_xor(cl, shifted))
@@ -88,9 +99,10 @@ def census_block_match(
     max_disp: int,
     window: int = 5,
     subpixel: bool = True,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Winner-takes-all disparity from the census/Hamming cost."""
-    cost = hamming_cost_volume(left, right, max_disp, window)
+    cost = hamming_cost_volume(left, right, max_disp, window, precision)
     disp = cost.argmin(axis=0).astype(np.float64)
     if subpixel:
         disp = _subpixel_refine(cost, disp)

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.stereo.block_matching import _subpixel_refine, sad_cost_volume
 
-__all__ = ["aggregate_path", "sgm", "sgm_ops"]
+__all__ = ["aggregate_path", "sgm", "sgm_ops", "wta_disparity"]
 
 _DIRECTIONS_8 = [
     (0, 1), (0, -1), (1, 0), (-1, 0),
@@ -91,6 +91,19 @@ def aggregate_path(cost: np.ndarray, dy: int, dx: int, p1: float, p2: float) -> 
     return np.moveaxis(out, -1, 0)
 
 
+def wta_disparity(total: np.ndarray, subpixel: bool = True) -> np.ndarray:
+    """Winner-takes-all (+ sub-pixel fit) over an aggregated volume.
+
+    Shared by :func:`sgm` and the direction-parallel SGM adapter in
+    :mod:`repro.parallel`, so both select from the summed volume with
+    the exact same arithmetic.
+    """
+    disp = total.argmin(axis=0).astype(np.float64)
+    if subpixel:
+        disp = _subpixel_refine(total, disp)
+    return disp
+
+
 def sgm(
     left: np.ndarray,
     right: np.ndarray,
@@ -100,19 +113,17 @@ def sgm(
     p2: float = 0.5,
     paths: int = 8,
     subpixel: bool = True,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Semi-global matching disparity for the left image."""
     if paths not in (2, 4, 8):
         raise ValueError("paths must be 2, 4 or 8")
-    cost = sad_cost_volume(left, right, max_disp, block_size)
+    cost = sad_cost_volume(left, right, max_disp, block_size, precision)
     directions = _DIRECTIONS_8[:paths]
     total = np.zeros_like(cost)
     for dy, dx in directions:
         total += aggregate_path(cost, dy, dx, p1, p2)
-    disp = total.argmin(axis=0).astype(np.float64)
-    if subpixel:
-        disp = _subpixel_refine(total, disp)
-    return disp
+    return wta_disparity(total, subpixel)
 
 
 def sgm_ops(h: int, w: int, max_disp: int, block_size: int = 5, paths: int = 8) -> int:

@@ -22,6 +22,7 @@ REQUIRED_PAGES = (
     "serving.md",
     "scheduling.md",
     "quality.md",
+    "performance.md",
     "reproducing.md",
 )
 

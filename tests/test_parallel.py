@@ -1,0 +1,206 @@
+"""Tiled multi-core kernel execution: seams must be invisible.
+
+The contract of :mod:`repro.parallel` is *bit-identity*: splitting a
+frame into halo-padded row bands and stitching the results must
+reproduce whole-frame execution exactly — for every matcher, any band
+count (including bands far smaller than the search range), odd
+heights, both worker pools, and both precisions.  These tests pin
+that contract; the speed side lives in ``benchmarks/bench_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sceneflow_scene
+from repro.parallel import TileExecutor, available_kernels, split_rows
+from repro.pipeline import QualityProbe, sceneflow_stream
+from repro.stereo import (
+    block_match,
+    census_block_match,
+    guided_block_match,
+    sgm,
+)
+
+SIZE = (23, 36)  # deliberately odd height
+MAX_DISP = 18    # larger than every band height exercised below
+RADIUS = 6       # likewise larger than the smallest bands
+
+#: whole-frame reference call per kernel name
+_REFERENCE = {
+    "bm": lambda f, **kw: block_match(f.left, f.right, MAX_DISP, **kw),
+    "census": lambda f, **kw: census_block_match(f.left, f.right, MAX_DISP, **kw),
+    "sgm": lambda f, **kw: sgm(f.left, f.right, MAX_DISP, paths=8, **kw),
+    "guided": lambda f, **kw: guided_block_match(
+        f.left, f.right, f.disparity, radius=RADIUS, **kw
+    ),
+}
+
+
+def _tiled(executor, name, f):
+    call = {
+        "bm": lambda: executor.block_match(f.left, f.right, MAX_DISP),
+        "census": lambda: executor.census_block_match(f.left, f.right, MAX_DISP),
+        "sgm": lambda: executor.sgm(f.left, f.right, MAX_DISP, paths=8),
+        "guided": lambda: executor.guided_block_match(
+            f.left, f.right, f.disparity, radius=RADIUS
+        ),
+    }
+    return call[name]()
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return sceneflow_scene(11, size=SIZE, max_disp=12).render(0)
+
+
+@pytest.fixture(scope="module")
+def references(frame):
+    return {name: _REFERENCE[name](frame) for name in available_kernels()}
+
+
+class TestSplitRows:
+    def test_payloads_tile_exactly(self):
+        for height in (1, 2, 7, 23, 100):
+            for n in (1, 2, 3, 7, height + 5):
+                bands = split_rows(height, n, halo=3)
+                assert bands[0].start == 0 and bands[-1].stop == height
+                for a, b in zip(bands, bands[1:]):
+                    assert a.stop == b.start  # no gap, no overlap
+                assert len(bands) == min(n, height)
+
+    def test_heights_balanced(self):
+        rows = [b.rows for b in split_rows(23, 5, halo=0)]
+        assert sum(rows) == 23
+        assert max(rows) - min(rows) <= 1
+
+    def test_halo_clamped_to_image(self):
+        bands = split_rows(10, 3, halo=100)
+        assert all(b.lo == 0 and b.hi == 10 for b in bands)
+
+    def test_crop_recovers_payload(self):
+        for band in split_rows(31, 4, halo=2):
+            lo, hi = band.crop
+            assert band.lo + lo == band.start
+            assert band.lo + hi == band.stop
+
+    @pytest.mark.parametrize(
+        "height,n,halo", [(0, 1, 0), (4, 0, 0), (4, 1, -1)]
+    )
+    def test_validation(self, height, n, halo):
+        with pytest.raises(ValueError):
+            split_rows(height, n, halo)
+
+
+class TestExecutorValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            TileExecutor(workers=0)
+
+    def test_bad_pool(self):
+        with pytest.raises(ValueError):
+            TileExecutor(pool="greenlet")
+
+    def test_bad_tile_rows(self):
+        with pytest.raises(ValueError):
+            TileExecutor(tile_rows=0)
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            TileExecutor(precision="float16")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            TileExecutor().kernel("orb")
+
+    def test_kernel_accessor_names(self):
+        ex = TileExecutor()
+        for name in available_kernels():
+            assert callable(ex.kernel(name))
+
+    def test_sgm_paths_validated(self, frame):
+        with pytest.raises(ValueError):
+            TileExecutor().sgm(frame.left, frame.right, 8, paths=3)
+
+
+class TestSeamEquivalence:
+    """Tiled output must be bit-identical to whole-frame output."""
+
+    @pytest.mark.parametrize("name", available_kernels())
+    @pytest.mark.parametrize("tile_rows", [1, 4, 7])
+    def test_many_small_bands(self, frame, references, name, tile_rows):
+        # tile_rows as small as one row: far below MAX_DISP and RADIUS,
+        # which must not matter — the search is horizontal, the bands
+        # keep full width, and the halo covers the filter window
+        with TileExecutor(workers=2, pool="thread", tile_rows=tile_rows) as ex:
+            assert np.array_equal(_tiled(ex, name, frame), references[name])
+
+    @pytest.mark.parametrize("name", available_kernels())
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_band_per_worker(self, frame, references, name, workers):
+        with TileExecutor(workers=workers, pool="thread") as ex:
+            assert np.array_equal(_tiled(ex, name, frame), references[name])
+
+    @pytest.mark.parametrize("name", available_kernels())
+    def test_single_worker_is_whole_frame(self, frame, references, name):
+        assert np.array_equal(
+            _tiled(TileExecutor(), name, frame), references[name]
+        )
+
+    def test_process_pool_identical(self, frame, references):
+        with TileExecutor(workers=2, pool="process") as ex:
+            for name in ("bm", "sgm"):
+                assert np.array_equal(_tiled(ex, name, frame), references[name])
+
+    @pytest.mark.parametrize("name", available_kernels())
+    def test_float32_tiling_identical(self, frame, name):
+        want = _REFERENCE[name](frame, precision="float32")
+        with TileExecutor(
+            workers=2, pool="thread", tile_rows=5, precision="float32"
+        ) as ex:
+            assert np.array_equal(_tiled(ex, name, frame), want)
+
+    def test_single_row_image(self):
+        rng = np.random.default_rng(0)
+        left, right = rng.normal(size=(2, 1, 30))
+        with TileExecutor(workers=3, pool="thread") as ex:
+            assert np.array_equal(
+                ex.block_match(left, right, 8),
+                block_match(left, right, 8),
+            )
+
+
+class TestQualityProbeWorkers:
+    def test_probe_scores_identical_across_workers(self):
+        stream = lambda: sceneflow_stream(
+            seed=3, size=(32, 48), n_frames=4, max_disp=16, pw=2
+        )
+        serial = QualityProbe(matcher="bm", max_disp=16).score_plan(stream())
+        tiled = QualityProbe(
+            matcher="bm", max_disp=16, workers=2, pool="thread"
+        ).score_plan(stream())
+        assert serial.frames == tiled.frames  # bit-identical scores
+
+    def test_probe_float32_runs(self):
+        q = QualityProbe(
+            matcher="census", max_disp=16, precision="float32"
+        ).score_plan(
+            sceneflow_stream(seed=5, size=(32, 48), n_frames=2, max_disp=16)
+        )
+        assert np.isfinite(q.epe_px)
+
+    def test_probe_repr_reports_workers(self):
+        assert "workers=3" in repr(
+            QualityProbe(matcher="bm", workers=3, pool="thread")
+        )
+
+    def test_probe_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            QualityProbe(matcher="bm", precision="bf16")
+
+    def test_probe_context_manager_closes_executor(self):
+        with QualityProbe(matcher="bm", workers=2, pool="thread") as probe:
+            probe.score_plan(sceneflow_stream(
+                seed=1, size=(32, 48), n_frames=2, max_disp=16))
+            assert probe.executor._pool is not None
+        assert probe.executor._pool is None
+        probe.close()  # idempotent

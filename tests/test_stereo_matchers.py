@@ -81,6 +81,20 @@ class TestCostVolume:
         assert cost.shape == (4, 16, 24)
         assert np.allclose(cost[0], 0.0)
 
+    def test_precision_knob_sets_dtype(self):
+        left, right = synthetic_pair(d=2, size=(12, 20))
+        assert sad_cost_volume(left, right, 4).dtype == np.float64
+        vol32 = sad_cost_volume(left, right, 4, precision="float32")
+        assert vol32.dtype == np.float32
+        assert np.allclose(
+            vol32, sad_cost_volume(left, right, 4), atol=1e-5
+        )
+
+    def test_unknown_precision_raises(self):
+        left, right = synthetic_pair(d=2, size=(12, 20))
+        with pytest.raises(ValueError, match="precision"):
+            sad_cost_volume(left, right, 4, precision="float16")
+
 
 class TestBlockMatch:
     def test_recovers_uniform_disparity(self):
@@ -123,6 +137,96 @@ class TestGuidedBlockMatch:
         init = np.zeros(frame.shape)
         disp = guided_block_match(frame.left, frame.right, init, radius=2)
         assert (disp >= 0).all()
+
+    def test_precision_float32_supported(self, frame):
+        disp = guided_block_match(
+            frame.left, frame.right, frame.disparity, precision="float32"
+        )
+        assert disp.shape == frame.shape and np.isfinite(disp).all()
+
+
+class TestGuidedBorderConservatism:
+    """The accept-margin guarantee must hold at the image border too.
+
+    Regression tests for two confirmed bugs: (1) right-edge pixels
+    whose init-offset candidate was out of range (``x + init >= w`` →
+    sentinel cost) silently lost the accept-margin keep, letting a
+    nearer offset win against edge-replicated texture and move a
+    *perfect* init by several pixels; (2) when every candidate was out
+    of range, the argmin over all-sentinel costs picked ``-radius``
+    and fabricated a confident-looking disparity.
+    """
+
+    def _pair(self, d=6):
+        return synthetic_pair(d=d)
+
+    def test_perfect_init_never_moved_beyond_half_pixel(self):
+        left, right = self._pair(d=6)
+        h, w = left.shape
+        init = np.full((h, w), 6.0)
+        reachable = np.clip(init, 0.0, np.arange(w - 1, -1, -1.0)[None, :])
+        for margin in (0.1, 0.5, 2.0):
+            out = guided_block_match(
+                left, right, init, radius=4, accept_margin=margin
+            )
+            assert np.abs(out - reachable).max() <= 0.5, margin
+
+    def test_right_edge_band_keeps_clipped_init_exactly(self):
+        left, right = self._pair(d=6)
+        h, w = left.shape
+        init = np.full((h, w), 6.0)
+        out = guided_block_match(left, right, init, radius=4, accept_margin=0.5)
+        # pixels whose init candidate reads past the right edge fall
+        # back to the geometrically reachable clip of the init — no
+        # sub-pixel nudge, no nearer-offset "win"
+        edge = np.arange(w)[None, :] + 6 >= w
+        reachable = np.clip(init, 0.0, np.arange(w - 1, -1, -1.0)[None, :])
+        assert np.array_equal(
+            np.broadcast_to(out, (h, w))[np.broadcast_to(edge, (h, w))],
+            np.broadcast_to(reachable, (h, w))[np.broadcast_to(edge, (h, w))],
+        )
+
+    @pytest.mark.parametrize("subpixel", [True, False])
+    @pytest.mark.parametrize("margin", [0.0, 0.5])
+    def test_all_invalid_negative_init_returns_zero(self, subpixel, margin):
+        left, right = self._pair(d=6)
+        init = np.full(left.shape, -50.0)
+        out = guided_block_match(
+            left, right, init, radius=4,
+            subpixel=subpixel, accept_margin=margin,
+        )
+        # clipped init: max(-50, 0) == 0 everywhere — and deliberately
+        # so, not via argmin over sentinel costs
+        assert np.array_equal(out, np.zeros_like(out))
+
+    @pytest.mark.parametrize("subpixel", [True, False])
+    @pytest.mark.parametrize("margin", [0.0, 0.5])
+    def test_all_invalid_beyond_right_edge_returns_clipped_init(
+        self, subpixel, margin
+    ):
+        left, right = self._pair(d=6)
+        h, w = left.shape
+        init = np.full((h, w), float(w + 10))  # every candidate past w
+        out = guided_block_match(
+            left, right, init, radius=4,
+            subpixel=subpixel, accept_margin=margin,
+        )
+        reachable = np.broadcast_to(
+            np.arange(w - 1, -1, -1.0)[None, :], (h, w)
+        )
+        # the old argmin fabricated base - radius ≈ w + 6 here
+        assert np.array_equal(out, reachable)
+
+    def test_margin_zero_interior_search_unchanged(self):
+        left, right = self._pair(d=6)
+        h, w = left.shape
+        out = guided_block_match(
+            left, right, np.full((h, w), 4.0), radius=3, accept_margin=0.0
+        )
+        inner = out[5:-5, 5 : -(6 + 5)]
+        # with no margin the search is free to move — and should land
+        # on the true disparity away from the border
+        assert np.abs(inner - 6.0).mean() < 0.5
 
 
 class TestSubpixelRefine:

@@ -44,10 +44,12 @@ class TestTexturelessRegion:
         bm_disp = block_match(flat_frame.left, flat_frame.right, 32)
         elas_err = error_rate(elas_disp, flat_frame.disparity)
         bm_err = error_rate(bm_disp, flat_frame.disparity)
-        # margin recalibrated after the convex-only subpixel fix: the
-        # old clamp's spurious half-pixel shifts happened to sit a
-        # hair inside +2.0 on this scene
-        assert elas_err < bm_err + 2.5
+        # the epipolar row-wise prior keeps horizontally-fattened
+        # boundary supports from bleeding across the patch, so ELAS
+        # now beats BM outright here (the old Delaunay prior only
+        # stayed within a +2.5 ballpark, and that relied on rounding
+        # noise fabricating extra in-patch support points)
+        assert elas_err < bm_err
         flat_mask = flat_frame.disparity == np.max(flat_frame.disparity)
         elas_inside = np.abs(elas_disp - flat_frame.disparity)[flat_mask]
         bm_inside = np.abs(bm_disp - flat_frame.disparity)[flat_mask]
