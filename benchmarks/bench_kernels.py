@@ -7,13 +7,15 @@ Two layers:
   algorithmic ordering — guided search beats full search, the
   transformed deconvolution beats the zero-stuffed one;
 * the **tiled execution bench** measures what
-  :class:`repro.parallel.TileExecutor` buys on this machine: each
-  matcher runs whole-frame and tiled across a process pool on a
-  full-size frame, the seam-equivalence contract is asserted
-  (bit-identical output — this is the part CI smoke-runs), and the
-  wall-clock speedups are written to
-  ``benchmarks/results/BENCH_kernels.json`` — the first point of the
-  repo's machine-readable performance trajectory.
+  :class:`repro.parallel.TileExecutor` buys on this machine, in
+  before/after form: each matcher runs whole-frame (*serial*), tiled
+  with the legacy pickled transport and one band per worker
+  (*pickle*, the "before"), and with the autotuned band size plus the
+  shared-memory transport (*tuned*, the "after").  The
+  seam-equivalence contract is asserted for both tiled configs
+  (bit-identical output — this is the part CI smoke-runs), every
+  latency lands in ``benchmarks/results/BENCH_kernels.json``, and the
+  run must leave no stray ``/dev/shm/asv_*`` segments behind.
 
 Wall-clock *speedup* is machine-dependent (worker count, core count,
 thermal state), so it is printed and recorded but only asserted when
@@ -27,9 +29,11 @@ multi-core box, never in CI.  Knobs:
 * ``ASV_BENCH_ASSERT_SPEEDUP`` — opt-in ``>= 2x`` speedup gate.
 """
 
+import glob
 import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -39,8 +43,10 @@ from repro.datasets import sceneflow_scene
 from repro.deconv import deconv_via_subconvolutions
 from repro.flow import farneback_flow
 from repro.nn.ops import deconvnd
-from repro.parallel import TileExecutor, split_rows
+from repro.parallel import TileExecutor, shm_available
+from repro.parallel.autotune import tuned_tile_rows
 from repro.stereo import block_match, guided_block_match, sgm
+from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, aggregate_volume
 from repro.tables import render_table
 
 
@@ -185,42 +191,131 @@ def _tiled_cases():
     ]
 
 
+def _shm_segments():
+    """Names of this package's live shm segments (None off-Linux)."""
+    if not Path("/dev/shm").exists():
+        return None
+    return set(glob.glob("/dev/shm/asv_*"))
+
+
+def _scalar_aggregate(cost, dy, dx, p1, p2):
+    """Per-cell Python DP — the pre-vectorization shape of
+    ``aggregate_path`` (same recurrence the pinned scalar reference in
+    ``tests/test_stereo_matchers.py`` uses), kept here as the honest
+    "before" baseline for the sweep vectorization."""
+    d, h, w = cost.shape
+    out = np.empty_like(cost)
+    ys = range(h) if dy >= 0 else range(h - 1, -1, -1)
+    xs = range(w) if dx >= 0 else range(w - 1, -1, -1)
+    for y in ys:
+        for x in xs:
+            py, px = y - dy, x - dx
+            if not (0 <= py < h and 0 <= px < w):
+                out[:, y, x] = cost[:, y, x]
+                continue
+            prev = out[:, py, px]
+            floor = prev.min()
+            best = np.minimum(prev, floor + p2)
+            best[1:] = np.minimum(best[1:], prev[:-1] + p1)
+            best[:-1] = np.minimum(best[:-1], prev[1:] + p1)
+            out[:, y, x] = cost[:, y, x] + (best - floor)
+    return out
+
+
+def _bench_aggregation():
+    """Before/after for the SGM hot loop.
+
+    Two measurements: the *vectorization* win (scalar per-cell DP vs
+    the line-vectorized ``aggregate_path``, one diagonal direction on
+    a small volume — the scalar loop would take minutes at qHD), and
+    the fused 8-direction :func:`aggregate_volume` vs its
+    per-direction composition (bit-identical by
+    ``tests/test_stereo_matchers.py``; the fused form saves result
+    allocations and shares the plane transpose)."""
+    h, w = _size_cap((64, 96))
+    small = np.random.default_rng(2).random((16, h, w))
+    assert np.array_equal(  # apples to apples: same DP, same bits
+        _scalar_aggregate(small, 1, 1, 1.0, 8.0),
+        aggregate_path(small, 1, 1, 1.0, 8.0),
+    )
+    t_scalar = _clock(lambda: _scalar_aggregate(small, 1, 1, 1.0, 8.0),
+                      reps=1)
+    t_vector = _clock(lambda: aggregate_path(small, 1, 1, 1.0, 8.0),
+                      reps=3)
+
+    h, w = _size_cap((270, 480))
+    cost = np.random.default_rng(3).random((min(32, FULL_MAX_DISP), h, w))
+
+    def per_direction():
+        total = np.zeros_like(cost)
+        for dy, dx in _DIRECTIONS_8:
+            total += aggregate_path(cost, dy, dx, 1.0, 8.0)
+        return total
+
+    per_direction()  # warm allocator + pages before timing either form
+    t_fused = _clock(lambda: aggregate_volume(cost, 1.0, 8.0, paths=8),
+                     reps=3)
+    t_composed = _clock(per_direction, reps=3)
+    return {
+        "scalar_shape": [16, *_size_cap((64, 96))],
+        "scalar_s": t_scalar,
+        "vectorized_s": t_vector,
+        "vectorization_speedup": t_scalar / t_vector,
+        "volume_shape": list(cost.shape),
+        "fused_s": t_fused,
+        "per_direction_s": t_composed,
+        "fused_vs_composed": t_composed / t_fused,
+    }
+
+
 def test_tiled_execution_speedup_and_seams(save_table):
+    segments_before = _shm_segments()
     serial = TileExecutor(workers=1)
     rows, records = [], {}
-    with TileExecutor(workers=WORKERS, pool="process") as tiled:
+    # before: legacy transport (pickled band arrays), one band per
+    # worker; after: autotuned band size + shared-memory transport
+    with TileExecutor(workers=WORKERS, pool="process", tile_rows=None,
+                      transport="pickle") as pickled, \
+         TileExecutor(workers=WORKERS, pool="process") as tuned:
         for name, size, _frame_obj, call in _tiled_cases():
             want = call(serial)
-            got = call(tiled)
-            identical = bool(np.array_equal(want, got))
-            # seam equivalence is the part that gates CI — tile seams
-            # must be bit-identical to whole-frame execution
-            assert identical, f"{name}: tiled output differs from whole-frame"
+            for label, ex in (("pickle", pickled), ("tuned", tuned)):
+                got = call(ex)
+                # seam equivalence is the part that gates CI — tile
+                # seams must be bit-identical to whole-frame execution
+                assert np.array_equal(want, got), (
+                    f"{name}/{label}: tiled output differs from whole-frame"
+                )
             t_serial = _clock(lambda: call(serial), reps=2)
-            t_tiled = _clock(lambda: call(tiled), reps=2)
-            n_bands = len(split_rows(size[0], WORKERS, 0))
+            t_pickle = _clock(lambda: call(pickled), reps=2)
+            t_tuned = _clock(lambda: call(tuned), reps=2)
             records[name] = {
                 "size": list(size),
-                "n_bands": n_bands,
+                "tuned_tile_rows": tuned_tile_rows(name, size, WORKERS),
                 "serial_s": t_serial,
-                "tiled_s": t_tiled,
-                "speedup": t_serial / t_tiled,
-                "seam_identical": identical,
+                "pickle_s": t_pickle,
+                "tuned_s": t_tuned,
+                "speedup_pickle": t_serial / t_pickle,
+                "speedup": t_serial / t_tuned,
+                "seam_identical": True,
             }
             rows.append(
-                [name, f"{size[0]}x{size[1]}", n_bands,
-                 1e3 * t_serial, 1e3 * t_tiled, t_serial / t_tiled,
-                 "yes" if identical else "NO"]
+                [name, f"{size[0]}x{size[1]}",
+                 1e3 * t_serial, 1e3 * t_pickle, 1e3 * t_tuned,
+                 t_serial / t_tuned, "yes"]
             )
 
+    aggregation = _bench_aggregation()
     report = {
         "bench": "kernels",
         "workers": WORKERS,
         "pool": "process",
+        "transport": "shm" if shm_available() else "pickle",
         "cpu_count": os.cpu_count(),
         "max_disp": FULL_MAX_DISP,
         "smoke_size_cap": os.environ.get("ASV_BENCH_SIZE"),
         "kernels": records,
+        "sgm_aggregation": aggregation,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_kernels.json"
@@ -230,16 +325,36 @@ def test_tiled_execution_speedup_and_seams(save_table):
         "kernels_tiled",
         render_table(
             f"Tiled kernel execution — {WORKERS} process workers on "
-            f"{os.cpu_count()} cores (speedup is machine-dependent; "
-            f"asserted only with ASV_BENCH_ASSERT_SPEEDUP=1)",
-            ["kernel", "frame", "bands", "serial ms", "tiled ms",
+            f"{os.cpu_count()} cores (speedup = serial/tuned; "
+            f"machine-dependent, asserted only with "
+            f"ASV_BENCH_ASSERT_SPEEDUP=1)",
+            ["kernel", "frame", "serial ms", "pickle ms", "tuned ms",
              "speedup", "seam-identical"],
             rows,
         ),
     )
     print(f"[saved to {path}]")
+    print(f"aggregation vectorization: "
+          f"{aggregation['vectorization_speedup']:.1f}x over scalar DP; "
+          f"fused vs composed: {aggregation['fused_vs_composed']:.2f}x")
+
+    # the shm transport must leave /dev/shm exactly as it found it
+    segments_after = _shm_segments()
+    if segments_before is not None:
+        leaked = segments_after - segments_before
+        assert not leaked, f"leaked shm segments: {sorted(leaked)}"
 
     if os.environ.get("ASV_BENCH_ASSERT_SPEEDUP"):
+        # opt-in, multi-core-host-only gates (see module docstring)
+        assert aggregation["vectorization_speedup"] >= 5.0, (
+            "vectorized aggregate_path must beat the scalar DP >= 5x, "
+            f"got {aggregation['vectorization_speedup']:.1f}x"
+        )
+        for name in ("sgm", "census"):
+            assert records[name]["speedup"] > 1.0, (
+                f"{name}: tuned tiled run slower than serial "
+                f"({records[name]['speedup']:.2f}x)"
+            )
         best = max(r["speedup"] for r in records.values())
         assert best >= 2.0, (
             f"expected >= 2x multi-worker speedup, best was {best:.2f}x "

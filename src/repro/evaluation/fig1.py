@@ -92,8 +92,9 @@ def run_fig1(
 
     ``workers > 1`` runs the kernel-backed classic points (BM and the
     SGM configurations) through a tiled multi-core
-    :class:`~repro.parallel.TileExecutor`; the numbers are
-    bit-identical either way.
+    :class:`~repro.parallel.TileExecutor` with its autotuned band
+    sizes (``tile_rows="auto"``) and shared-memory transport; the
+    numbers are bit-identical either way.
     """
     scale = scale or default_scale()
     with TileExecutor(workers=workers) as executor:

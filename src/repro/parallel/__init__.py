@@ -10,6 +10,12 @@ them across a process/thread pool, and stitches results that are
 **bit-identical** to whole-frame execution (pinned by
 ``tests/test_parallel.py``; design notes in ``docs/performance.md``).
 
+Two transports feed the pools: pickling (the classic baseline) and
+named shared memory (:mod:`repro.parallel.shm`), which passes buffer
+names instead of arrays; the default band sizes come from the
+design-space-explored table in :mod:`repro.parallel.autotune`
+(``tile_rows="auto"``).
+
 >>> from repro.parallel import TileExecutor, available_kernels
 >>> available_kernels()
 ('bm', 'census', 'guided', 'sgm')
@@ -18,6 +24,31 @@ them across a process/thread pool, and stitches results that are
 """
 
 from repro.parallel.executor import TileExecutor, available_kernels
+from repro.parallel.shm import ShmArena, ShmHandle, shm_available
 from repro.parallel.tiles import RowBand, split_rows
 
-__all__ = ["RowBand", "TileExecutor", "available_kernels", "split_rows"]
+_AUTOTUNE_EXPORTS = ("LatencyModel", "TileConfig", "search_config", "tuned_tile_rows")
+
+
+def __getattr__(name: str):
+    # lazy so `python -m repro.parallel.autotune` does not re-execute a
+    # module the package import already pulled in
+    if name in _AUTOTUNE_EXPORTS:
+        from repro.parallel import autotune
+
+        return getattr(autotune, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "LatencyModel",
+    "RowBand",
+    "ShmArena",
+    "ShmHandle",
+    "TileConfig",
+    "TileExecutor",
+    "available_kernels",
+    "search_config",
+    "shm_available",
+    "split_rows",
+    "tuned_tile_rows",
+]

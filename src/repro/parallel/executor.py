@@ -26,10 +26,22 @@ both embarrassingly parallel — and sums the per-direction volumes in
 the same order :func:`~repro.stereo.sgm.sgm` does, keeping
 bit-identity without approximating the DP.
 
-``workers=1`` executes inline (no pool, no pickling) and is the
-reference the seam-equivalence tests pin every multi-worker
-configuration against.  The ``precision`` knob selects the cost-volume
-dtype for every kernel the executor runs.
+Two knobs govern *how* the work is fanned out.  ``transport`` selects
+how arrays reach process-pool workers: ``"pickle"`` serialises them
+through the pool pipes, ``"shm"`` passes :mod:`repro.parallel.shm`
+buffer names instead (the workers map the parent's pages), and the
+default ``"auto"`` uses shared memory whenever a process pool is
+actually in play.  ``tile_rows="auto"`` (the default) sizes the row
+bands from the design-space-explored table in
+:mod:`repro.parallel.autotune` instead of the one-band-per-worker
+fallback.  Neither knob affects the computed values — every transport
+and banding produces bit-identical output, pinned by the
+seam-equivalence tests.
+
+``workers=1`` executes inline (no pool, no pickling, no shared
+memory) and is the reference the seam-equivalence tests pin every
+multi-worker configuration against.  The ``precision`` knob selects
+the cost-volume dtype for every kernel the executor runs.
 
 >>> import numpy as np
 >>> from repro.datasets import sceneflow_scene
@@ -43,10 +55,14 @@ True
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import ExitStack
+from itertools import islice
 
 import numpy as np
 
+from repro.parallel.shm import ShmArena, attached, shm_available
 from repro.parallel.tiles import split_rows
 from repro.stereo.block_matching import (
     block_match,
@@ -54,21 +70,39 @@ from repro.stereo.block_matching import (
     resolve_precision,
     sad_cost_volume,
 )
-from repro.stereo.census import census_block_match
+from repro.stereo.census import census_block_match, census_transform
 from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, wta_disparity
 
 __all__ = ["TileExecutor", "available_kernels"]
+
+
+def _census_coded(left, right_codes, **kwargs):
+    """Band kernel: census matching against precomputed right codes.
+
+    The right image's census codes depend only on the right frame, so
+    the tiled adapter computes them once in the parent and hands every
+    band the same code rows instead of re-transforming the right band
+    per job.
+    """
+    return census_block_match(left, None, right_codes=right_codes, **kwargs)
+
 
 #: whole-frame callables a band job may name (names, not functions,
 #: cross the process boundary)
 _BAND_KERNELS = {
     "bm": block_match,
     "census": census_block_match,
+    "census_coded": _census_coded,
     "guided": guided_block_match,
     "sad_cost": sad_cost_volume,
 }
 
+#: band-kernel name -> the kernel name the autotuned table is keyed by
+_TUNE_KEYS = {"sad_cost": "sgm", "census_coded": "census"}
+
 _POOLS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
+
+_TRANSPORTS = ("auto", "pickle", "shm")
 
 
 def available_kernels() -> tuple[str, ...]:
@@ -91,9 +125,49 @@ def _run_band(kernel: str, arrays, kwargs, crop, row_axis: int):
     return out[index]
 
 
+def _run_band_shm(kernel, handles, lo, hi, kwargs, crop, row_axis, out_handle, start):
+    """Shared-memory twin of :func:`_run_band`.
+
+    Inputs arrive as segment handles plus the band's row range; the
+    cropped payload is written straight into its rows of the full-size
+    output segment.  Nothing but the handles crosses the pool pipe —
+    the return value is ``None``.
+    """
+    with ExitStack() as stack:
+        arrays = tuple(stack.enter_context(attached(h))[lo:hi] for h in handles)
+        out = _BAND_KERNELS[kernel](*arrays, **kwargs)
+        del arrays
+    part = out[(slice(None),) * row_axis + (slice(*crop),)]
+    with attached(out_handle) as dest:
+        rows = (slice(None),) * row_axis
+        rows += (slice(start, start + part.shape[row_axis]),)
+        np.copyto(dest[rows], part)
+
+
 def _run_direction(cost, dy: int, dx: int, p1: float, p2: float):
     """One SGM path-direction aggregation (top-level for pickling)."""
     return aggregate_path(cost, dy, dx, p1, p2)
+
+
+def _run_direction_shm(cost_handle, dy, dx, p1, p2, out_handle):
+    """Shared-memory twin of :func:`_run_direction`.
+
+    The cost volume is attached read-only by name (every direction job
+    maps the same pages) and the aggregated volume lands in the
+    caller's output slot segment.
+    """
+    with attached(cost_handle) as cost:
+        part = aggregate_path(cost, dy, dx, p1, p2)
+    with attached(out_handle) as out:
+        np.copyto(out, part)
+
+
+def _band_output(kernel: str, arrays, kwargs) -> tuple[tuple[int, ...], np.dtype]:
+    """Full-frame output (shape, dtype) of a band kernel."""
+    h, w = arrays[0].shape[:2]
+    if kernel == "sad_cost":
+        return (kwargs["max_disp"], h, w), resolve_precision(kwargs["precision"])
+    return (h, w), np.dtype(np.float64)
 
 
 class TileExecutor:
@@ -105,35 +179,48 @@ class TileExecutor:
         Pool size.  ``1`` (the default) executes inline — same code
         path, no pool — and is the bit-identical reference.
     pool:
-        ``"process"`` (default; real multi-core, inputs are pickled to
-        the workers) or ``"thread"`` (no pickling; NumPy releases the
-        GIL in the heavy ops, so scaling is workload-dependent).
+        ``"process"`` (default; real multi-core) or ``"thread"`` (no
+        pickling; NumPy releases the GIL in the heavy ops, so scaling
+        is workload-dependent).
     tile_rows:
-        Rows per band.  ``None`` (default) cuts one band per worker;
-        a small explicit value exercises many more bands than workers
-        (the seam-equivalence tests use this).
+        Rows per band.  ``"auto"`` (default) looks the band size up in
+        the autotuned config table (:mod:`repro.parallel.autotune`)
+        for this kernel, frame size and worker count; ``None`` cuts
+        one band per worker; a small explicit value exercises many
+        more bands than workers (the seam-equivalence tests use this).
     precision:
         Cost-volume dtype knob, ``"float64"`` (default) or
         ``"float32"``, passed to every kernel the executor runs.
+    transport:
+        How arrays reach process-pool workers.  ``"auto"`` (default)
+        uses shared memory whenever a process pool is in play and
+        falls back to pickling otherwise; ``"pickle"`` and ``"shm"``
+        force one or the other.  Thread pools share the address space
+        already, so ``"shm"`` demands a process pool.
 
     The pool is created lazily on first multi-band call; use the
     executor as a context manager (or call :meth:`close`) to release
     worker processes deterministically.
 
     >>> TileExecutor(workers=2, pool="thread", tile_rows=8)
-    TileExecutor(workers=2, pool='thread', tile_rows=8, precision='float64')
+    TileExecutor(workers=2, pool='thread', tile_rows=8, precision='float64', transport='auto')
     >>> TileExecutor(pool="greenlet")
     Traceback (most recent call last):
         ...
     ValueError: pool must be one of ('process', 'thread'), got 'greenlet'
+    >>> TileExecutor(transport="carrier-pigeon")
+    Traceback (most recent call last):
+        ...
+    ValueError: transport must be one of ('auto', 'pickle', 'shm'), got 'carrier-pigeon'
     """
 
     def __init__(
         self,
         workers: int = 1,
         pool: str = "process",
-        tile_rows: int | None = None,
+        tile_rows: int | str | None = "auto",
         precision: str = "float64",
+        transport: str = "auto",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -141,19 +228,43 @@ class TileExecutor:
             raise ValueError(
                 f"pool must be one of {tuple(sorted(_POOLS))}, got {pool!r}"
             )
-        if tile_rows is not None and tile_rows < 1:
-            raise ValueError("tile_rows must be >= 1 (or None)")
+        if tile_rows is not None and tile_rows != "auto":
+            if not isinstance(tile_rows, int) or tile_rows < 1:
+                raise ValueError("tile_rows must be a positive int, 'auto' or None")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
+        if transport == "shm" and pool != "process":
+            raise ValueError(
+                "transport='shm' requires pool='process'; thread workers "
+                "already share the address space"
+            )
         resolve_precision(precision)  # validate eagerly
         self.workers = int(workers)
         self.pool = pool
         self.tile_rows = tile_rows
         self.precision = precision
+        self.transport = transport
+        # resolved once: shared memory moves data only when a process
+        # pool is actually in play (workers=1 stays inline on purpose)
+        self._shm = (
+            transport != "pickle"
+            and pool == "process"
+            and self.workers > 1
+            and shm_available()
+        )
+        if transport == "shm" and self.workers > 1 and not self._shm:
+            raise ValueError(  # pragma: no cover - platform-dependent
+                "shared memory is not available on this platform"
+            )
         self._pool: Executor | None = None
 
     def __repr__(self):
         return (
             f"TileExecutor(workers={self.workers}, pool={self.pool!r}, "
-            f"tile_rows={self.tile_rows}, precision={self.precision!r})"
+            f"tile_rows={self.tile_rows!r}, precision={self.precision!r}, "
+            f"transport={self.transport!r})"
         )
 
     # ------------------------------------------------------------------
@@ -175,7 +286,14 @@ class TileExecutor:
         """Yield ``fn``'s results over argument tuples, in job order.
 
         Lazy so reducers (the SGM direction sum) can consume one
-        result at a time instead of holding every part in memory.
+        result at a time, and **bounded**: at most ``workers`` jobs
+        are in flight at once.  Eager submission would hold every
+        job's payload alive simultaneously — for the SGM fan-out that
+        was all 8 pickled cost-volume copies — and the bound is also
+        what lets the shared-memory path cycle ``workers`` output
+        slots.  The next job is submitted only after the previous
+        result has been *consumed* (the generator is resumed), so a
+        yielded buffer is never overwritten while the caller reads it.
         """
         if self.workers == 1 or len(jobs) == 1:
             for job in jobs:
@@ -183,8 +301,15 @@ class TileExecutor:
             return
         if self._pool is None:
             self._pool = _POOLS[self.pool](max_workers=self.workers)
-        for future in [self._pool.submit(fn, *job) for job in jobs]:
-            yield future.result()
+        queue = iter(jobs)
+        pending = deque(
+            self._pool.submit(fn, *job) for job in islice(queue, self.workers)
+        )
+        while pending:
+            yield pending.popleft().result()
+            job = next(queue, None)
+            if job is not None:
+                pending.append(self._pool.submit(fn, *job))
 
     def _map(self, fn, jobs: list[tuple]) -> list:
         """Run ``fn`` over argument tuples, results in job order."""
@@ -193,31 +318,99 @@ class TileExecutor:
     # ------------------------------------------------------------------
     # row-band tiling
     # ------------------------------------------------------------------
-    def _n_bands(self, height: int) -> int:
-        if self.tile_rows is not None:
-            return -(-height // self.tile_rows)  # ceil
+    def _n_bands(self, height: int, kernel: str, frame_shape) -> int:
+        tile_rows = self.tile_rows
+        if tile_rows == "auto":
+            if self.workers == 1:
+                return 1  # inline reference path: one band, no pool
+            from repro.parallel.autotune import tuned_tile_rows
+
+            tile_rows = tuned_tile_rows(
+                _TUNE_KEYS.get(kernel, kernel),
+                frame_shape[:2],
+                self.workers,
+                self.pool,
+            )
+            if tile_rows is not None:
+                # the table is tuned at its own grid sizes; on a frame
+                # smaller than the snapped entry, never cut fewer bands
+                # than there are workers
+                tile_rows = min(tile_rows, -(-height // self.workers))
+        if tile_rows is not None:
+            return -(-height // tile_rows)  # ceil
         return self.workers
 
-    def _tiled(self, kernel, arrays, kwargs, halo, row_axis=0) -> np.ndarray:
+    def _tiled(self, kernel, arrays, kwargs, halo, row_axis=0, arena=None) -> np.ndarray:
+        """Run ``kernel`` over haloed row bands and stitch the payloads.
+
+        With the shared-memory transport the inputs are shared once,
+        whole-frame, and every band writes its payload straight into
+        its rows of one full-size output segment — no per-band pickling
+        and no parent-side concatenation.  Passing an ``arena`` asks
+        for the output *in shared memory*: the return value becomes
+        ``(view, handle)`` and the caller owns the segment through the
+        arena (the SGM adapter reuses the cost volume's segment for
+        the direction fan-out without another copy).
+        """
         arrays = tuple(np.asarray(a) for a in arrays)
         height = arrays[0].shape[0]
-        bands = split_rows(height, self._n_bands(height), halo)
-        if len(bands) == 1:
-            return _run_band(kernel, arrays, kwargs, bands[0].crop, row_axis)
-        parts = self._map(
-            _run_band,
-            [
-                (
-                    kernel,
-                    tuple(a[band.lo : band.hi] for a in arrays),
-                    kwargs,
-                    band.crop,
-                    row_axis,
+        bands = split_rows(height, self._n_bands(height, kernel, arrays[0].shape), halo)
+        if len(bands) == 1 or not self._shm:
+            if len(bands) == 1:
+                out = _run_band(kernel, arrays, kwargs, bands[0].crop, row_axis)
+            else:
+                parts = self._map(
+                    _run_band,
+                    [
+                        (
+                            kernel,
+                            tuple(a[band.lo : band.hi] for a in arrays),
+                            kwargs,
+                            band.crop,
+                            row_axis,
+                        )
+                        for band in bands
+                    ],
                 )
-                for band in bands
-            ],
-        )
-        return np.concatenate(parts, axis=row_axis)
+                out = np.concatenate(parts, axis=row_axis)
+            if arena is None:
+                return out
+            handle, view = arena.alloc(out.shape, out.dtype)
+            np.copyto(view, out)
+            return view, handle
+        local = arena if arena is not None else ShmArena()
+        try:
+            in_handles = tuple(local.share(a) for a in arrays)
+            out_shape, out_dtype = _band_output(kernel, arrays, kwargs)
+            out_handle, out_view = local.alloc(out_shape, out_dtype)
+            for _ in self._iter_map(
+                _run_band_shm,
+                [
+                    (
+                        kernel,
+                        in_handles,
+                        band.lo,
+                        band.hi,
+                        kwargs,
+                        band.crop,
+                        row_axis,
+                        out_handle,
+                        band.start,
+                    )
+                    for band in bands
+                ],
+            ):
+                pass
+            for handle in in_handles:  # free the input frames early
+                local.release(handle)
+            if arena is not None:
+                return out_view, out_handle
+            out = out_view.copy()
+            del out_view
+            return out
+        finally:
+            if arena is None:
+                local.close()
 
     # ------------------------------------------------------------------
     # the four matchers
@@ -241,18 +434,25 @@ class TileExecutor:
     def census_block_match(
         self, left, right, max_disp: int, window: int = 5, subpixel: bool = True
     ) -> np.ndarray:
-        """Tiled :func:`~repro.stereo.census.census_block_match`."""
-        return self._tiled(
-            "census",
-            (left, right),
-            dict(
-                max_disp=max_disp,
-                window=window,
-                subpixel=subpixel,
-                precision=self.precision,
-            ),
-            halo=window // 2,
+        """Tiled :func:`~repro.stereo.census.census_block_match`.
+
+        Multi-band runs compute the right image's census transform
+        once, in the parent, and hand every band the precomputed code
+        rows (the codes depend only on the right frame); the
+        single-band inline path calls the plain two-image matcher and
+        is the bit-identity reference for both.
+        """
+        left = np.asarray(left)
+        kwargs = dict(
+            max_disp=max_disp,
+            window=window,
+            subpixel=subpixel,
+            precision=self.precision,
         )
+        if self._n_bands(left.shape[0], "census", left.shape) == 1:
+            return self._tiled("census", (left, right), kwargs, halo=window // 2)
+        codes = census_transform(np.asarray(right), window)
+        return self._tiled("census_coded", (left, codes), kwargs, halo=window // 2)
 
     def guided_block_match(
         self,
@@ -301,25 +501,61 @@ class TileExecutor:
         parallelised across path directions instead, and the
         per-direction volumes are summed in :func:`~repro.stereo.sgm.
         sgm`'s direction order so the result stays bit-identical.
+
+        With the shared-memory transport the cost volume is built
+        straight into a shared segment; every direction job attaches
+        the same pages by name (nothing is pickled per direction) and
+        writes its aggregated volume into one of ``min(workers,
+        paths)`` cycled output slots — the bounded :meth:`_iter_map`
+        guarantees a slot's previous result is consumed before the job
+        that reuses it is submitted.
         """
         if paths not in (2, 4, 8):
             raise ValueError("paths must be 2, 4 or 8")
-        cost = self._tiled(
-            "sad_cost",
-            (left, right),
-            dict(max_disp=max_disp, block_size=block_size, precision=self.precision),
-            halo=block_size // 2,
-            row_axis=1,
+        cost_kwargs = dict(
+            max_disp=max_disp, block_size=block_size, precision=self.precision
         )
-        total = np.zeros_like(cost)
-        # consume lazily, in sgm()'s direction order: bit-identical
-        # summation while holding one aggregated volume at a time
-        for part in self._iter_map(
-            _run_direction,
-            [(cost, dy, dx, p1, p2) for dy, dx in _DIRECTIONS_8[:paths]],
-        ):
-            total += part
-        return wta_disparity(total, subpixel)
+        directions = _DIRECTIONS_8[:paths]
+        if not self._shm:
+            cost = self._tiled(
+                "sad_cost",
+                (left, right),
+                cost_kwargs,
+                halo=block_size // 2,
+                row_axis=1,
+            )
+            total = np.zeros_like(cost)
+            # consume lazily, in sgm()'s direction order: bit-identical
+            # summation while holding one aggregated volume at a time
+            for part in self._iter_map(
+                _run_direction,
+                [(cost, dy, dx, p1, p2) for dy, dx in directions],
+            ):
+                total += part
+            return wta_disparity(total, subpixel)
+        with ShmArena() as arena:
+            cost_view, cost_handle = self._tiled(
+                "sad_cost",
+                (left, right),
+                cost_kwargs,
+                halo=block_size // 2,
+                row_axis=1,
+                arena=arena,
+            )
+            n_slots = min(self.workers, len(directions))
+            slots = [
+                arena.alloc(cost_view.shape, cost_view.dtype) for _ in range(n_slots)
+            ]
+            total = np.zeros_like(cost_view)
+            del cost_view
+            jobs = [
+                (cost_handle, dy, dx, p1, p2, slots[i % n_slots][0])
+                for i, (dy, dx) in enumerate(directions)
+            ]
+            for i, _ in enumerate(self._iter_map(_run_direction_shm, jobs)):
+                np.add(total, slots[i % n_slots][1], out=total)
+            slots.clear()
+            return wta_disparity(total, subpixel)
 
     def kernel(self, name: str):
         """The tiled kernel registered under ``name``.

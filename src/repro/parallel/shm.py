@@ -1,0 +1,181 @@
+"""Shared-memory transport for tiled kernel jobs.
+
+Process-pool band jobs used to receive their inputs (and return their
+outputs) by pickling whole arrays through the pool's pipes — for the
+SGM direction fan-out that meant serialising the full ``(D, H, W)``
+cost volume once per direction.  This module moves the arrays into
+named POSIX shared memory instead: jobs are handed an
+:class:`ShmHandle` (name + shape + dtype — a few hundred bytes) and
+map the same physical pages the parent wrote.
+
+Lifecycle: the parent side owns every segment through an
+:class:`ShmArena` — it creates, unlinks, and closes them, and a
+``weakref.finalize`` guard unlinks leftovers even if the owning call
+dies mid-flight (the ``asv_``-prefixed names also make stray segments
+easy to audit in ``/dev/shm``).  Workers only ever *attach*:
+:func:`attached` maps a segment for the duration of a job and closes
+the mapping on the way out.
+
+Resource-tracker protocol: on this Python (< 3.13, no ``track=False``)
+*every* ``SharedMemory`` — attach included — registers with the
+resource tracker, whose cache is a *set* keyed by name.  The pool
+workers are forked, so they share the parent's tracker: their attach
+registrations are idempotent re-adds of the parent's own entry, and
+nobody may unregister except the single parent-side ``unlink()``
+(a per-attach unregister would remove the shared entry and make the
+parent's later unlink a tracker error).  Keeping the entry registered
+until unlink is also the crash-safety net — if the parent dies without
+cleanup, the tracker unlinks the segment at exit.
+
+>>> import numpy as np
+>>> with ShmArena() as arena:
+...     handle = arena.share(np.arange(6.0).reshape(2, 3))
+...     with attached(handle) as arr:
+...         float(arr.sum())
+15.0
+"""
+
+from __future__ import annotations
+
+import secrets
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmHandle", "attached", "shm_available"]
+
+#: every segment name starts with this, so a leak check is just
+#: ``ls /dev/shm/asv_*``
+SEGMENT_PREFIX = "asv_"
+
+
+def shm_available() -> bool:
+    """Whether named shared memory works on this platform."""
+    try:
+        seg = shared_memory.SharedMemory(
+            name=SEGMENT_PREFIX + "probe_" + secrets.token_hex(4), create=True, size=8
+        )
+    except (OSError, ValueError):  # pragma: no cover - platform-dependent
+        return False
+    seg.unlink()
+    seg.close()
+    return True
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Picklable reference to a shared array (name, not data)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _as_array(handle: ShmHandle, seg: shared_memory.SharedMemory) -> np.ndarray:
+    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+
+
+def _close_quietly(seg: shared_memory.SharedMemory) -> None:
+    """Close a mapping, tolerating still-exported numpy views.
+
+    ``close()`` raises ``BufferError`` while any view of ``seg.buf`` is
+    alive; the view's owner drops it moments later and the mapping is
+    then reclaimed by ``SharedMemory.__del__`` — only the *name* must
+    be released promptly, and that is ``unlink()``'s job.
+    """
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - depends on caller ref timing
+        pass
+
+
+@contextmanager
+def attached(handle: ShmHandle):
+    """Map a shared segment for the duration of a worker job.
+
+    The mapping is closed on exit; the tracker registration made by the
+    attach is intentionally left in place (see the module docstring —
+    forked workers share the parent's tracker, and the registration set
+    entry belongs to the parent until it unlinks).
+    """
+    seg = shared_memory.SharedMemory(name=handle.name)
+    try:
+        yield _as_array(handle, seg)
+    finally:
+        _close_quietly(seg)
+
+
+class ShmArena:
+    """Parent-owned set of shared-memory arrays with crash-safe cleanup.
+
+    ``share`` copies an existing array into a fresh segment; ``alloc``
+    creates an uninitialised output segment the parent can read back
+    through the returned view.  ``release`` drops one segment early
+    (the SGM fan-out frees each direction's output as soon as it is
+    summed); ``close`` — also run by the context manager and by a
+    ``weakref.finalize`` if the arena is dropped without it — unlinks
+    everything that remains.
+    """
+
+    def __init__(self):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._finalizer = weakref.finalize(self, ShmArena._cleanup, self._segments)
+
+    @staticmethod
+    def _cleanup(segments: dict[str, shared_memory.SharedMemory]) -> None:
+        for seg in segments.values():
+            try:
+                seg.unlink()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            _close_quietly(seg)
+        segments.clear()
+
+    def _create(self, shape: tuple[int, ...], dtype) -> tuple[ShmHandle, np.ndarray]:
+        dtype = np.dtype(dtype)
+        handle = ShmHandle(
+            name=SEGMENT_PREFIX + secrets.token_hex(8),
+            shape=tuple(int(s) for s in shape),
+            dtype=dtype.str,
+        )
+        seg = shared_memory.SharedMemory(
+            name=handle.name, create=True, size=max(1, handle.nbytes)
+        )
+        self._segments[handle.name] = seg
+        return handle, _as_array(handle, seg)
+
+    def share(self, array: np.ndarray) -> ShmHandle:
+        """Copy ``array`` into a new shared segment, returning its handle."""
+        array = np.ascontiguousarray(array)
+        handle, view = self._create(array.shape, array.dtype)
+        np.copyto(view, array)
+        del view
+        return handle
+
+    def alloc(self, shape: tuple[int, ...], dtype) -> tuple[ShmHandle, np.ndarray]:
+        """Create an output segment; the parent keeps the writable view."""
+        return self._create(shape, dtype)
+
+    def release(self, handle: ShmHandle) -> None:
+        """Unlink one segment early (no-op if already released)."""
+        seg = self._segments.pop(handle.name, None)
+        if seg is not None:
+            seg.unlink()
+            _close_quietly(seg)
+
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent)."""
+        ShmArena._cleanup(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

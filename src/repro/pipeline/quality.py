@@ -194,6 +194,15 @@ class QualityProbe:
     pool:
         ``"process"`` (default) or ``"thread"`` worker pool, when
         ``workers > 1``.
+    tile_rows:
+        Band height for the tiled kernels; the default ``"auto"``
+        consumes the design-space-explored table in
+        :mod:`repro.parallel.autotune` for this worker count and
+        frame size (see :class:`~repro.parallel.TileExecutor`).
+    transport:
+        How arrays reach process-pool workers — ``"auto"`` (default,
+        shared memory when a process pool is in play), ``"pickle"``
+        or ``"shm"``.
 
     >>> QualityProbe(matcher="sgm").matcher_name
     'sgm'
@@ -216,6 +225,8 @@ class QualityProbe:
         workers: int = 1,
         precision: str = "float64",
         pool: str = "process",
+        tile_rows: int | str | None = "auto",
+        transport: str = "auto",
     ):
         if matcher not in _MATCHER_NAMES:
             raise ValueError(
@@ -232,7 +243,11 @@ class QualityProbe:
         #: :meth:`close` (or using the probe as a context manager)
         #: releases its worker processes
         self.executor = TileExecutor(
-            workers=workers, pool=pool, precision=precision
+            workers=workers,
+            pool=pool,
+            tile_rows=tile_rows,
+            precision=precision,
+            transport=transport,
         )
         self.matcher = self.executor.kernel(matcher)
         self.max_disp = max_disp

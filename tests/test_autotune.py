@@ -1,0 +1,152 @@
+"""DSE autotuner: a deterministic model, a shipped table, a live default.
+
+The autotuner's contract has three parts: the analytical latency model
+behaves (positive, burst-amortised bandwidth, sane scaling), the
+search is **deterministic** (same inputs, same table — and the table
+shipped as package data is exactly what the in-tree model builds), and
+``TileExecutor(tile_rows="auto")`` actually consumes it.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel import TileExecutor
+from repro.parallel.autotune import (
+    DEFAULT_MODEL,
+    SIZES,
+    WORKER_GRID,
+    LatencyModel,
+    build_table,
+    load_table,
+    predict_latency,
+    save_table,
+    search_config,
+    table_path,
+    tuned_tile_rows,
+)
+
+
+class TestLatencyModel:
+    def test_effective_bandwidth_below_raw(self):
+        eff = DEFAULT_MODEL.effective_bandwidth(20.0, 1 << 20)
+        assert 0 < eff < 20.0e9
+
+    def test_effective_bandwidth_grows_with_burst(self):
+        small = DEFAULT_MODEL.effective_bandwidth(20.0, 1 << 12)
+        large = DEFAULT_MODEL.effective_bandwidth(20.0, 1 << 26)
+        assert small < large
+
+    def test_transfer_seconds_zero_for_empty(self):
+        assert DEFAULT_MODEL.transfer_seconds(20.0, 0) == 0.0
+
+    @pytest.mark.parametrize("kernel", ["bm", "census", "guided", "sgm"])
+    def test_predictions_positive(self, kernel):
+        for workers in (1, 2, 8):
+            assert predict_latency(kernel, (270, 480), 32, workers) > 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            predict_latency("orb", (270, 480), 32, 2)
+
+    def test_parallel_beats_serial_on_big_frames(self):
+        """On a large frame the model must reward real parallelism —
+        otherwise the whole search would degenerate to workers=1."""
+        serial = predict_latency("sgm", (540, 960), 64, 1)
+        parallel = predict_latency("sgm", (540, 960), 64, 8)
+        assert parallel < serial
+
+    def test_tiny_bands_pay_dispatch(self):
+        """One-row bands on a big frame pay per-job dispatch overhead;
+        the model must see that or it would always pick tile_rows=1."""
+        tiny = predict_latency("bm", (540, 960), 1, 4)
+        sane = predict_latency("bm", (540, 960), 32, 4)
+        assert sane < tiny
+
+
+class TestSearchDeterminism:
+    def test_same_inputs_same_config(self):
+        a = search_config("sgm", (270, 480), workers=4)
+        b = search_config("sgm", (270, 480), workers=4)
+        assert a == b
+
+    def test_workers_pinned(self):
+        cfg = search_config("bm", (270, 480), workers=2)
+        assert cfg.workers == 2
+
+    def test_table_is_reproducible(self):
+        assert build_table() == build_table()
+
+    def test_table_json_round_trips(self, tmp_path):
+        table = build_table(sizes=((96, 160),), worker_grid=(1, 2))
+        path = save_table(table, tmp_path / "t.json")
+        assert json.loads(path.read_text()) == table
+
+    def test_custom_model_changes_table(self):
+        """The table is a function of the model, not a constant."""
+        slow_pickle = LatencyModel(pickle_gbs=0.001, dispatch_us=50000.0)
+        assert build_table(slow_pickle, sizes=((270, 480),)) != build_table(
+            sizes=((270, 480),)
+        )
+
+
+class TestShippedTable:
+    def test_package_data_present(self):
+        assert table_path().exists(), (
+            "tuned_configs.json must ship with the package "
+            "(regenerate: python -m repro.parallel.autotune)"
+        )
+
+    def test_package_data_matches_model(self):
+        """The shipped table is exactly what the in-tree model builds —
+        i.e. it was regenerated after the last model change."""
+        assert load_table() == build_table()
+
+    def test_covers_grid(self):
+        table = load_table()
+        for kernel in ("bm", "census", "guided", "sgm"):
+            entries = table["kernels"][kernel]
+            for h, w in SIZES:
+                entry = entries[f"{h}x{w}"]
+                assert set(entry["by_workers"]) == {str(v) for v in WORKER_GRID}
+                assert entry["best"]["tile_rows"] >= 1
+
+
+class TestTunedLookup:
+    def test_exact_size_hit(self):
+        rows = tuned_tile_rows("sgm", (270, 480), 4)
+        assert isinstance(rows, int) and rows >= 1
+
+    def test_off_grid_size_snaps_to_nearest(self):
+        near = tuned_tile_rows("bm", (280, 470), 4)
+        assert near == tuned_tile_rows("bm", (270, 480), 4)
+
+    def test_off_grid_workers_snap(self):
+        assert tuned_tile_rows("bm", (270, 480), 3) in {
+            tuned_tile_rows("bm", (270, 480), 2),
+            tuned_tile_rows("bm", (270, 480), 4),
+        }
+
+    def test_unknown_kernel_returns_none(self):
+        assert tuned_tile_rows("orb", (270, 480), 4) is None
+
+
+class TestExecutorAutoDefault:
+    def test_auto_is_the_default(self):
+        assert TileExecutor().tile_rows == "auto"
+
+    def test_single_worker_resolves_to_one_band(self):
+        ex = TileExecutor(workers=1)
+        assert ex._n_bands(270, "sad_cost", (270, 480)) == 1
+
+    def test_multi_worker_consults_table(self):
+        ex = TileExecutor(workers=4)
+        tuned = tuned_tile_rows("sgm", (270, 480), 4)
+        rows = min(tuned, -(-270 // 4))  # clamped: never fewer bands than workers
+        assert ex._n_bands(270, "sad_cost", (270, 480)) == -(-270 // rows)
+
+    def test_small_frame_still_feeds_every_worker(self):
+        """Snapping a tiny frame to a big table entry must not collapse
+        the banding below one band per worker."""
+        ex = TileExecutor(workers=2)
+        assert ex._n_bands(32, "bm", (32, 48)) >= 2

@@ -10,7 +10,26 @@ from repro.stereo import (
     error_rate,
     hamming_cost_volume,
 )
+from repro.stereo.census import _POPCOUNT_TABLE, _popcount64
 from tests.test_stereo_matchers import synthetic_pair
+
+
+def _census_loop_reference(img, window):
+    """Scalar uint64 shift/or loop the byte-plane transform replaced."""
+    img = np.asarray(img, dtype=np.float64)
+    r = window // 2
+    h, w = img.shape
+    padded = np.pad(img, r, mode="edge")
+    code = np.zeros((h, w), dtype=np.uint64)
+    bit = np.uint64(0)
+    for dy in range(-r, r + 1):
+        for dx in range(-r, r + 1):
+            if dy == 0 and dx == 0:
+                continue
+            neighbour = padded[r + dy : r + dy + h, r + dx : r + dx + w]
+            code |= (neighbour < img).astype(np.uint64) << bit
+            bit += np.uint64(1)
+    return code
 
 
 class TestCensusTransform:
@@ -47,6 +66,86 @@ class TestCensusTransform:
         code = census_transform(img, window=3)
         assert code[3, 3] == 0           # all neighbours brighter
         assert code[3, 2] != 0           # sees the dark pixel
+
+    @pytest.mark.parametrize("window", [3, 5, 7])
+    @pytest.mark.parametrize(
+        "shape", [(23, 36), (1, 30), (30, 1), (5, 5), (96, 160)]
+    )
+    def test_byteplane_matches_scalar_loop(self, shape, window):
+        """The byte-plane transform must reproduce the scalar uint64
+        shift/or loop exactly — same bit order, every shape including
+        one-row and one-column images."""
+        img = np.random.default_rng(hash(shape) % 2**32).normal(size=shape)
+        assert np.array_equal(
+            census_transform(img, window), _census_loop_reference(img, window)
+        )
+
+
+class TestPopcount:
+    def test_matches_table_fallback(self):
+        """The ``np.bitwise_count`` fast path and the byte-table
+        fallback must agree on arbitrary 64-bit patterns."""
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2**63, size=(64,), dtype=np.int64).view(np.uint64)
+        x[0], x[1] = np.uint64(0), np.uint64(2**64 - 1)
+        table = _POPCOUNT_TABLE[
+            np.ascontiguousarray(x).view(np.uint8).reshape(x.shape + (8,))
+        ].sum(axis=-1)
+        got = _popcount64(x)
+        assert np.array_equal(got.astype(np.uint64), table.astype(np.uint64))
+        assert int(got[0]) == 0 and int(got[1]) == 64
+
+    def test_matches_python_bit_count(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 2**63, size=(3, 7), dtype=np.int64).view(np.uint64)
+        want = np.vectorize(lambda v: int(v).bit_count())(x)
+        assert np.array_equal(_popcount64(x).astype(int), want)
+
+
+class TestPrecomputedRightCodes:
+    def test_cost_volume_identical(self):
+        left, right = synthetic_pair(d=4, size=(30, 50), seed=6)
+        codes = census_transform(right, window=5)
+        direct = hamming_cost_volume(left, right, 10, window=5)
+        via_codes = hamming_cost_volume(
+            left, None, 10, window=5, right_codes=codes
+        )
+        assert np.array_equal(direct, via_codes)
+
+    def test_block_match_identical(self):
+        left, right = synthetic_pair(d=4, size=(30, 50), seed=7)
+        codes = census_transform(right, window=7)
+        assert np.array_equal(
+            census_block_match(left, right, 10, window=7),
+            census_block_match(left, None, 10, window=7, right_codes=codes),
+        )
+
+    def test_right_ignored_when_codes_given(self):
+        left, right = synthetic_pair(d=3, size=(20, 40), seed=8)
+        codes = census_transform(right)
+        garbage = np.zeros_like(right)
+        assert np.array_equal(
+            hamming_cost_volume(left, garbage, 8, right_codes=codes),
+            hamming_cost_volume(left, right, 8),
+        )
+
+    def test_missing_both_rejected(self):
+        with pytest.raises(ValueError, match="right or right_codes"):
+            hamming_cost_volume(np.zeros((8, 8)), None, 4)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="uint64"):
+            hamming_cost_volume(
+                np.zeros((8, 8)), None, 4,
+                right_codes=np.zeros((8, 8), dtype=np.int64),
+            )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            hamming_cost_volume(
+                np.zeros((8, 8)), None, 4,
+                right_codes=np.zeros((4, 8), dtype=np.uint64),
+            )
 
 
 class TestHammingCost:

@@ -8,11 +8,14 @@ heights, both worker pools, and both precisions.  These tests pin
 that contract; the speed side lives in ``benchmarks/bench_kernels.py``.
 """
 
+import glob
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.datasets import sceneflow_scene
-from repro.parallel import TileExecutor, available_kernels, split_rows
+from repro.parallel import TileExecutor, available_kernels, shm_available, split_rows
 from repro.pipeline import QualityProbe, sceneflow_stream
 from repro.stereo import (
     block_match,
@@ -108,6 +111,19 @@ class TestExecutorValidation:
         with pytest.raises(ValueError):
             TileExecutor(precision="float16")
 
+    def test_bad_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            TileExecutor(transport="carrier-pigeon")
+
+    def test_shm_transport_requires_process_pool(self):
+        with pytest.raises(ValueError, match="process"):
+            TileExecutor(workers=2, pool="thread", transport="shm")
+
+    def test_tile_rows_auto_accepted(self):
+        assert TileExecutor(tile_rows="auto").tile_rows == "auto"
+        with pytest.raises(ValueError):
+            TileExecutor(tile_rows="adaptive")
+
     def test_unknown_kernel(self):
         with pytest.raises(ValueError, match="unknown kernel"):
             TileExecutor().kernel("orb")
@@ -167,6 +183,107 @@ class TestSeamEquivalence:
                 ex.block_match(left, right, 8),
                 block_match(left, right, 8),
             )
+
+
+class _StubPool:
+    """Records the peak number of in-flight (submitted, unconsumed)
+    futures; results resolve synchronously."""
+
+    def __init__(self):
+        self.pending = 0
+        self.peak = 0
+        self.submitted = 0
+
+    def submit(self, fn, *args):
+        self.pending += 1
+        self.submitted += 1
+        self.peak = max(self.peak, self.pending)
+        pool = self
+
+        class _Future:
+            def result(_self):
+                pool.pending -= 1
+                return fn(*args)
+
+        return _Future()
+
+    def shutdown(self):
+        pass
+
+
+class TestBoundedSubmission:
+    """Regression: `_iter_map` must not submit every job eagerly.
+
+    Eager submission held all 8 pickled SGM cost-volume copies in
+    flight at once; the fix bounds in-flight submissions to the
+    worker count."""
+
+    def test_peak_in_flight_is_worker_count(self):
+        ex = TileExecutor(workers=3, pool="thread", transport="pickle")
+        stub = _StubPool()
+        ex._pool = stub
+        jobs = [(i,) for i in range(11)]
+        assert ex._map(lambda i: i * 2, jobs) == [2 * i for i in range(11)]
+        assert stub.submitted == 11
+        assert stub.peak == 3  # never more than `workers` in flight
+
+    def test_single_job_runs_inline(self):
+        ex = TileExecutor(workers=3, pool="thread", transport="pickle")
+        stub = _StubPool()
+        ex._pool = stub
+        assert ex._map(lambda i: i + 1, [(41,)]) == [42]
+        assert stub.submitted == 0  # one job never touches the pool
+
+    def test_results_stay_in_job_order(self):
+        ex = TileExecutor(workers=2, pool="thread", transport="pickle")
+        ex._pool = _StubPool()
+        jobs = [(i,) for i in range(7)]
+        assert ex._map(lambda i: i, jobs) == list(range(7))
+
+
+@pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+class TestSharedMemoryTransport:
+    """The shm transport must be invisible: bit-identical results for
+    every kernel, band count and precision, and no leaked segments."""
+
+    def _segments(self):
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.exists():  # non-Linux: can't audit by name
+            return None
+        return set(glob.glob("/dev/shm/asv_*"))
+
+    @pytest.mark.parametrize("name", available_kernels())
+    @pytest.mark.parametrize("tile_rows", [3, 7, None])
+    def test_seams_identical(self, frame, references, name, tile_rows):
+        with TileExecutor(
+            workers=2, pool="process", tile_rows=tile_rows, transport="shm"
+        ) as ex:
+            assert np.array_equal(_tiled(ex, name, frame), references[name])
+
+    @pytest.mark.parametrize("name", available_kernels())
+    def test_float32_identical(self, frame, name):
+        want = _REFERENCE[name](frame, precision="float32")
+        with TileExecutor(
+            workers=2, pool="process", tile_rows=5,
+            precision="float32", transport="shm",
+        ) as ex:
+            assert np.array_equal(_tiled(ex, name, frame), want)
+
+    def test_auto_transport_matches_pickle(self, frame, references):
+        for transport in ("auto", "pickle"):
+            with TileExecutor(
+                workers=2, pool="process", tile_rows=6, transport=transport
+            ) as ex:
+                assert np.array_equal(_tiled(ex, "sgm", frame), references["sgm"])
+
+    def test_no_leaked_segments(self, frame):
+        before = self._segments()
+        with TileExecutor(workers=2, pool="process", transport="shm") as ex:
+            for name in available_kernels():
+                _tiled(ex, name, frame)
+        after = self._segments()
+        if before is not None:
+            assert after <= before, f"leaked shm segments: {after - before}"
 
 
 class TestQualityProbeWorkers:

@@ -15,7 +15,7 @@ from repro.stereo import (
     shift_right_image,
 )
 from repro.stereo.block_matching import _BIG, _subpixel_refine
-from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path
+from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, aggregate_volume
 
 MAX_DISP = 48
 
@@ -265,7 +265,13 @@ class TestSubpixelRefine:
 
 
 def _reference_aggregate(cost, dy, dx, p1, p2):
-    """Scalar SGM path DP, path restart at every border (L_r = C)."""
+    """Scalar SGM path DP, path restart at every border (L_r = C).
+
+    The grouping ``cost + (best - floor)`` (not ``(cost + best) -
+    floor``) and the shared-constant adds mirror the exact IEEE
+    operations of the vectorized sweep, so the pinning below can
+    demand bit-identity, not closeness.
+    """
     d_levels, h, w = cost.shape
     out = np.empty_like(cost)
     ys = range(h) if dy >= 0 else range(h - 1, -1, -1)
@@ -285,7 +291,7 @@ def _reference_aggregate(cost, dy, dx, p1, p2):
                     prev[d + 1] + p1 if d < d_levels - 1 else np.inf,
                     floor + p2,
                 )
-                out[d, y, x] = cost[d, y, x] + best - floor
+                out[d, y, x] = cost[d, y, x] + (best - floor)
     return out
 
 
@@ -301,7 +307,7 @@ class TestAggregatePathGolden:
     def test_matches_scalar_reference(self, volume, dy, dx):
         got = aggregate_path(volume, dy, dx, self.P1, self.P2)
         want = _reference_aggregate(volume, dy, dx, self.P1, self.P2)
-        assert np.allclose(got, want)
+        assert np.array_equal(got, want)  # bit-identical, all 8 paths
 
     @pytest.mark.parametrize("dy,dx", [(1, 1), (1, -1), (-1, 1), (-1, -1)])
     def test_diagonal_paths_restart_at_borders(self, volume, dy, dx):
@@ -316,7 +322,7 @@ class TestAggregatePathGolden:
 
     def test_sgm_wta_pinned_to_reference(self, volume):
         """Pin the summed 4-path and 8-path aggregations (and their
-        WTA disparities) to the scalar reference."""
+        WTA disparities) to the scalar reference, bit for bit."""
         for paths in (4, 8):
             total = sum(
                 _reference_aggregate(volume, dy, dx, self.P1, self.P2)
@@ -326,8 +332,45 @@ class TestAggregatePathGolden:
                 aggregate_path(volume, dy, dx, self.P1, self.P2)
                 for dy, dx in _DIRECTIONS_8[:paths]
             )
-            assert np.allclose(got, total)
+            assert np.array_equal(got, total)
             assert np.array_equal(got.argmin(axis=0), total.argmin(axis=0))
+
+    @pytest.mark.parametrize("paths", [2, 4, 8])
+    def test_fused_volume_matches_per_direction_sum(self, volume, paths):
+        """``aggregate_volume`` (fused sweeps, reused buffers) must be
+        bit-identical to summing per-direction ``aggregate_path``
+        volumes in direction order — the exact reduction the
+        direction-parallel executor performs."""
+        want = np.zeros_like(volume)
+        for dy, dx in _DIRECTIONS_8[:paths]:
+            want += aggregate_path(volume, dy, dx, self.P1, self.P2)
+        got = aggregate_volume(volume, self.P1, self.P2, paths)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(5, 1, 7), (5, 6, 1), (1, 6, 7), (2, 6, 7), (5, 1, 1), (4, 1, 2), (4, 2, 1)],
+    )
+    def test_degenerate_shapes_pinned(self, shape):
+        """One-pixel-wide / one-pixel-tall frames and tiny disparity
+        ranges: the sweeps' restart and size-1-plane handling must stay
+        bit-identical to the scalar DP (regression for the transposed
+        view that aliases the input when a plane has size 1)."""
+        rng = np.random.default_rng(int(np.prod(shape)))
+        volume = rng.uniform(size=shape)
+        before = volume.copy()
+        for dy, dx in _DIRECTIONS_8:
+            got = aggregate_path(volume, dy, dx, self.P1, self.P2)
+            want = _reference_aggregate(volume, dy, dx, self.P1, self.P2)
+            assert np.array_equal(got, want), (dy, dx)
+        for paths in (2, 4, 8):
+            want = np.zeros_like(volume)
+            for dy, dx in _DIRECTIONS_8[:paths]:
+                want += _reference_aggregate(volume, dy, dx, self.P1, self.P2)
+            assert np.array_equal(
+                aggregate_volume(volume, self.P1, self.P2, paths), want
+            )
+        assert np.array_equal(volume, before)  # inputs never mutated
 
 
 class TestSGM:
