@@ -10,7 +10,9 @@ policies spread load no worse than blind round-robin (lower or equal
 peak shard utilization); the capability-aware policy never strands an
 ISM-heavy stream on the ISM-less Eyeriss shard while ISM-capable
 shards exist; and the planner ranks the co-designed systolic array as
-the cheapest homogeneous fleet for this ISM-heavy mix.
+the cheapest homogeneous fleet for this ISM-heavy mix while excluding
+eyeriss outright (one stream alone overloads an eyeriss instance, and
+streams cannot split across instances).
 """
 
 from benchmarks.conftest import once
@@ -98,9 +100,12 @@ def test_cluster_policies(benchmark, save_table):
         _streams())
     assert rerun.placement == by_policy["capability-aware"].placement
 
-    # the planner ranks the co-designed array cheapest for this mix
+    # the planner ranks the co-designed array cheapest for this mix,
+    # and honestly excludes eyeriss: dock-1 alone demands ~1.8 of an
+    # eyeriss instance (over the 0.9 cap), and streams cannot split,
+    # so no eyeriss fleet size serves this workload
     by_name = {p.backend: p for p in plan.options}
-    assert by_name["systolic"].demand < by_name["eyeriss"].demand
+    assert "eyeriss" not in by_name
     assert by_name["systolic"].demand < by_name["gpu"].demand
     assert plan.best.backend == "systolic"
     assert all(p.instances >= 1 for p in plan.options)

@@ -29,13 +29,27 @@ The scaling layer above :mod:`repro.pipeline`::
   (when the engine carries a ``quality=`` probe, see
   ``docs/quality.md``) fleet depth-accuracy aggregation;
 * :func:`plan_capacity` — "how many of which accelerator do I need"
-  for a stream set and target rate.
+  for a stream set and target rate;
+* :class:`ChaosClusterEngine` — the same fleet under a seedable
+  :class:`FaultSchedule` (crash / slowdown / flaky), with replica
+  failover, retry/backoff, and hysteresis autoscaling
+  (:class:`Autoscaler`); resilience accounting lands in the report's
+  :class:`ResilienceStats` (see ``docs/resilience.md``).
 
 See ``docs/serving.md`` (usage) and ``docs/architecture.md`` (layer
 diagram).
 """
 
+from repro.cluster.autoscale import Autoscaler, AutoscalerState
 from repro.cluster.engine import ClusterEngine
+from repro.cluster.faults import (
+    ChaosClusterEngine,
+    CrashFault,
+    FaultSchedule,
+    FlakyFault,
+    RetryPolicy,
+    SlowdownFault,
+)
 from repro.cluster.planner import (
     BackendPlan,
     CapacityPlan,
@@ -55,27 +69,43 @@ from repro.cluster.policies import (
 from repro.cluster.report import (
     BackendShard,
     ClusterReport,
+    FaultEvent,
+    ResilienceStats,
+    StreamResilience,
     format_cluster_quality,
     format_cluster_report,
     format_policy_comparison,
+    format_resilience,
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalerState",
     "BackendPlan",
     "BackendShard",
     "CapabilityAwarePolicy",
     "CapacityPlan",
+    "ChaosClusterEngine",
     "ClusterEngine",
     "ClusterReport",
+    "CrashFault",
     "DeadlineAwarePolicy",
+    "FaultEvent",
+    "FaultSchedule",
+    "FlakyFault",
     "LeastLoadedPolicy",
     "PlacementPolicy",
+    "ResilienceStats",
+    "RetryPolicy",
     "RoundRobinPolicy",
+    "SlowdownFault",
+    "StreamResilience",
     "available_policies",
     "format_capacity_plan",
     "format_cluster_quality",
     "format_cluster_report",
     "format_policy_comparison",
+    "format_resilience",
     "get_policy",
     "plan_capacity",
     "register_placement_policy",

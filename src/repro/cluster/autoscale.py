@@ -1,0 +1,161 @@
+"""Hysteresis-based replica autoscaling for the chaos serving loop.
+
+The capacity planner (:func:`~repro.cluster.planner.plan_capacity`)
+sizes a fleet *offline*; this module closes the loop *during* a run.
+An :class:`Autoscaler` watches the fleet's deadline pressure — the
+summed :meth:`~repro.pipeline.costing.FrameCoster.deadline_pressure`
+of every stream that still has frames to serve, divided by the live
+replica count — and grows or shrinks the fleet one replica at a time.
+
+Two classic production rules keep it from flapping:
+
+* **watermarks with a dead band** — scale up only above
+  ``high_pressure``, down only below ``low_pressure``; between the
+  two the fleet holds steady;
+* **hold counts (hysteresis)** — the pressure must sit past a
+  watermark for ``up_hold`` / ``down_hold`` *consecutive*
+  observations before the fleet changes, so a single noisy interval
+  (one slow frame, one retry burst) never triggers a scale event.
+
+The per-replica watermark is deliberately the same quantity as the
+planner's ``utilization_cap``: :meth:`Autoscaler.desired_replicas`
+reproduces the planner's ``ceil(demand / cap)`` sizing, so the
+autoscaler converges toward exactly the fleet ``plan_capacity`` would
+have bought for the still-pending work (clamped to
+``[min_replicas, max_replicas]``).
+
+The observation/decision split is explicit: :class:`Autoscaler` is
+frozen configuration, :class:`AutoscalerState` is the per-run mutable
+hysteresis counter.  :class:`~repro.cluster.faults.ChaosClusterEngine`
+drives one state instance from its discrete-event loop
+(``docs/resilience.md``).
+
+>>> scaler = Autoscaler(high_pressure=0.8, low_pressure=0.3, up_hold=2)
+>>> state = AutoscalerState(scaler)
+>>> state.observe(1.9, n_replicas=2)   # hot, but only once so far
+>>> state.observe(1.9, n_replicas=2)   # hot twice in a row: grow
+'up'
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Autoscaler", "AutoscalerState"]
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """Configuration of the hysteresis autoscaler.
+
+    ``backend`` is the registered backend type a scale-up adds (the
+    fleet grows homogeneously, like a cloud instance group of one
+    machine shape).  ``high_pressure`` / ``low_pressure`` are the
+    per-replica deadline-pressure watermarks bounding the dead band;
+    ``up_hold`` / ``down_hold`` the consecutive observations required
+    past a watermark before the fleet changes; ``interval_s`` how
+    often the serving loop observes; ``min_replicas`` /
+    ``max_replicas`` the hard fleet bounds (a crash can still drop
+    the live count below ``min_replicas`` — the floor binds scaling
+    decisions, not faults).
+
+    >>> Autoscaler().high_pressure
+    0.85
+    >>> Autoscaler(low_pressure=0.9)
+    Traceback (most recent call last):
+        ...
+    ValueError: low_pressure must sit below high_pressure (the dead band)
+    """
+
+    backend: str = "gpu"
+    high_pressure: float = 0.85
+    low_pressure: float = 0.35
+    up_hold: int = 2
+    down_hold: int = 4
+    interval_s: float = 0.25
+    min_replicas: int = 1
+    max_replicas: int = 8
+
+    def __post_init__(self):
+        if not 0.0 < self.high_pressure:
+            raise ValueError("high_pressure must be positive")
+        if not 0.0 <= self.low_pressure < self.high_pressure:
+            raise ValueError(
+                "low_pressure must sit below high_pressure (the dead band)"
+            )
+        if self.up_hold < 1 or self.down_hold < 1:
+            raise ValueError("hold counts must be >= 1")
+        if self.interval_s <= 0:
+            raise ValueError("observation interval must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                "need 1 <= min_replicas <= max_replicas"
+            )
+
+    def desired_replicas(self, total_pressure: float) -> int:
+        """The planner-consistent fleet size for ``total_pressure``.
+
+        Reproduces :func:`~repro.cluster.planner.plan_capacity`'s
+        ``ceil(demand / cap)`` sizing with ``high_pressure`` as the
+        cap, clamped to the configured fleet bounds.
+
+        >>> Autoscaler(high_pressure=0.9, max_replicas=8
+        ...           ).desired_replicas(2.2)
+        3
+        >>> Autoscaler().desired_replicas(0.0)
+        1
+        """
+        if total_pressure <= 0:
+            return self.min_replicas
+        raw = math.ceil(total_pressure / self.high_pressure - 1e-9)
+        return max(self.min_replicas, min(self.max_replicas, raw))
+
+
+class AutoscalerState:
+    """Per-run hysteresis counters driving one :class:`Autoscaler`.
+
+    :meth:`observe` feeds one interval's *total* fleet pressure and
+    live replica count; the state normalizes to per-replica pressure,
+    updates the consecutive above/below counters, and returns the
+    decision for this interval: ``"up"``, ``"down"``, or ``None``
+    (hold).  A decision resets both counters, so back-to-back scale
+    events need the full hold again — the hysteresis half of the
+    anti-flapping contract (the dead band is the other half).
+
+    >>> state = AutoscalerState(Autoscaler(up_hold=1, down_hold=2,
+    ...                                    low_pressure=0.2))
+    >>> state.observe(3.0, n_replicas=2)   # 1.5 per replica: grow now
+    'up'
+    >>> state.observe(0.1, n_replicas=3)   # cold once...
+    >>> state.observe(0.1, n_replicas=3)   # ...twice: shrink
+    'down'
+    >>> state.observe(0.1, n_replicas=1)   # already at the floor: hold
+    """
+
+    def __init__(self, config: Autoscaler):
+        self.config = config
+        self.above = 0
+        self.below = 0
+
+    def observe(self, total_pressure: float, n_replicas: int) -> str | None:
+        """One interval's decision from the fleet's total pressure."""
+        if n_replicas < 1:
+            raise ValueError("observe needs at least one live replica")
+        per_replica = total_pressure / n_replicas
+        config = self.config
+        if per_replica > config.high_pressure:
+            self.above += 1
+            self.below = 0
+        elif per_replica < config.low_pressure:
+            self.below += 1
+            self.above = 0
+        else:
+            self.above = self.below = 0
+        if self.above >= config.up_hold and n_replicas < config.max_replicas:
+            self.above = self.below = 0
+            return "up"
+        if self.below >= config.down_hold and n_replicas > config.min_replicas:
+            self.above = self.below = 0
+            return "down"
+        return None

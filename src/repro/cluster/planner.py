@@ -59,6 +59,17 @@ class BackendPlan:
     utilization_cap: float
     n_streams: int
 
+    def __post_init__(self):
+        if self.instances < 1:
+            raise ValueError(
+                f"a fleet of {self.backend!r} needs at least one instance "
+                f"(got {self.instances}); a zero-replica plan serves nothing"
+            )
+        if self.n_streams < 1:
+            raise ValueError("a fleet plan needs at least one stream")
+        if not 0 < self.utilization_cap <= 1.0:
+            raise ValueError("utilization cap must be in (0, 1]")
+
     @property
     def streams_per_instance(self) -> float:
         """Average cameras each instance carries in this fleet."""
@@ -102,11 +113,25 @@ def plan_capacity(
     the target rate").  ``utilization_cap`` is the per-instance load
     ceiling; 0.9 leaves 10% head-room so queueing tails stay bounded.
 
+    Infeasible inputs raise a clear :class:`ValueError` instead of
+    sizing a fleet that cannot work: an empty stream set, a stream
+    whose per-frame deadline is shorter than a catalog entry's key-
+    frame service time (no number of instances fixes a single frame
+    that is already too slow), and a stream whose lone demand exceeds
+    the per-instance cap (streams cannot split across instances).
+    With a multi-entry catalog the infeasible entries are skipped and
+    the feasible ones still rank; the error fires only when *every*
+    entry is infeasible, and then names each entry's first offender.
+
     >>> from repro.pipeline import FrameStream
     >>> streams = [FrameStream(f"cam{i}", size=(68, 120)) for i in range(4)]
     >>> plan = plan_capacity(streams, target_fps=30.0, catalog=("gpu",))
     >>> plan.best.backend, plan.best.instances >= 1
     ('gpu', True)
+    >>> plan_capacity([], catalog=("gpu",))
+    Traceback (most recent call last):
+        ...
+    ValueError: need at least one stream to plan for
     """
     streams = list(streams)
     if not streams:
@@ -119,9 +144,37 @@ def plan_capacity(
         raise ValueError("the catalog must name at least one backend type")
 
     options = []
+    rejections = []
     for entry in catalog:
         backend = get_backend(entry) if isinstance(entry, str) else entry
         coster = FrameCoster(backend)
+        why_not = None
+        for stream in streams:
+            deadline = stream.deadline_s
+            key_s = coster.key_frame_seconds(stream)
+            if deadline is not None and key_s > deadline:
+                why_not = (
+                    f"catalog entry {backend.name!r} cannot meet stream "
+                    f"{stream.name!r}: a key frame takes {key_s * 1e3:.2f} ms "
+                    f"but the per-frame deadline is {deadline * 1e3:.2f} ms; "
+                    f"no fleet size fixes a single frame that is already "
+                    f"too slow — drop the entry or relax the deadline"
+                )
+                break
+            per_stream = coster.stream_demand(stream, fps=target_fps)
+            if per_stream > utilization_cap:
+                why_not = (
+                    f"stream {stream.name!r} alone demands "
+                    f"{per_stream:.2f} of a {backend.name!r} instance, over "
+                    f"the {utilization_cap:.0%} cap; streams cannot split "
+                    f"across instances, so no {backend.name!r} fleet serves "
+                    f"it at {target_fps:g} fps — drop the entry, lower the "
+                    f"target rate, or raise the cap"
+                )
+                break
+        if why_not is not None:
+            rejections.append(why_not)
+            continue
         demand = sum(
             coster.stream_demand(stream, fps=target_fps) for stream in streams
         )
@@ -135,6 +188,11 @@ def plan_capacity(
                 utilization_cap=utilization_cap,
                 n_streams=len(streams),
             )
+        )
+    if not options:
+        raise ValueError(
+            "no catalog entry can serve this workload: "
+            + "; ".join(rejections)
         )
     options.sort(key=lambda p: (p.instances, p.demand, p.backend))
     return CapacityPlan(

@@ -7,6 +7,13 @@ StreamEngine`) plus the fleet view this module adds: where every
 stream was placed, how hot each backend ran relative to the cluster
 makespan, and the cluster-level throughput/tail numbers a capacity
 decision needs.
+
+Chaos runs (:mod:`repro.cluster.faults`) attach a
+:class:`ResilienceStats` ledger on top: every fault, retry, migration
+and scale event that happened, per-stream downtime / failover latency
+/ retry counts, and the degraded-window latency envelope.  Ordinary
+fault-free runs leave :attr:`ClusterReport.resilience` as ``None``, so
+the historical report (and its regression pins) is unchanged.
 """
 
 from __future__ import annotations
@@ -24,9 +31,13 @@ from repro.tables import render_table
 __all__ = [
     "BackendShard",
     "ClusterReport",
+    "FaultEvent",
+    "ResilienceStats",
+    "StreamResilience",
     "format_cluster_report",
     "format_policy_comparison",
     "format_cluster_quality",
+    "format_resilience",
 ]
 
 
@@ -60,6 +71,97 @@ class BackendShard:
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped entry in a chaos run's event ledger.
+
+    ``kind`` is one of ``crash`` / ``migrate`` / ``flaky-fail`` /
+    ``retry-drop`` / ``slowdown-start`` / ``slowdown-end`` /
+    ``scale-up`` / ``scale-down``; ``shard`` the backend label it
+    happened on (the *new* shard for a migration), ``stream`` the
+    affected stream (empty for fleet-level events), and ``detail`` a
+    short human-readable annotation.
+
+    >>> FaultEvent(0.5, "crash", "gpu:0").kind
+    'crash'
+    """
+
+    time_s: float
+    kind: str
+    shard: str
+    stream: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class StreamResilience:
+    """One stream's fault bookkeeping over a chaos run.
+
+    ``migrations`` counts shard changes (crash failover and autoscale
+    rebalancing alike); ``retries`` counts flaky-fault service
+    attempts that failed and were retried; ``downtime_s`` sums the
+    gaps between a crash and this stream's first completion on its new
+    shard, and ``failover_latency_s`` is the worst single such gap
+    (0.0 for a stream that never migrated off a crashed shard).
+    """
+
+    stream: str
+    migrations: int = 0
+    retries: int = 0
+    downtime_s: float = 0.0
+    failover_latency_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """The fleet-level fault ledger a chaos run attaches to its report.
+
+    ``events`` is the full time-ordered event history; ``streams`` the
+    per-stream bookkeeping (one entry per served stream, in placement
+    order).  ``degraded_windows`` are the ``(start_s, end_s)`` spans
+    the fault schedule declared degraded — a slowdown/flaky fault's
+    active window, a crash's span from the crash to the last affected
+    stream's failover — and the two p99 figures split every served
+    frame's completion into inside/outside those windows, so "bounded
+    degradation" is a checkable claim rather than a slogan.
+    """
+
+    events: tuple[FaultEvent, ...]
+    streams: tuple[StreamResilience, ...]
+    replicas_added: int = 0
+    replicas_removed: int = 0
+    degraded_windows: tuple[tuple[float, float], ...] = ()
+    #: p99 latency over frames completing inside the degraded windows
+    #: (0.0 when no frame completed there)
+    degraded_p99_ms: float = 0.0
+    #: p99 latency over frames completing outside the degraded windows
+    steady_p99_ms: float = 0.0
+
+    @property
+    def total_retries(self) -> int:
+        """Failed-and-retried service attempts across the fleet."""
+        return sum(s.retries for s in self.streams)
+
+    @property
+    def total_migrations(self) -> int:
+        """Stream migrations across the fleet (failover + rebalance)."""
+        return sum(s.migrations for s in self.streams)
+
+    @property
+    def worst_failover_latency_s(self) -> float:
+        """The slowest crash-to-first-completion gap of any stream."""
+        return max((s.failover_latency_s for s in self.streams), default=0.0)
+
+    @property
+    def crashes(self) -> int:
+        """Backend crashes the schedule injected."""
+        return sum(e.kind == "crash" for e in self.events)
+
+    def events_of(self, kind: str) -> tuple[FaultEvent, ...]:
+        """The ledger filtered to one event kind, in time order."""
+        return tuple(e for e in self.events if e.kind == kind)
+
+
+@dataclass(frozen=True)
 class ClusterReport:
     """Outcome of serving a set of streams on a backend fleet.
 
@@ -86,6 +188,9 @@ class ClusterReport:
     makespan_s: float
     #: the service discipline every shard ran (``docs/scheduling.md``)
     scheduler: str = "fifo"
+    #: fault/failover/autoscale ledger of a chaos run
+    #: (``docs/resilience.md``); ``None`` for ordinary fault-free runs
+    resilience: ResilienceStats | None = None
 
     @property
     def aggregate_fps(self) -> float:
@@ -233,7 +338,50 @@ def format_cluster_report(report: ClusterReport) -> str:
         ["shard", "streams", "frames", "makespan s", "util", "cache hit"],
         shard_rows,
     )
-    return f"{streams_table}\n\n{shards_table}"
+    text = f"{streams_table}\n\n{shards_table}"
+    if report.resilience is not None:
+        text += f"\n\n{format_resilience(report.resilience)}"
+    return text
+
+
+def format_resilience(stats: ResilienceStats | None) -> str:
+    """Per-stream fault ledger + the fleet degradation envelope.
+
+    ``None`` (a report from the plain, fault-free engine) renders as
+    the empty string so callers can append unconditionally.
+
+    >>> format_resilience(None)
+    ''
+    >>> stats = ResilienceStats(
+    ...     events=(FaultEvent(0.5, "crash", "gpu:0"),),
+    ...     streams=(StreamResilience("cam", migrations=1, retries=2,
+    ...                               downtime_s=0.1,
+    ...                               failover_latency_s=0.1),),
+    ...     degraded_p99_ms=12.0, steady_p99_ms=4.0)
+    >>> "failover" in format_resilience(stats)
+    True
+    """
+    if stats is None:
+        return ""
+    rows = [
+        [s.stream, s.migrations, s.retries, 1e3 * s.downtime_s,
+         1e3 * s.failover_latency_s]
+        for s in stats.streams
+    ]
+    table = render_table(
+        f"Resilience — {stats.crashes} crashes, "
+        f"{stats.total_migrations} migrations, "
+        f"{stats.total_retries} retries, "
+        f"+{stats.replicas_added}/-{stats.replicas_removed} replicas",
+        ["stream", "migrations", "retries", "downtime ms", "failover ms"],
+        rows,
+    )
+    return (
+        f"{table}\n"
+        f"degraded-window p99 {stats.degraded_p99_ms:.2f} ms over "
+        f"{len(stats.degraded_windows)} windows; "
+        f"steady p99 {stats.steady_p99_ms:.2f} ms"
+    )
 
 
 def format_policy_comparison(

@@ -57,6 +57,7 @@ __all__ = [
     "FifoScheduler",
     "EdfScheduler",
     "PriorityScheduler",
+    "RekeyLedger",
     "ShedScheduler",
     "available_schedulers",
     "get_scheduler",
@@ -113,6 +114,51 @@ def get_scheduler(name: str) -> "FrameScheduler":
             f"unknown scheduler {name!r}; available: {available_schedulers()}"
         ) from None
     return factory()
+
+
+class RekeyLedger:
+    """Per-stream ISM re-key flags shared by every serve loop.
+
+    A stream's ISM propagation chain breaks whenever a frame it
+    depends on never produced a disparity map: admission control
+    dropped it (the ``shed`` discipline), a retry budget ran out, or
+    the stream migrated to another backend after a crash
+    (:mod:`repro.cluster.faults`).  The ledger records the break and
+    forces the stream's *next served* frame to be a key frame; serving
+    that key frame clears the flag.  Keeping the rule in one place
+    means the single-backend loop and the fleet-level chaos loop can
+    never disagree about re-key semantics.
+
+    >>> ledger = RekeyLedger(2)
+    >>> ledger.effective_key(0, planned_key=False)
+    False
+    >>> ledger.chain_broken(0)          # e.g. a dropped frame
+    >>> ledger.effective_key(0, planned_key=False)
+    True
+    >>> ledger.served(0, is_key=True)   # the forced key frame healed it
+    >>> ledger.effective_key(0, planned_key=False)
+    False
+    >>> ledger.effective_key(1, planned_key=False, supports_ism=False)
+    True
+    """
+
+    def __init__(self, n_streams: int):
+        self.flags = [False] * n_streams
+
+    def effective_key(
+        self, stream_index: int, planned_key: bool, supports_ism: bool = True
+    ) -> bool:
+        """The key/non-key status actually served for the next frame."""
+        return planned_key or self.flags[stream_index] or not supports_ism
+
+    def chain_broken(self, stream_index: int) -> None:
+        """Record a broken ISM chain (drop, retry exhaustion, migration)."""
+        self.flags[stream_index] = True
+
+    def served(self, stream_index: int, is_key: bool) -> None:
+        """Record a served frame; a key frame re-anchors the chain."""
+        if is_key:
+            self.flags[stream_index] = False
 
 
 @dataclass
@@ -235,7 +281,7 @@ class FrameScheduler:
         missed = [0] * n
         dropped = [0] * n
         worst_late = [0.0] * n
-        rekey = [False] * n
+        rekey = RekeyLedger(n)
         # per-stream frame-order record of what actually happened:
         # "key" / "nonkey" (served) or "drop" — the quality probe
         # replays the real pipeline from exactly this record
@@ -261,15 +307,14 @@ class FrameScheduler:
             job = ready.pop(self.select(ready, now))
             si = job.stream_index
             start = max(job.arrival_s, server_free)
-            is_key = job.is_key or rekey[si]
+            is_key = rekey.effective_key(si, job.is_key)
             if not self.admit(job, start, is_key):
                 dropped[si] += 1
                 missed[si] += 1  # a dropped frame never met its deadline
-                rekey[si] = True  # the ISM chain broke; re-key the stream
+                rekey.chain_broken(si)  # re-key the stream after the drop
                 dispositions[si].append("drop")
                 continue
-            if is_key:
-                rekey[si] = False
+            rekey.served(si, is_key)
             service = coster.frame_seconds(streams[si], is_key)
             done = start + service
             server_free = done

@@ -312,3 +312,104 @@ class TestCapacityPlanner:
         plan = plan_capacity([_stream("cam")], 30.0, catalog=("gpu",))
         text = format_capacity_plan(plan)
         assert "gpu" in text and "instances" in text
+
+
+# ----------------------------------------------------------------------
+# planner edge cases: infeasible inputs fail loudly, never 0 replicas
+# ----------------------------------------------------------------------
+class TestPlannerEdgeCases:
+    def test_backend_plan_rejects_zero_instances(self):
+        from repro.cluster import BackendPlan
+
+        with pytest.raises(ValueError, match="at least one instance"):
+            BackendPlan(backend="gpu", demand=0.0, instances=0,
+                        utilization_cap=0.9, n_streams=1)
+
+    def test_catalog_entry_slower_than_deadline_rejected(self):
+        # eyeriss key frames on this workload take ~14 ms: a 1 ms
+        # per-frame deadline is unmeetable at any fleet size
+        stream = _stream("cam", deadline_s=0.001)
+        with pytest.raises(ValueError, match="cannot meet stream"):
+            plan_capacity([stream], 30.0, catalog=("eyeriss",))
+        # the same stream with slack plans fine
+        relaxed = _stream("cam", deadline_s=0.5)
+        assert plan_capacity([relaxed], 30.0,
+                             catalog=("eyeriss",)).best.instances >= 1
+
+    def test_stream_too_heavy_for_one_instance_rejected(self):
+        # a single stream demanding more than the cap cannot be
+        # served by any number of instances (streams don't split)
+        stream = _stream("cam", pw=1)
+        with pytest.raises(ValueError, match="cannot split"):
+            plan_capacity([stream], 400.0, catalog=("gpu",))
+
+    def test_error_names_the_offender(self):
+        stream = _stream("badcam", deadline_s=0.001)
+        with pytest.raises(ValueError, match="badcam"):
+            plan_capacity([stream], 30.0, catalog=("eyeriss",))
+
+
+# ----------------------------------------------------------------------
+# failover determinism: byte-identical reports, any quality pool
+# ----------------------------------------------------------------------
+class TestFailoverDeterminism:
+    """Identical (fault_schedule, seed) => byte-identical reports.
+
+    The chaos loop's only stochastic ingredient is the flaky-fault
+    draw, which is a pure SHA-256 function of the schedule seed — so
+    two runs of the same schedule must render identically, and the
+    quality probe's worker pool (process vs thread) must not leak
+    into the report either.
+    """
+
+    @staticmethod
+    def _schedule():
+        from repro.cluster import CrashFault, FaultSchedule, FlakyFault
+
+        return FaultSchedule(
+            faults=(
+                CrashFault("gpu:1", at_s=0.05),
+                FlakyFault("gpu:0", start_s=0.0, duration_s=10.0,
+                           failure_rate=0.3),
+            ),
+            seed=11,
+        )
+
+    def _report(self, quality=None):
+        from repro.cluster import ChaosClusterEngine, RetryPolicy
+
+        engine = ChaosClusterEngine(
+            ["gpu", "gpu"], policy="round-robin",
+            faults=self._schedule(),
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.001),
+            quality=quality,
+        )
+        return engine.run([_stream(f"cam{i}", deadline_s=0.05)
+                           for i in range(4)])
+
+    def test_identical_schedule_and_seed_byte_identical(self):
+        first, second = self._report(), self._report()
+        assert format_cluster_report(first) == format_cluster_report(second)
+        assert first.resilience == second.resilience
+        assert first.placement == second.placement
+
+    def test_pool_choice_never_leaks_into_report(self):
+        from repro.pipeline import sceneflow_stream
+        from repro.cluster import ChaosClusterEngine, RetryPolicy
+        from repro.pipeline.quality import QualityProbe
+
+        def render(pool):
+            engine = ChaosClusterEngine(
+                ["gpu", "gpu"], policy="round-robin",
+                faults=self._schedule(),
+                retry=RetryPolicy(max_attempts=2, backoff_s=0.001),
+                quality=QualityProbe(max_disp=16, workers=2, pool=pool),
+            )
+            streams = [
+                sceneflow_stream(seed=i, size=(48, 64), n_frames=6,
+                                 deadline_s=0.05)
+                for i in range(2)
+            ]
+            return format_cluster_report(engine.run(streams))
+
+        assert render("process") == render("thread")

@@ -24,6 +24,7 @@ REQUIRED_PAGES = (
     "quality.md",
     "performance.md",
     "reproducing.md",
+    "resilience.md",
 )
 
 #: markdown inline links: [text](target), excluding images

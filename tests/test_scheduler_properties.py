@@ -1,19 +1,36 @@
-"""Property-based tests on the tiling scheduler.
+"""Property-based tests on the tiling and frame schedulers.
 
-For random layer geometry, every schedule the optimizer emits must
-satisfy the paper's feasibility constraints (Eq. 10/11) and its cost
-accounting must be conserved.  These are the invariants DESIGN.md
-commits to.
+Two invariant families live here.  For random layer geometry, every
+schedule the tiling optimizer emits must satisfy the paper's
+feasibility constraints (Eq. 10/11) and its cost accounting must be
+conserved — the invariants DESIGN.md commits to.  And for random
+stream mixes under random (but seeded) fault schedules, every frame
+scheduling discipline must preserve the serving invariants the chaos
+layer builds on: frames of one stream never reorder internally, key
+frames never drop, and every offered frame is either served or
+explicitly dropped.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends import get_backend
+from repro.cluster import (
+    ChaosClusterEngine,
+    CrashFault,
+    FaultSchedule,
+    FlakyFault,
+    RetryPolicy,
+    SlowdownFault,
+    format_cluster_report,
+)
 from repro.deconv.lowering import lower_naive_deconv, lower_spec, lower_transformed
 from repro.deconv.optimizer import optimize_layer
 from repro.hw import ASV_BASE, SystolicModel
 from repro.nn.workload import ConvSpec
+from repro.pipeline import FrameCoster, FrameStream
+from repro.pipeline.costing import plan_keys
 
 HW = ASV_BASE
 MODEL = SystolicModel(HW)
@@ -133,3 +150,144 @@ def test_more_resources_never_hurt(g, seed):
         optimize_layer(layer, big_hw), validate=False
     )
     assert big.cycles <= small.cycles
+
+
+# ----------------------------------------------------------------------
+# frame schedulers x fault schedules: serving invariants
+# ----------------------------------------------------------------------
+# shared backend instances: only cache/occupancy ledgers are stateful
+# and neither affects modeled latencies, so reuse keeps sweeps fast
+GPU_A, GPU_B = get_backend("gpu"), get_backend("gpu")
+TINY = (68, 120)
+DISCIPLINES = ("fifo", "edf", "priority", "shed")
+
+stream_mix = st.lists(
+    st.fixed_dictionaries(
+        dict(
+            pw=st.sampled_from([1, 2, 4]),
+            deadline_ms=st.sampled_from([8, 25, 60, None]),
+            priority=st.integers(0, 2),
+            fps=st.sampled_from([15.0, 30.0, 60.0]),
+        )
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+fault_mix = st.fixed_dictionaries(
+    dict(
+        crash_ms=st.sampled_from([None, 20, 60, 150]),
+        slow=st.booleans(),
+        slow_factor=st.sampled_from([2.0, 5.0]),
+        flaky_rate=st.sampled_from([0.0, 0.3, 0.6]),
+        seed=st.integers(0, 2**16),
+        attempts=st.integers(1, 3),
+    )
+)
+
+
+def _build_streams(mix):
+    return [
+        FrameStream(
+            f"cam{i}", size=TINY, n_frames=8, mode="baseline",
+            pw=m["pw"], fps=m["fps"], priority=m["priority"],
+            deadline_s=None if m["deadline_ms"] is None
+            else m["deadline_ms"] / 1e3,
+        )
+        for i, m in enumerate(mix)
+    ]
+
+
+def _build_schedule(f):
+    faults = []
+    if f["crash_ms"] is not None:
+        faults.append(CrashFault("gpu:1", at_s=f["crash_ms"] / 1e3))
+    if f["slow"]:
+        faults.append(SlowdownFault("gpu:0", start_s=0.02,
+                                    duration_s=0.08,
+                                    factor=f["slow_factor"]))
+    if f["flaky_rate"] > 0:
+        faults.append(FlakyFault("gpu:0", start_s=0.0, duration_s=10.0,
+                                 failure_rate=f["flaky_rate"]))
+    return FaultSchedule(faults=tuple(faults), seed=f["seed"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(mix=stream_mix, faults=fault_mix,
+       discipline=st.sampled_from(DISCIPLINES))
+def test_serving_invariants_hold_under_faults(mix, faults, discipline):
+    """Offered == served + dropped and key frames never drop, for
+    every discipline under every seeded fault schedule."""
+    streams = _build_streams(mix)
+    engine = ChaosClusterEngine(
+        [GPU_A, GPU_B], scheduler=discipline,
+        faults=_build_schedule(faults),
+        retry=RetryPolicy(max_attempts=faults["attempts"],
+                          backoff_s=0.001),
+    )
+    report = engine.run(streams)
+
+    stats = {s.stream: s for s in report.stream_stats}
+    assert set(stats) == {s.name for s in streams}
+    for stream in streams:
+        s = stats[stream.name]
+        # conservation: every offered frame is served or dropped
+        assert s.frames + s.dropped_frames == stream.n_frames
+        # key frames never drop: at least every planned key served
+        # (re-keys after drops/migrations can only add more)
+        planned = sum(plan_keys(stream, supports_ism=True))
+        assert s.key_frames >= planned
+        assert s.key_frames <= s.frames
+    assert report.total_frames == sum(s.frames for s in stats.values())
+    # the resilience ledger agrees with the per-stream accounting
+    res = report.resilience
+    assert len(res.events_of("retry-drop")) <= sum(
+        s.dropped_frames for s in stats.values()
+    )
+    for entry in res.streams:
+        assert entry.retries >= 0 and entry.migrations >= 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(mix=stream_mix, faults=fault_mix,
+       discipline=st.sampled_from(DISCIPLINES))
+def test_chaos_reports_deterministic(mix, faults, discipline):
+    """Identical (streams, fault schedule, seed) render identically."""
+    def render():
+        engine = ChaosClusterEngine(
+            [GPU_A, GPU_B], scheduler=discipline,
+            faults=_build_schedule(faults),
+            retry=RetryPolicy(max_attempts=faults["attempts"],
+                              backoff_s=0.001),
+        )
+        return format_cluster_report(engine.run(_build_streams(mix)))
+
+    assert render() == render()
+
+
+@settings(max_examples=20, deadline=None)
+@given(mix=stream_mix, discipline=st.sampled_from(DISCIPLINES))
+def test_streams_never_reorder_internally(mix, discipline):
+    """Per-stream completion times are monotone: the serve loop only
+    ever dispatches stream heads, so frame i+1 finishes after frame i
+    (dropped frames never complete and are skipped)."""
+    streams = _build_streams(mix)
+    outcome = FrameCoster(GPU_A).serve(streams, scheduler=discipline)
+    for si, stream in enumerate(streams):
+        latencies = list(outcome.latencies_s[si])
+        dispositions = outcome.dispositions[si]
+        assert len(dispositions) == stream.n_frames
+        served_idx = [i for i, what in enumerate(dispositions)
+                      if what != "drop"]
+        assert len(served_idx) == len(latencies)
+        completions = [
+            idx / stream.fps + lat
+            for idx, lat in zip(served_idx, latencies)
+        ]
+        assert completions == sorted(completions)
+        # a drop breaks the ISM chain: the next served frame is key
+        for pos, what in enumerate(dispositions):
+            if what == "drop":
+                rest = [d for d in dispositions[pos + 1:] if d != "drop"]
+                if rest:
+                    assert rest[0] == "key"
