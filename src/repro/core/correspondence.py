@@ -16,21 +16,50 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
-from scipy import ndimage
 
 from repro.datasets.scenes import StereoFrame
-from repro.flow.farneback import farneback_flow
-from repro.flow.warp import bilinear_sample, forward_warp_disparity
+from repro.flow import farneback as _farneback
+from repro.flow.farneback import FrameExpansion
+from repro.flow.warp import _grid, bilinear_sample, forward_warp_disparity
 from repro.stereo.block_matching import guided_block_match
-from repro.stereo.refine import fill_background, median_clean
+from repro.stereo.refine import fill_background, median2d, median_clean
 
 __all__ = [
+    "ExpansionCache",
     "reconstruct_correspondences",
     "compose_flows",
     "propagate_correspondences",
     "refine_correspondences",
 ]
+
+
+@dataclass
+class ExpansionCache:
+    """Per-stream polynomial expansions carried between consecutive
+    :func:`propagate_correspondences` calls.
+
+    Frame ``t``'s expansion pyramid serves both the ``(t-1, t)`` and
+    the ``(t, t+1)`` flow computations; caching it halves the
+    steady-state expansion cost of the ISM non-key path with
+    bit-identical results (the expansion depends only on the frame and
+    the flow parameters).  The cache is owned by whoever owns the
+    frame sequence — :class:`repro.core.ism.ISM` carries one and
+    clears it on :meth:`~repro.core.ism.ISM.reset` and on every key
+    frame (a key frame breaks the consecutive-frame chain the cached
+    entries describe).  Entries whose recorded shape or flow
+    parameters no longer match are recomputed, never reused.
+    """
+
+    left: FrameExpansion | None = None
+    right: FrameExpansion | None = None
+
+    def clear(self) -> None:
+        """Drop both cached expansions (chain broken / new video)."""
+        self.left = None
+        self.right = None
 
 
 def reconstruct_correspondences(
@@ -57,7 +86,7 @@ def compose_flows(first: np.ndarray, then: np.ndarray) -> np.ndarray:
     estimates and compounding their noise.
     """
     h, w = first.shape[:2]
-    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    yy, xx = _grid(h, w, np.float64)
     my = yy + first[..., 0]
     mx = xx + first[..., 1]
     out = np.empty_like(first)
@@ -73,6 +102,8 @@ def propagate_correspondences(
     flow_kwargs: dict | None = None,
     accumulated: tuple[np.ndarray, np.ndarray] | None = None,
     key_disparity: np.ndarray | None = None,
+    cache: ExpansionCache | None = None,
+    flow=None,
 ) -> tuple[np.ndarray, np.ndarray, tuple[np.ndarray, np.ndarray]]:
     """ISM step 3: move the correspondence set to the next frame.
 
@@ -83,6 +114,19 @@ def propagate_correspondences(
     differential horizontal motion of the right endpoints, and fills
     pixels nothing landed on.
 
+    ``flow_kwargs`` tunes the Farneback estimator (``levels``,
+    ``iterations``, ``sigma``, ``window_sigma``, ``precision``,
+    ``median_size``).  ``cache`` is an :class:`ExpansionCache` that
+    carries ``prev``'s polynomial expansions in and receives ``cur``'s
+    back out, so a caller stepping through a video computes one new
+    expansion per stream per call instead of two — the caller must
+    clear it whenever ``prev`` is not the frame the cached entries
+    were computed for.  ``flow`` swaps the flow implementation: any
+    object with :func:`~repro.flow.farneback.expand_frame` /
+    :func:`~repro.flow.farneback.flow_from_expansions` methods (e.g. a
+    :class:`repro.parallel.TileExecutor` for tiled multi-core
+    execution); ``None`` runs the plain single-core functions.
+
     Returns ``(propagated_disparity, known_mask, accumulated_flows)``
     where ``accumulated_flows`` is the ``(left, right)`` motion from
     the key frame to ``cur``, to be passed back in on the next call.
@@ -91,14 +135,45 @@ def propagate_correspondences(
     if flow_kwargs:
         kw.update(flow_kwargs)
     median_size = kw.pop("median_size", 5)
-    flow_l = farneback_flow(prev.left, cur.left, **kw)
-    flow_r = farneback_flow(prev.right, cur.right, **kw)
+    impl = _farneback if flow is None else flow
+    expand_kw = dict(levels=kw.pop("levels"), sigma=kw.pop("sigma", 1.5))
+    if "precision" in kw:
+        expand_kw["precision"] = kw.pop("precision")
+    iter_kw = dict(
+        iterations=kw.pop("iterations"), window_sigma=kw.pop("window_sigma")
+    )
+    if kw:
+        raise TypeError(f"unknown flow_kwargs: {sorted(kw)}")
+
+    def stream_flow(side: str, prev_img, cur_img) -> np.ndarray:
+        prev_exp = getattr(cache, side) if cache is not None else None
+        if prev_exp is not None and not prev_exp.matches(
+            np.asarray(prev_img).shape[:2],
+            expand_kw["levels"],
+            expand_kw["sigma"],
+            None,
+            expand_kw.get("precision", prev_exp.precision),
+        ):
+            prev_exp = None
+        if prev_exp is None:
+            prev_exp = impl.expand_frame(prev_img, **expand_kw)
+        cur_exp = impl.expand_frame(cur_img, **expand_kw)
+        if cache is not None:
+            setattr(cache, side, cur_exp)
+        return impl.flow_from_expansions(prev_exp, cur_exp, **iter_kw)
+
+    flow_l = stream_flow("left", prev.left, cur.left)
+    flow_r = stream_flow("right", prev.right, cur.right)
     if median_size:
         # median filtering sharpens motion boundaries the Gaussian
         # window of the flow estimator smears across object edges
-        for f in (flow_l, flow_r):
-            f[..., 0] = ndimage.median_filter(f[..., 0], size=median_size)
-            f[..., 1] = ndimage.median_filter(f[..., 1], size=median_size)
+        comps = median2d(
+            np.stack([flow_l[..., 0], flow_l[..., 1],
+                      flow_r[..., 0], flow_r[..., 1]]),
+            median_size,
+        )
+        flow_l[..., 0], flow_l[..., 1] = comps[0], comps[1]
+        flow_r[..., 0], flow_r[..., 1] = comps[2], comps[3]
     if accumulated is not None:
         flow_l = compose_flows(accumulated[0], flow_l)
         flow_r = compose_flows(accumulated[1], flow_r)

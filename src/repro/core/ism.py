@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.correspondence import (
+    ExpansionCache,
     propagate_correspondences,
     refine_correspondences,
 )
@@ -69,9 +70,11 @@ class ISM:
     disparity map — a :class:`repro.models.proxy.StereoDNNProxy`, a
     classic matcher, or a real network.  ``refiner`` likewise swaps
     the non-key guided-search implementation (same signature as
-    :func:`~repro.stereo.block_matching.guided_block_match`); the
-    serving stack passes a :class:`repro.parallel.TileExecutor` bound
-    method here so non-key frames run tiled multi-core.
+    :func:`~repro.stereo.block_matching.guided_block_match`), and
+    ``flow`` the motion estimator (an object with ``expand_frame`` /
+    ``flow_from_expansions`` methods); the serving stack passes a
+    :class:`repro.parallel.TileExecutor` bound method / the executor
+    itself here so non-key frames run tiled multi-core.
 
     The estimator is *stateful and online*: :meth:`step` consumes one
     frame at a time (the shape a robot control loop needs);
@@ -81,15 +84,33 @@ class ISM:
     propagates the *key frame's* correspondences — the invariant the
     algorithm is named after — rather than re-propagating
     already-refined estimates.
+
+    With ``expansion_cache=True`` (the default) the estimator carries
+    each frame's polynomial-expansion pyramids forward in an
+    :class:`~repro.core.correspondence.ExpansionCache`, so
+    steady-state non-key stepping computes one new expansion per
+    stream instead of two.  The cache is invalidated on
+    :meth:`reset` and on every key frame (re-keying breaks the
+    consecutive-frame chain), and the cached path is bit-identical to
+    ``expansion_cache=False`` by construction — the A/B toggle exists
+    for benchmarking, not for accuracy trade-offs.
     """
 
     def __init__(
-        self, dnn, config: ISMConfig | None = None, policy=None, refiner=None
+        self,
+        dnn,
+        config: ISMConfig | None = None,
+        policy=None,
+        refiner=None,
+        flow=None,
+        expansion_cache: bool = True,
     ):
         self.dnn = dnn
         self.config = config or ISMConfig()
         self.policy = policy or StaticKeyFramePolicy(self.config.propagation_window)
         self.refiner = refiner
+        self.flow = flow
+        self.expansion_cache = expansion_cache
         self.reset()
 
     def reset(self) -> None:
@@ -99,6 +120,7 @@ class ISM:
         self._key_disp: np.ndarray | None = None
         self._accumulated = None
         self._context: dict = {}
+        self._cache = ExpansionCache() if self.expansion_cache else None
 
     def step(
         self, frame: StereoFrame, is_key: bool | None = None
@@ -132,6 +154,10 @@ class ISM:
             disp = np.asarray(self.dnn(frame), dtype=np.float64)
             self._key_disp = disp
             self._accumulated = None
+            if self._cache is not None:
+                # the cached expansions describe the pre-key chain;
+                # the first non-key after a (re-)key starts fresh
+                self._cache.clear()
         else:
             initial, _, self._accumulated = propagate_correspondences(
                 self._prev_frame,
@@ -143,6 +169,8 @@ class ISM:
                 ),
                 accumulated=self._accumulated,
                 key_disparity=self._key_disp,
+                cache=self._cache,
+                flow=self.flow,
             )
             self._context["last_flow"] = self._accumulated[0]
             disp = refine_correspondences(

@@ -6,6 +6,24 @@ import numpy as np
 
 __all__ = ["bilinear_sample", "warp_backward", "forward_warp_disparity"]
 
+#: cached read-only meshgrids — every non-key ISM step needs several
+#: (h, w) coordinate grids, and rebuilding them dominates the small
+#: fixed cost of the warp helpers
+_GRIDS: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _grid(h: int, w: int, dtype=np.intp) -> tuple[np.ndarray, np.ndarray]:
+    key = (h, w, np.dtype(dtype).str)
+    got = _GRIDS.get(key)
+    if got is None:
+        if len(_GRIDS) >= 16:
+            _GRIDS.clear()
+        yy, xx = np.mgrid[0:h, 0:w].astype(dtype)
+        yy.setflags(write=False)
+        xx.setflags(write=False)
+        got = _GRIDS[key] = (yy, xx)
+    return got
+
 
 def bilinear_sample(img: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray:
     """Sample ``img`` at float coordinates with bilinear interpolation
@@ -13,14 +31,16 @@ def bilinear_sample(img: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarr
     h, w = img.shape[:2]
     ys = np.clip(ys, 0, h - 1)
     xs = np.clip(xs, 0, w - 1)
-    y0 = np.floor(ys).astype(int)
-    x0 = np.floor(xs).astype(int)
+    # clipped non-negative, so truncation is the floor in one pass
+    y0 = ys.astype(np.intp)
+    x0 = xs.astype(np.intp)
     y1 = np.minimum(y0 + 1, h - 1)
     x1 = np.minimum(x0 + 1, w - 1)
     fy = ys - y0
     fx = xs - x0
-    top = img[y0, x0] * (1 - fx) + img[y0, x1] * fx
-    bot = img[y1, x0] * (1 - fx) + img[y1, x1] * fx
+    omx = 1 - fx
+    top = img[y0, x0] * omx + img[y0, x1] * fx
+    bot = img[y1, x0] * omx + img[y1, x1] * fx
     return top * (1 - fy) + bot * fy
 
 
@@ -28,7 +48,7 @@ def warp_backward(img: np.ndarray, flow: np.ndarray) -> np.ndarray:
     """``out(p) = img(p + flow(p))`` — warp ``img`` towards the frame
     the flow was computed on."""
     h, w = img.shape[:2]
-    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    yy, xx = _grid(h, w, np.float64)
     return bilinear_sample(img, yy + flow[..., 0], xx + flow[..., 1])
 
 
@@ -50,7 +70,7 @@ def forward_warp_disparity(
     correspondence landed on are marked unknown.
     """
     h, w = disp.shape
-    yy, xx = np.mgrid[0:h, 0:w]
+    yy, xx = _grid(h, w)
     ty = np.rint(yy + flow_left[..., 0]).astype(int)
     tx = np.rint(xx + flow_left[..., 1]).astype(int)
 

@@ -38,6 +38,7 @@ import math
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro.flow.farneback import farneback_ops
 from repro.stereo.block_matching import block_match_ops, guided_block_match_ops
 from repro.stereo.sgm import sgm_ops
 
@@ -151,6 +152,16 @@ _PROFILES = {
         # census transform (~2 ops per comparison bit) + Hamming volume
         n_inputs=2, halo=2, volume_out=False,
         ops=lambda h, w: h * w * (2 * 24 + 4 * MODEL_MAX_DISP),
+    ),
+    # the banded stages of the non-key flow: per-level expansion and
+    # iteration sweeps at the ISM serving parameters (levels=1 because
+    # the executor bands each pyramid level separately; the halo is the
+    # window-blur tap radius int(4 * 2.5 + 0.5))
+    "farneback": _KernelProfile(
+        n_inputs=5, halo=10, volume_out=False,
+        ops=lambda h, w: farneback_ops(
+            h, w, levels=1, iterations=2, window_sigma=2.5
+        ),
     ),
     "guided": _KernelProfile(
         n_inputs=3, halo=4, volume_out=False,

@@ -4,10 +4,13 @@
 :func:`~repro.stereo.block_matching.block_match`,
 :func:`~repro.stereo.census.census_block_match`,
 :func:`~repro.stereo.sgm.sgm` and
-:func:`~repro.stereo.block_matching.guided_block_match` — split into
-overlap-halo row bands (:mod:`repro.parallel.tiles`) and fanned across
-a process or thread pool, then stitches the bands back together.  The
-result is **bit-identical** to whole-frame execution:
+:func:`~repro.stereo.block_matching.guided_block_match` — plus the
+non-key flow kernels (:func:`~repro.flow.farneback.poly_expansion` and
+:func:`~repro.flow.farneback.flow_iteration`, see
+:meth:`TileExecutor.farneback_flow`) split into overlap-halo row bands
+(:mod:`repro.parallel.tiles`) and fanned across a process or thread
+pool, then stitches the bands back together.  The result is
+**bit-identical** to whole-frame execution:
 
 * the halo covers each kernel's vertical data dependence (the
   box-filter / census window radius), so every payload pixel sees the
@@ -62,6 +65,15 @@ from itertools import islice
 
 import numpy as np
 
+from repro.flow import farneback as _fb
+from repro.flow.farneback import (
+    FrameExpansion,
+    _as_gray,
+    _expansion_radius,
+    _pyramid,
+    flow_iteration,
+    poly_expansion,
+)
 from repro.parallel.shm import ShmArena, attached, shm_available
 from repro.parallel.tiles import split_rows
 from repro.stereo.block_matching import (
@@ -87,6 +99,25 @@ def _census_coded(left, right_codes, **kwargs):
     return census_block_match(left, None, right_codes=right_codes, **kwargs)
 
 
+def _poly_band(img, **kwargs):
+    """Band kernel: polynomial expansion packed into one dense map.
+
+    ``(A, b)`` of a band, packed as the five distinct channels
+    ``[A00, A01, A11, b0, b1]`` of an (h, w, 5) array (``A`` is
+    symmetric) so the generic banded machinery — which stitches one
+    output array — applies unchanged; the executor unpacks on the way
+    out.  Packing copies values bit-for-bit.
+    """
+    A, b = poly_expansion(img, **kwargs)
+    out = np.empty(A.shape[:2] + (5,), A.dtype)
+    out[..., 0] = A[..., 0, 0]
+    out[..., 1] = A[..., 0, 1]
+    out[..., 2] = A[..., 1, 1]
+    out[..., 3] = b[..., 0]
+    out[..., 4] = b[..., 1]
+    return out
+
+
 #: whole-frame callables a band job may name (names, not functions,
 #: cross the process boundary)
 _BAND_KERNELS = {
@@ -94,11 +125,17 @@ _BAND_KERNELS = {
     "census": census_block_match,
     "census_coded": _census_coded,
     "guided": guided_block_match,
+    "poly": _poly_band,
     "sad_cost": sad_cost_volume,
 }
 
 #: band-kernel name -> the kernel name the autotuned table is keyed by
-_TUNE_KEYS = {"sad_cost": "sgm", "census_coded": "census"}
+_TUNE_KEYS = {
+    "sad_cost": "sgm",
+    "census_coded": "census",
+    "poly": "farneback",
+    "flow": "farneback",
+}
 
 _POOLS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
 
@@ -144,6 +181,38 @@ def _run_band_shm(kernel, handles, lo, hi, kwargs, crop, row_axis, out_handle, s
         np.copyto(dest[rows], part)
 
 
+def _flow_band(A1b, b1b, A2, b2, flowb, window_sigma, row0, crop):
+    """One banded Farneback iteration (top-level for pickling).
+
+    ``A1``/``b1``/``flow`` arrive as haloed row bands; ``A2``/``b2``
+    stay whole-frame because the warp gathers reach anywhere in the
+    frame, and ``row0`` anchors the band's coordinates globally (see
+    :func:`repro.flow.farneback.flow_iteration`).
+    """
+    out = flow_iteration(A1b, b1b, A2, b2, flowb, window_sigma=window_sigma, row0=row0)
+    return out[slice(*crop)]
+
+
+def _flow_band_shm(handles, lo, hi, window_sigma, crop, out_handle, start):
+    """Shared-memory twin of :func:`_flow_band`.
+
+    All five inputs are shared whole-frame once; each job slices its
+    own ``A1``/``b1``/``flow`` rows out of the mapped segments (the
+    warp reads ``A2``/``b2`` globally either way) and writes its
+    payload rows straight into the full-size flow output segment.
+    """
+    with ExitStack() as stack:
+        A1, b1, A2, b2, flow = (stack.enter_context(attached(h)) for h in handles)
+        out = flow_iteration(
+            A1[lo:hi], b1[lo:hi], A2, b2, flow[lo:hi],
+            window_sigma=window_sigma, row0=lo,
+        )
+        del A1, b1, A2, b2, flow
+    part = out[slice(*crop)]
+    with attached(out_handle) as dest:
+        np.copyto(dest[start : start + part.shape[0]], part)
+
+
 def _run_direction(cost, dy: int, dx: int, p1: float, p2: float):
     """One SGM path-direction aggregation (top-level for pickling)."""
     return aggregate_path(cost, dy, dx, p1, p2)
@@ -167,6 +236,8 @@ def _band_output(kernel: str, arrays, kwargs) -> tuple[tuple[int, ...], np.dtype
     h, w = arrays[0].shape[:2]
     if kernel == "sad_cost":
         return (kwargs["max_disp"], h, w), resolve_precision(kwargs["precision"])
+    if kernel == "poly":
+        return (h, w, 5), resolve_precision(kwargs["precision"])
     return (h, w), np.dtype(np.float64)
 
 
@@ -556,6 +627,158 @@ class TileExecutor:
                 np.add(total, slots[i % n_slots][1], out=total)
             slots.clear()
             return wta_disparity(total, subpixel)
+
+    # ------------------------------------------------------------------
+    # the non-key flow kernels
+    # ------------------------------------------------------------------
+    def poly_expansion(
+        self,
+        img,
+        sigma: float = 1.5,
+        radius: int | None = None,
+        precision: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tiled :func:`~repro.flow.farneback.poly_expansion`.
+
+        The moment filters' vertical reach is the tap radius, so that
+        is the halo; each band's expansion is an independent pair of
+        separable sweeps and the stitched ``(A, b)`` is bit-identical
+        to the whole-frame call.  ``precision=None`` (the default)
+        uses the executor's own precision knob.
+        """
+        if precision is None:
+            precision = self.precision
+        halo = _expansion_radius(sigma) if radius is None else radius
+        packed = self._tiled(
+            "poly",
+            (img,),
+            dict(sigma=sigma, radius=radius, precision=precision),
+            halo=halo,
+        )
+        A = np.empty(packed.shape[:2] + (2, 2), packed.dtype)
+        A[..., 0, 0] = packed[..., 0]
+        A[..., 0, 1] = packed[..., 1]
+        A[..., 1, 0] = packed[..., 1]
+        A[..., 1, 1] = packed[..., 2]
+        b = np.ascontiguousarray(packed[..., 3:5])
+        return A, b
+
+    def expand_frame(
+        self,
+        frame,
+        levels: int = 3,
+        sigma: float = 1.5,
+        radius: int | None = None,
+        precision: str | None = None,
+    ) -> FrameExpansion:
+        """:func:`~repro.flow.farneback.expand_frame` with every
+        pyramid level expanded through :meth:`poly_expansion`.
+
+        The pyramid itself is built in the parent (downsampling is a
+        fraction of the expansion cost); only the per-level expansions
+        fan out.
+        """
+        if precision is None:
+            precision = self.precision
+        dtype = resolve_precision(precision)
+        pyramid = _pyramid(_as_gray(frame, dtype), levels, dtype)
+        coeffs = tuple(
+            self.poly_expansion(p, sigma=sigma, radius=radius, precision=precision)
+            for p in pyramid
+        )
+        return FrameExpansion(
+            coeffs=coeffs,
+            shapes=tuple(p.shape for p in pyramid),
+            levels=levels,
+            sigma=sigma,
+            radius=radius,
+            precision=precision,
+        )
+
+    def flow_iteration(
+        self, A1, b1, A2, b2, flow, window_sigma: float = 4.0
+    ) -> np.ndarray:
+        """Tiled :func:`~repro.flow.farneback.flow_iteration`.
+
+        ``A1``/``b1``/``flow`` are banded; ``A2``/``b2`` go to every
+        band whole (the warp gathers reach anywhere in the frame), and
+        each band's absolute first row anchors its coordinates via the
+        kernel's ``row0`` hook.  The halo is the Gaussian averaging
+        window's tap radius — everything upstream of the blur is
+        per-pixel, everything downstream reads only blurred rows.
+        """
+        A1, b1, A2, b2, flow = (np.asarray(a) for a in (A1, b1, A2, b2, flow))
+        height = flow.shape[0]
+        halo = int(4.0 * window_sigma + 0.5)
+        bands = split_rows(height, self._n_bands(height, "flow", flow.shape), halo)
+        if len(bands) == 1:
+            return flow_iteration(A1, b1, A2, b2, flow, window_sigma=window_sigma)
+        if not self._shm:
+            parts = self._map(
+                _flow_band,
+                [
+                    (
+                        A1[band.lo : band.hi],
+                        b1[band.lo : band.hi],
+                        A2,
+                        b2,
+                        flow[band.lo : band.hi],
+                        window_sigma,
+                        band.lo,
+                        band.crop,
+                    )
+                    for band in bands
+                ],
+            )
+            return np.concatenate(parts, axis=0)
+        with ShmArena() as arena:
+            handles = tuple(arena.share(a) for a in (A1, b1, A2, b2, flow))
+            out_handle, out_view = arena.alloc(flow.shape, flow.dtype)
+            for _ in self._iter_map(
+                _flow_band_shm,
+                [
+                    (handles, band.lo, band.hi, window_sigma, band.crop,
+                     out_handle, band.start)
+                    for band in bands
+                ],
+            ):
+                pass
+            return out_view.copy()
+
+    def flow_from_expansions(
+        self,
+        exp0: FrameExpansion,
+        exp1: FrameExpansion,
+        iterations: int = 3,
+        window_sigma: float = 4.0,
+    ) -> np.ndarray:
+        """:func:`~repro.flow.farneback.flow_from_expansions` with the
+        per-level update tiled through :meth:`flow_iteration`."""
+        return _fb.flow_from_expansions(
+            exp0, exp1, iterations, window_sigma, step=self.flow_iteration
+        )
+
+    def farneback_flow(
+        self,
+        frame0,
+        frame1,
+        levels: int = 3,
+        iterations: int = 3,
+        sigma: float = 1.5,
+        window_sigma: float = 4.0,
+        precision: str | None = None,
+    ) -> np.ndarray:
+        """Tiled :func:`~repro.flow.farneback.farneback_flow`.
+
+        The executor exposes the same ``expand_frame`` /
+        ``flow_from_expansions`` split as :mod:`repro.flow.farneback`,
+        so it can be passed wholesale as :class:`repro.core.ism.ISM`'s
+        ``flow=`` implementation — the cross-frame expansion cache then
+        caches *tiled* expansions.
+        """
+        exp0 = self.expand_frame(frame0, levels, sigma=sigma, precision=precision)
+        exp1 = self.expand_frame(frame1, levels, sigma=sigma, precision=precision)
+        return self.flow_from_expansions(exp0, exp1, iterations, window_sigma)
 
     def kernel(self, name: str):
         """The tiled kernel registered under ``name``.

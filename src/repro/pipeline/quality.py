@@ -307,10 +307,15 @@ class QualityProbe:
         (3, 1)
         """
         config = stream.ism or self.ism
+        # the whole non-key path runs through the executor: tiled
+        # guided refinement and tiled Farneback flow (bit-identical to
+        # the single-core path, so scores replay byte-identically
+        # across worker/transport configurations)
         ism = ISM(
             lambda f: self.matcher(f.left, f.right, self.max_disp),
             config=config,
             refiner=self.executor.kernel("guided"),
+            flow=self.executor,
         )
         records: list[FrameQuality] = []
         last_disp: np.ndarray | None = None

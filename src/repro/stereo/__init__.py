@@ -20,6 +20,7 @@ from repro.stereo.refine import (
     fill_background,
     fill_invalid,
     left_right_check,
+    median2d,
     median_clean,
 )
 from repro.stereo.seeds import gcsf, grow_seeds
@@ -45,6 +46,7 @@ __all__ = [
     "guided_block_match_ops",
     "interpolate_prior",
     "left_right_check",
+    "median2d",
     "median_clean",
     "resolve_precision",
     "sad_cost_volume",

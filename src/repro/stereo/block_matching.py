@@ -77,16 +77,29 @@ def _box_mean(img: np.ndarray, size: int) -> np.ndarray:
     filtered as part of a band.  This is the property that makes the
     halo-tiled execution in :mod:`repro.parallel` bit-identical to
     whole-frame execution.
+
+    Filters over the last two axes, so a ``(K, H, W)`` stack of
+    difference images is one fused pair of sweeps — each slice comes
+    back bit-identical to filtering it alone (per-line independence
+    again), which is how :func:`guided_block_match` batches its
+    per-offset SAD passes.
     """
     weights = np.full(size, 1.0 / size)
-    out = ndimage.correlate1d(img, weights, axis=0, mode="nearest")
-    return ndimage.correlate1d(out, weights, axis=1, mode="nearest")
+    out = ndimage.correlate1d(img, weights, axis=-2, mode="nearest")
+    return ndimage.correlate1d(out, weights, axis=-1, mode="nearest")
 
 
 def shift_right_image(right: np.ndarray, d: int) -> np.ndarray:
-    """``shifted[y, x] = right[y, x + d]`` with edge replication."""
+    """``shifted[y, x] = right[y, x + d]`` with edge replication.
+
+    Always returns a fresh array the caller may mutate — including
+    for ``d == 0``, which historically returned the input aliased
+    (writing through the result silently corrupted the caller's
+    image; regression-tested in ``tests/test_stereo_matchers.py``).
+    """
+    right = np.asarray(right)
     if d == 0:
-        return right
+        return right.copy()
     out = np.empty_like(right)
     if d > 0:
         out[:, :-d] = right[:, d:]
@@ -139,13 +152,14 @@ def _subpixel_refine(cost: np.ndarray, disp: np.ndarray) -> np.ndarray:
     disparity is kept unchanged rather than nudged by a spurious
     +/- 0.5 pixel shift.
     """
-    d_max, h, w = cost.shape
+    d_max = cost.shape[0]
     d = disp.astype(int)
     inner = (d > 0) & (d < d_max - 1)
-    yy, xx = np.mgrid[0:h, 0:w]
-    c0 = cost[np.clip(d - 1, 0, d_max - 1), yy, xx]
-    c1 = cost[d, yy, xx]
-    c2 = cost[np.clip(d + 1, 0, d_max - 1), yy, xx]
+    # take_along_axis gathers the three cost planes without the
+    # (2, H, W) index grids a fancy-indexing gather would allocate
+    c1 = np.take_along_axis(cost, d[None], axis=0)[0]
+    c0 = np.take_along_axis(cost, np.clip(d - 1, 0, d_max - 1)[None], axis=0)[0]
+    c2 = np.take_along_axis(cost, np.clip(d + 1, 0, d_max - 1)[None], axis=0)[0]
     denom = c0 - 2 * c1 + c2
     convex = inner & (denom > 1e-12)
     offset = np.where(convex, (c0 - c2) / (2 * np.where(convex, denom, 1.0)), 0.0)
@@ -214,23 +228,21 @@ def guided_block_match(
     if radius < 1:
         raise ValueError("radius must be >= 1")
     h, w = left.shape
-    yy, xx = np.mgrid[0:h, 0:w]
+    yy = np.arange(h)[:, None]
+    xx = np.arange(w)[None, :]
     base = np.rint(init).astype(int)
     offsets = np.arange(-radius, radius + 1)
-    costs = np.empty((offsets.size, h, w), dtype=dtype)
-    any_valid = np.zeros((h, w), dtype=bool)
-    init_valid = None
-    for i, off in enumerate(offsets):
-        d = base + off
-        sample_x = xx + d
-        valid = (sample_x >= 0) & (sample_x < w) & (d >= 0)
-        sx = np.clip(sample_x, 0, w - 1)
-        diff = np.abs(left - right[yy, sx])
-        costs[i] = _box_mean(diff, block_size)
-        costs[i][~valid] = _BIG
-        any_valid |= valid
-        if off == 0:
-            init_valid = valid
+    # all 2r+1 candidate gathers at once: one (K, H, W) index batch
+    # replaces the per-offset np.mgrid/gather setup, and the SAD box
+    # filter runs as one fused stack sweep (bit-identical per slice)
+    d = base[None] + offsets[:, None, None]
+    sample_x = xx[None] + d
+    valid = (sample_x >= 0) & (sample_x < w) & (d >= 0)
+    diff = np.abs(left[None] - right[yy, np.clip(sample_x, 0, w - 1)])
+    costs = _box_mean(diff, block_size)
+    costs[~valid] = _BIG
+    any_valid = valid.any(axis=0)
+    init_valid = valid[radius]
     best = costs.argmin(axis=0)
     if accept_margin > 0:
         init_cost = costs[radius]

@@ -40,7 +40,9 @@ class TestLatencyModel:
     def test_transfer_seconds_zero_for_empty(self):
         assert DEFAULT_MODEL.transfer_seconds(20.0, 0) == 0.0
 
-    @pytest.mark.parametrize("kernel", ["bm", "census", "guided", "sgm"])
+    @pytest.mark.parametrize(
+        "kernel", ["bm", "census", "farneback", "guided", "sgm"]
+    )
     def test_predictions_positive(self, kernel):
         for workers in (1, 2, 8):
             assert predict_latency(kernel, (270, 480), 32, workers) > 0
@@ -104,7 +106,7 @@ class TestShippedTable:
 
     def test_covers_grid(self):
         table = load_table()
-        for kernel in ("bm", "census", "guided", "sgm"):
+        for kernel in ("bm", "census", "farneback", "guided", "sgm"):
             entries = table["kernels"][kernel]
             for h, w in SIZES:
                 entry = entries[f"{h}x{w}"]

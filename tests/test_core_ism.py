@@ -204,3 +204,67 @@ class TestOnlineAPI:
         b = ism.run_sequence(video[:2])
         assert a.key_frames == b.key_frames
         assert np.allclose(a.disparities[1], b.disparities[1])
+
+
+class TestExpansionCache:
+    """The cross-frame expansion cache: bit-identical A/B toggle,
+    invalidated whenever the consecutive-frame chain breaks."""
+
+    @pytest.fixture(scope="class")
+    def short_video(self):
+        return sceneflow_scene(
+            23, size=(64, 96), max_disp=16, max_speed=2.0
+        ).sequence(5)
+
+    def test_cached_bitwise_equals_uncached(self, short_video):
+        config = ISMConfig(propagation_window=4)
+        cached = ISM(dnn=lambda f: f.disparity, config=config)
+        plain = ISM(
+            dnn=lambda f: f.disparity, config=config, expansion_cache=False
+        )
+        a = cached.run_sequence(short_video)
+        b = plain.run_sequence(short_video)
+        assert cached._cache is not None and plain._cache is None
+        for da, db in zip(a.disparities, b.disparities):
+            assert np.array_equal(da, db)
+
+    def test_steady_state_populates_cache(self, short_video):
+        ism = ISM(dnn=lambda f: f.disparity, config=ISMConfig(propagation_window=4))
+        ism.step(short_video[0])
+        assert ism._cache.left is None  # key frame: nothing cached yet
+        ism.step(short_video[1])
+        assert ism._cache.left is not None
+        assert ism._cache.right is not None
+
+    def test_key_frame_invalidates(self, short_video):
+        ism = ISM(dnn=lambda f: f.disparity, config=ISMConfig(propagation_window=2))
+        ism.step(short_video[0])
+        ism.step(short_video[1])
+        assert ism._cache.left is not None
+        ism.step(short_video[2], is_key=True)  # re-key breaks the chain
+        assert ism._cache.left is None and ism._cache.right is None
+
+    def test_reset_clears(self, short_video):
+        ism = ISM(dnn=lambda f: f.disparity, config=ISMConfig(propagation_window=4))
+        ism.step(short_video[0])
+        ism.step(short_video[1])
+        ism.reset()
+        assert ism._cache.left is None and ism._cache.right is None
+
+    def test_stale_entry_recomputed_not_reused(self, short_video):
+        """A cached expansion whose parameters no longer match must be
+        recomputed: same disparities as a fresh uncached run."""
+        from repro.core.correspondence import ExpansionCache
+        from repro.flow import expand_frame
+
+        cache = ExpansionCache()
+        # poison the cache with an expansion of the wrong frame size
+        cache.left = expand_frame(np.zeros((8, 10)), levels=3)
+        cache.right = expand_frame(np.zeros((8, 10)), levels=3)
+        prev, cur = short_video[0], short_video[1]
+        key = np.asarray(prev.disparity, dtype=np.float64)
+        with_cache, _, _ = propagate_correspondences(
+            prev, cur, key, cache=cache
+        )
+        without, _, _ = propagate_correspondences(prev, cur, key)
+        assert np.array_equal(with_cache, without)

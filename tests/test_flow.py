@@ -176,3 +176,243 @@ class TestWarps:
         fr[..., 1] = 1.0  # right correspondences drift +1 px
         out, known = forward_warp_disparity(disp, fl, fr)
         assert np.allclose(out[known], 5.0)
+
+
+# ----------------------------------------------------------------------
+# scalar references for the vectorized hot path
+# ----------------------------------------------------------------------
+
+def _scalar_correlate1d(img, w, axis):
+    """Per-pixel mirror of ``ndimage.correlate1d(mode="nearest")``.
+
+    scipy buffers each line in double precision, accumulates the
+    centre product first and then the symmetric (or antisymmetric) tap
+    pairs outermost-in, and casts back to the input dtype after the
+    pass — this reproduces that order bit for bit, which is what makes
+    the vectorized sweeps pinnable by ``array_equal``.
+    """
+    img = np.asarray(img)
+    if axis == 0:
+        return _scalar_correlate1d(img.T, w, 1).T
+    r = len(w) // 2
+    w = np.asarray(w, dtype=np.float64)
+    sym = np.allclose(w[::-1], w, rtol=0, atol=2.3e-16)
+    anti = np.allclose(w[::-1], -w, rtol=0, atol=2.3e-16)
+    assert sym or anti, "moment filters are symmetric or antisymmetric"
+    out = np.empty(img.shape, np.float64)
+    for row in range(img.shape[0]):
+        line = img[row].astype(np.float64)
+        pad = np.pad(line, r, mode="edge")
+        for i in range(len(line)):
+            c = r + i
+            acc = pad[c] * w[r]
+            for jj in range(-r, 0):
+                if sym:
+                    acc += (pad[c + jj] + pad[c - jj]) * w[r + jj]
+                else:
+                    acc += (pad[c + jj] - pad[c - jj]) * w[r + jj]
+            out[row, i] = acc
+    return out.astype(img.dtype)
+
+
+def _scalar_poly_expansion(img, sigma=1.5, precision="float64"):
+    """Per-pixel mirror of :func:`poly_expansion` (same filter order,
+    same explicit Gram-inverse products, scalar arithmetic)."""
+    from repro.stereo.block_matching import resolve_precision
+
+    dtype = resolve_precision(precision)
+    img = np.asarray(img, dtype=dtype)
+    radius = max(2, int(round(3.0 * sigma)))
+    x = np.arange(-radius, radius + 1, dtype=np.float64)
+    g0 = np.exp(-0.5 * (x / sigma) ** 2)
+    g0 /= g0.sum()
+    g1, g2 = g0 * x, g0 * x * x
+
+    t0 = _scalar_correlate1d(img, g0, axis=0)
+    t1 = _scalar_correlate1d(img, g1, axis=0)
+    t2 = _scalar_correlate1d(img, g2, axis=0)
+    m00 = _scalar_correlate1d(t0, g0, axis=1)
+    m01 = _scalar_correlate1d(t0, g1, axis=1)
+    m02 = _scalar_correlate1d(t0, g2, axis=1)
+    m10 = _scalar_correlate1d(t1, g0, axis=1)
+    m11 = _scalar_correlate1d(t1, g1, axis=1)
+    m20 = _scalar_correlate1d(t2, g0, axis=1)
+
+    s0 = float(g0.sum())
+    s2 = float((g0 * x * x).sum())
+    s4 = float((g0 * x**4).sum())
+    inv3 = np.linalg.inv(
+        np.array([[s0, s2, s2], [s2, s4, s2 * s2], [s2, s2 * s2, s4]])
+    ).astype(dtype)
+    inv_s2 = dtype(1.0 / s2)
+    inv_s2s2 = dtype(1.0 / (s2 * s2))
+
+    h, w = img.shape
+    A = np.empty((h, w, 2, 2), dtype)
+    b = np.empty((h, w, 2), dtype)
+    for i in range(h):
+        for j in range(w):
+            A[i, j, 1, 1] = (
+                inv3[1, 0] * m00[i, j] + inv3[1, 1] * m02[i, j] + inv3[1, 2] * m20[i, j]
+            )
+            A[i, j, 0, 0] = (
+                inv3[2, 0] * m00[i, j] + inv3[2, 1] * m02[i, j] + inv3[2, 2] * m20[i, j]
+            )
+            off = 0.5 * (m11[i, j] * inv_s2s2)
+            A[i, j, 0, 1] = off
+            A[i, j, 1, 0] = off
+            b[i, j, 0] = m10[i, j] * inv_s2
+            b[i, j, 1] = m01[i, j] * inv_s2
+    return A, b
+
+
+def _scalar_flow_iteration(A1, b1, A2, b2, flow, window_sigma):
+    """Per-pixel mirror of :func:`flow_iteration`: scalar bilinear
+    warp, scalar matrix update, scalar-mirrored Gaussian averaging,
+    scalar 2x2 solve."""
+    from repro.flow import blur_kernel1d
+
+    dtype = flow.dtype.type
+    h, w = flow.shape[:2]
+    fh, fw = A2.shape[:2]
+    A00 = np.empty((h, w), dtype)
+    A01 = np.empty((h, w), dtype)
+    A11 = np.empty((h, w), dtype)
+    db0 = np.empty((h, w), dtype)
+    db1 = np.empty((h, w), dtype)
+    for i in range(h):
+        for j in range(w):
+            yy = dtype(i)
+            xx = dtype(j)
+            sy = np.clip(yy + flow[i, j, 0], 0, fh - 1)
+            sx = np.clip(xx + flow[i, j, 1], 0, fw - 1)
+            y0 = int(np.floor(sy))
+            x0 = int(np.floor(sx))
+            y1 = min(y0 + 1, fh - 1)
+            x1 = min(x0 + 1, fw - 1)
+            fy = sy - y0
+            fx = sx - x0
+
+            def warp(c):
+                top = c[y0, x0] * (1 - fx) + c[y0, x1] * fx
+                bot = c[y1, x0] * (1 - fx) + c[y1, x1] * fx
+                return top * (1 - fy) + bot * fy
+
+            a00 = 0.5 * (A1[i, j, 0, 0] + warp(A2[..., 0, 0]))
+            a01 = 0.5 * (A1[i, j, 0, 1] + warp(A2[..., 0, 1]))
+            a11 = 0.5 * (A1[i, j, 1, 1] + warp(A2[..., 1, 1]))
+            f0 = flow[i, j, 0]
+            f1 = flow[i, j, 1]
+            d0 = -0.5 * (warp(b2[..., 0]) - b1[i, j, 0]) + (a00 * f0 + a01 * f1)
+            d1 = -0.5 * (warp(b2[..., 1]) - b1[i, j, 1]) + (a01 * f0 + a11 * f1)
+            A00[i, j], A01[i, j], A11[i, j] = a00, a01, a11
+            db0[i, j], db1[i, j] = d0, d1
+
+    taps = blur_kernel1d(window_sigma)
+
+    def blur(m):
+        return _scalar_correlate1d(_scalar_correlate1d(m, taps, 0), taps, 1)
+
+    G00 = blur(A00 * A00 + A01 * A01)
+    G01 = blur(A00 * A01 + A01 * A11)
+    G11 = blur(A01 * A01 + A11 * A11)
+    h0 = blur(A00 * db0 + A01 * db1)
+    h1 = blur(A01 * db0 + A11 * db1)
+
+    new = np.empty_like(flow)
+    for i in range(h):
+        for j in range(w):
+            lam = 1e-3 * 0.5 * (G00[i, j] + G11[i, j]) + 1e-12
+            g00 = G00[i, j] + lam
+            g11 = G11[i, j] + lam
+            det = g00 * g11 - G01[i, j] * G01[i, j]
+            new[i, j, 0] = (g11 * h0[i, j] - G01[i, j] * h1[i, j]) / det
+            new[i, j, 1] = (g00 * h1[i, j] - G01[i, j] * h0[i, j]) / det
+    return new
+
+
+class TestScalarPinning:
+    """The vectorized non-key hot path, pinned bit-identical to
+    per-pixel scalar references (both precisions)."""
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    def test_correlate1d_mirror(self, precision):
+        from repro.stereo.block_matching import resolve_precision
+
+        img = textured(7, size=(6, 40)).astype(resolve_precision(precision))
+        radius = 4
+        x = np.arange(-radius, radius + 1, dtype=np.float64)
+        g0 = np.exp(-0.5 * (x / 1.5) ** 2)
+        g0 /= g0.sum()
+        for taps in (g0, g0 * x, g0 * x * x):
+            for axis in (0, 1):
+                got = ndimage.correlate1d(img, taps, axis=axis, mode="nearest")
+                assert np.array_equal(got, _scalar_correlate1d(img, taps, axis))
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    def test_poly_expansion_matches_scalar(self, precision):
+        img = textured(8, size=(14, 17))
+        A, b = poly_expansion(img, precision=precision)
+        A_ref, b_ref = _scalar_poly_expansion(img, precision=precision)
+        assert A.dtype == A_ref.dtype
+        assert np.array_equal(A, A_ref)
+        assert np.array_equal(b, b_ref)
+
+    @pytest.mark.parametrize("shape", [(1, 30), (30, 1)])
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    def test_poly_expansion_degenerate_frames(self, shape, precision):
+        img = textured(9, size=shape)
+        A, b = poly_expansion(img, precision=precision)
+        assert np.isfinite(A).all() and np.isfinite(b).all()
+        A_ref, b_ref = _scalar_poly_expansion(img, precision=precision)
+        assert np.array_equal(A, A_ref)
+        assert np.array_equal(b, b_ref)
+
+    @pytest.mark.parametrize("precision", ["float64", "float32"])
+    def test_flow_iteration_matches_scalar(self, precision):
+        from repro.flow import flow_iteration
+        from repro.stereo.block_matching import resolve_precision
+
+        dtype = resolve_precision(precision)
+        f0 = textured(10, size=(12, 15))
+        f1 = np.roll(f0, (1, -1), axis=(0, 1))
+        A1, b1 = poly_expansion(f0, precision=precision)
+        A2, b2 = poly_expansion(f1, precision=precision)
+        rng = np.random.default_rng(11)
+        flow = rng.normal(scale=0.7, size=(12, 15, 2)).astype(dtype)
+        got = flow_iteration(A1, b1, A2, b2, flow, window_sigma=1.5)
+        ref = _scalar_flow_iteration(A1, b1, A2, b2, flow, window_sigma=1.5)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(got, ref)
+
+
+class TestExpansionReuse:
+    """Cross-frame expansion sharing (the ISM cache's enabler)."""
+
+    def test_shared_expansion_bitwise(self):
+        from repro.flow import expand_frame, flow_from_expansions
+
+        frames = [textured(s, size=(40, 56)) for s in (12, 13, 14)]
+        exps = [expand_frame(f, levels=2) for f in frames]
+        for a, b in ((0, 1), (1, 2)):
+            direct = farneback_flow(frames[a], frames[b], levels=2)
+            shared = flow_from_expansions(exps[a], exps[b])
+            assert np.array_equal(direct, shared)
+
+    def test_matches_validation(self):
+        from repro.flow import expand_frame
+
+        exp = expand_frame(textured(15, size=(32, 40)), levels=2)
+        assert exp.matches((32, 40), 2, 1.5, None, "float64")
+        assert not exp.matches((32, 41), 2, 1.5, None, "float64")
+        assert not exp.matches((32, 40), 3, 1.5, None, "float64")
+        assert not exp.matches((32, 40), 2, 2.0, None, "float64")
+        assert not exp.matches((32, 40), 2, 1.5, None, "float32")
+
+    def test_float32_close_to_float64(self):
+        f0 = textured(16, size=(48, 64))
+        f1 = np.roll(f0, (1, 2), axis=(0, 1))
+        f64 = farneback_flow(f0, f1, levels=2, iterations=2)
+        f32 = farneback_flow(f0, f1, levels=2, iterations=2, precision="float32")
+        assert f32.dtype == np.float32
+        assert np.allclose(f32, f64, atol=5e-2)

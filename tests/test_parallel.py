@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import sceneflow_scene
+from repro.flow import farneback_flow, flow_iteration, poly_expansion
 from repro.parallel import TileExecutor, available_kernels, shm_available, split_rows
 from repro.pipeline import QualityProbe, sceneflow_stream
 from repro.stereo import (
@@ -321,3 +322,111 @@ class TestQualityProbeWorkers:
             assert probe.executor._pool is not None
         assert probe.executor._pool is None
         probe.close()  # idempotent
+
+
+class TestFlowSeamEquivalence:
+    """The tiled non-key flow kernels: every banding, pool, transport
+    and precision must be bit-identical to the single-core functions."""
+
+    @pytest.fixture(scope="class")
+    def frames(self):
+        scene = sceneflow_scene(31, size=(63, 82), max_disp=12, max_speed=2.0)
+        return scene.render(0), scene.render(1)
+
+    @pytest.fixture(scope="class")
+    def flow_reference(self, frames):
+        f0, f1 = frames
+        return farneback_flow(f0.left, f1.left, levels=3, iterations=2,
+                              window_sigma=2.5)
+
+    @pytest.mark.parametrize("tile_rows", [1, 4, 7])
+    def test_poly_expansion_many_small_bands(self, frames, tile_rows):
+        img = np.asarray(frames[0].left, dtype=np.float64)
+        A_ref, b_ref = poly_expansion(img)
+        with TileExecutor(workers=3, pool="thread", tile_rows=tile_rows) as ex:
+            A, b = ex.poly_expansion(img)
+        assert np.array_equal(A, A_ref)
+        assert np.array_equal(b, b_ref)
+
+    @pytest.mark.parametrize("tile_rows", [1, 5, 9])
+    def test_flow_iteration_bands(self, frames, tile_rows):
+        f0, f1 = frames
+        A1, b1 = poly_expansion(np.asarray(f0.left, dtype=np.float64))
+        A2, b2 = poly_expansion(np.asarray(f1.left, dtype=np.float64))
+        flow = np.zeros(A1.shape[:2] + (2,))
+        ref = flow_iteration(A1, b1, A2, b2, flow, window_sigma=2.5)
+        with TileExecutor(workers=3, pool="thread", tile_rows=tile_rows) as ex:
+            got = ex.flow_iteration(A1, b1, A2, b2, flow, window_sigma=2.5)
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_farneback_flow_thread_pool(self, frames, flow_reference, workers):
+        f0, f1 = frames
+        with TileExecutor(workers=workers, pool="thread", tile_rows=6) as ex:
+            got = ex.farneback_flow(f0.left, f1.left, levels=3, iterations=2,
+                                    window_sigma=2.5)
+        assert np.array_equal(got, flow_reference)
+
+    def test_farneback_flow_process_pickle(self, frames, flow_reference):
+        f0, f1 = frames
+        with TileExecutor(workers=2, pool="process", tile_rows=8,
+                          transport="pickle") as ex:
+            got = ex.farneback_flow(f0.left, f1.left, levels=3, iterations=2,
+                                    window_sigma=2.5)
+        assert np.array_equal(got, flow_reference)
+
+    @pytest.mark.skipif(not shm_available(), reason="no POSIX shared memory")
+    def test_farneback_flow_shm(self, frames, flow_reference):
+        f0, f1 = frames
+        with TileExecutor(workers=2, pool="process", tile_rows=7,
+                          transport="shm") as ex:
+            got = ex.farneback_flow(f0.left, f1.left, levels=3, iterations=2,
+                                    window_sigma=2.5)
+        assert np.array_equal(got, flow_reference)
+
+    def test_float32_tiling_identical(self, frames):
+        f0, f1 = frames
+        ref = farneback_flow(f0.left, f1.left, levels=2, iterations=2,
+                             precision="float32")
+        with TileExecutor(workers=3, pool="thread", tile_rows=5,
+                          precision="float32") as ex:
+            got = ex.farneback_flow(f0.left, f1.left, levels=2, iterations=2)
+        assert got.dtype == np.float32
+        assert np.array_equal(got, ref)
+
+    def test_expansion_object_interchangeable(self, frames):
+        """Executor-built expansions are bit-identical to single-core
+        ones, so the ISM cache can mix the two freely."""
+        from repro.flow import expand_frame, flow_from_expansions
+
+        f0, f1 = frames
+        with TileExecutor(workers=2, pool="thread", tile_rows=6) as ex:
+            tiled_exp = ex.expand_frame(f0.left, levels=2)
+        plain_exp = expand_frame(f0.left, levels=2)
+        assert tiled_exp.shapes == plain_exp.shapes
+        for (At, bt), (Ap, bp) in zip(tiled_exp.coeffs, plain_exp.coeffs):
+            assert np.array_equal(At, Ap)
+            assert np.array_equal(bt, bp)
+        other = expand_frame(f1.left, levels=2)
+        assert np.array_equal(
+            flow_from_expansions(tiled_exp, other),
+            flow_from_expansions(plain_exp, other),
+        )
+
+    def test_ism_with_executor_flow_bitwise(self, frames):
+        """An ISM whose flow= is a multi-worker executor serves the
+        same disparities as the plain single-core ISM."""
+        from repro.core import ISM, ISMConfig
+
+        video = sceneflow_scene(
+            32, size=(63, 82), max_disp=12, max_speed=2.0
+        ).sequence(3)
+        config = ISMConfig(propagation_window=4)
+        plain = ISM(dnn=lambda f: f.disparity, config=config).run_sequence(video)
+        with TileExecutor(workers=2, pool="thread", tile_rows=8) as ex:
+            tiled = ISM(
+                dnn=lambda f: f.disparity, config=config,
+                refiner=ex.guided_block_match, flow=ex,
+            ).run_sequence(video)
+        for a, b in zip(plain.disparities, tiled.disparities):
+            assert np.array_equal(a, b)

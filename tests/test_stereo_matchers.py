@@ -39,9 +39,15 @@ def synthetic_pair(d=6, size=(40, 80), seed=0):
 
 
 class TestShift:
-    def test_zero_shift_identity(self):
+    def test_zero_shift_copies(self):
+        # regression: d == 0 used to return the input aliased, so
+        # writing through the result corrupted the caller's image
         img = np.arange(12.0).reshape(3, 4)
-        assert shift_right_image(img, 0) is img
+        out = shift_right_image(img, 0)
+        assert out is not img
+        assert np.array_equal(out, img)
+        out[0, 0] = -1.0
+        assert img[0, 0] == 0.0
 
     def test_positive_shift(self):
         img = np.arange(12.0).reshape(3, 4)
