@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 # NOTE: this module must not import anything under ``repro.core`` —
 # ``repro.core.asv`` imports the backend layer, and the protocol has
@@ -41,6 +42,10 @@ from dataclasses import dataclass
 from repro.cache import CacheInfo, LRUCache
 from repro.hw.systolic import LayerResult, RunResult
 from repro.models.stereo_networks import QHD, network_specs
+from repro.nn.workload import ConvSpec
+
+if TYPE_CHECKING:  # typing only: ``repro.core`` imports the backend layer
+    from repro.core.ism import ISMConfig
 
 __all__ = [
     "MODES",
@@ -159,7 +164,7 @@ class ExecutionBackend(abc.ABC):
     capabilities: BackendCapabilities = BackendCapabilities()
     frequency_hz: float = 1.0e9
 
-    def __init__(self, cache_size: int = 32):
+    def __init__(self, cache_size: int = 32) -> None:
         self._result_cache = LRUCache(maxsize=cache_size)
         self.occupancy = BackendOccupancy()
 
@@ -167,11 +172,15 @@ class ExecutionBackend(abc.ABC):
     # the protocol
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+    def run_network(
+        self, specs: Sequence[ConvSpec], mode: str = "baseline"
+    ) -> RunResult:
         """Schedule and execute a :class:`ConvSpec` layer table."""
 
     @abc.abstractmethod
-    def nonkey_frame(self, size=QHD, config=None) -> LayerResult:
+    def nonkey_frame(
+        self, size: tuple[int, int] = QHD, config: ISMConfig | None = None
+    ) -> LayerResult:
         """Cost of one ISM non-key frame (``config`` is an
         :class:`~repro.core.ism.ISMConfig`), or raise
         :class:`UnsupportedModeError` if the target cannot run it."""
@@ -202,7 +211,7 @@ class ExecutionBackend(abc.ABC):
                 f"(supported: {self.capabilities.modes})"
             )
 
-    def seconds(self, result) -> float:
+    def seconds(self, result: RunResult | LayerResult) -> float:
         """Wall-clock time of a :class:`RunResult`/:class:`LayerResult`.
 
         >>> from repro.backends import get_backend
@@ -214,7 +223,7 @@ class ExecutionBackend(abc.ABC):
         return result.cycles / self.frequency_hz
 
     def network_result(
-        self, network: str, mode: str = "baseline", size=QHD
+        self, network: str, mode: str = "baseline", size: tuple[int, int] = QHD
     ) -> RunResult:
         """Memoized :meth:`run_network` for a named stereo network.
 
@@ -230,7 +239,7 @@ class ExecutionBackend(abc.ABC):
         )
 
     def network_seconds(
-        self, network: str, mode: str = "baseline", size=QHD
+        self, network: str, mode: str = "baseline", size: tuple[int, int] = QHD
     ) -> float:
         """Memoized wall-clock seconds of one named-network inference.
 
@@ -260,5 +269,5 @@ class ExecutionBackend(abc.ABC):
         """
         self._result_cache.clear()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -16,11 +16,14 @@ from repro.backends.base import (
     UnsupportedModeError,
 )
 from repro.backends.registry import register_backend
+from repro.core.ism import ISMConfig
 from repro.hw.config import ASV_BASE, HWConfig
 from repro.hw.energy import ENERGY_16NM, EnergyModel
 from repro.hw.eyeriss import EyerissModel
+from typing import Sequence
 from repro.hw.systolic import LayerResult, RunResult
 from repro.models.stereo_networks import QHD
+from repro.nn.workload import ConvSpec
 
 __all__ = ["EyerissBackend"]
 
@@ -50,18 +53,22 @@ every frame instead
         hw: HWConfig = ASV_BASE,
         energy: EnergyModel = ENERGY_16NM,
         cache_size: int = 32,
-    ):
+    ) -> None:
         super().__init__(cache_size=cache_size)
         self.hw = hw
         self.energy = energy
         self.frequency_hz = hw.frequency_hz
         self.model = EyerissModel(hw, energy)
 
-    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+    def run_network(
+        self, specs: Sequence[ConvSpec], mode: str = "baseline"
+    ) -> RunResult:
         self.require_mode(mode)
         return self.model.run_network(specs, transform=(mode == "dct"))
 
-    def nonkey_frame(self, size=QHD, config=None) -> LayerResult:
+    def nonkey_frame(
+        self, size: tuple[int, int] = QHD, config: ISMConfig | None = None
+    ) -> LayerResult:
         raise UnsupportedModeError(
             "the Eyeriss-class array has no scalar unit for the ISM "
             "point-wise stages; run full inference every frame instead"

@@ -16,6 +16,8 @@ board-rail power times execution time, reported as static energy.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.backends.base import BackendCapabilities, ExecutionBackend
 from repro.backends.registry import register_backend
 from repro.core.ism import ISMConfig, nonkey_op_counts
@@ -23,6 +25,7 @@ from repro.hw.energy import EnergyBreakdown
 from repro.hw.gpu import JETSON_TX2, GPUModel
 from repro.hw.systolic import LayerResult, RunResult
 from repro.models.stereo_networks import QHD
+from repro.nn.workload import ConvSpec
 
 __all__ = ["GPUBackend"]
 
@@ -46,8 +49,13 @@ class GPUBackend(ExecutionBackend):
     )
     frequency_hz = 1.0e9  # virtual tick; the roofline is time-native
 
-    def __init__(self, hw=None, energy=None, model: GPUModel = JETSON_TX2,
-                 cache_size: int = 32):
+    def __init__(
+        self,
+        hw: object = None,
+        energy: object = None,
+        model: GPUModel = JETSON_TX2,
+        cache_size: int = 32,
+    ) -> None:
         # ``hw``/``energy`` are accepted for factory uniformity and
         # ignored: the GPU is a fixed product, not a configurable
         # accelerator envelope.
@@ -68,7 +76,9 @@ class GPUBackend(ExecutionBackend):
             energy=EnergyBreakdown(static_j=seconds * self.model.power_w),
         )
 
-    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+    def run_network(
+        self, specs: Sequence[ConvSpec], mode: str = "baseline"
+    ) -> RunResult:
         self.require_mode(mode)
         layers = []
         for spec in specs:
@@ -84,7 +94,7 @@ class GPUBackend(ExecutionBackend):
         return RunResult(layers)
 
     def nonkey_frame(
-        self, size=QHD, config: ISMConfig | None = None
+        self, size: tuple[int, int] = QHD, config: ISMConfig | None = None
     ) -> LayerResult:
         """Roofline cost of one ISM non-key frame on the GPU."""
         h, w = size

@@ -27,7 +27,10 @@ from repro.backends.base import ExecutionBackend
 
 __all__ = ["register_backend", "get_backend", "available_backends"]
 
-_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+#: anything that builds a backend when called (a class or a factory)
+BackendFactory = Callable[..., ExecutionBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
 
 #: Modules that self-register the built-in backends when imported.
 _BUILTIN_MODULES = (
@@ -37,7 +40,7 @@ _BUILTIN_MODULES = (
 )
 
 
-def register_backend(name: str):
+def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
     """Class/factory decorator adding an entry to the registry.
 
     >>> from repro.backends import available_backends
@@ -51,7 +54,7 @@ def register_backend(name: str):
     >>> _ = _REGISTRY.pop("doc-noop")  # keep the example side-effect-free
     """
 
-    def decorate(factory: Callable[..., ExecutionBackend]):
+    def decorate(factory: BackendFactory) -> BackendFactory:
         _REGISTRY[name] = factory
         return factory
 

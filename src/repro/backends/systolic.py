@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+from typing import Sequence
+
 from repro.backends.base import BackendCapabilities, ExecutionBackend
 from repro.backends.registry import register_backend
 from repro.core.ism import ISMConfig, nonkey_op_counts
@@ -24,6 +26,7 @@ from repro.hw.config import ASV_BASE, HWConfig
 from repro.hw.energy import ENERGY_16NM, EnergyBreakdown, EnergyModel
 from repro.hw.systolic import LayerResult, RunResult, SystolicModel
 from repro.models.stereo_networks import QHD
+from repro.nn.workload import ConvSpec
 
 __all__ = ["SystolicBackend"]
 
@@ -49,14 +52,16 @@ class SystolicBackend(ExecutionBackend):
         hw: HWConfig = ASV_BASE,
         energy: EnergyModel = ENERGY_16NM,
         cache_size: int = 32,
-    ):
+    ) -> None:
         super().__init__(cache_size=cache_size)
         self.hw = hw
         self.energy = energy
         self.frequency_hz = hw.frequency_hz
         self.model = SystolicModel(hw, energy)
 
-    def run_network(self, specs, mode: str = "baseline") -> RunResult:
+    def run_network(
+        self, specs: Sequence[ConvSpec], mode: str = "baseline"
+    ) -> RunResult:
         """Lower, schedule and execute a layer table under ``mode``."""
         self.require_mode(mode)
         if mode == "baseline":
@@ -71,7 +76,7 @@ class SystolicBackend(ExecutionBackend):
         return self.model.run_schedules(schedules, validate=False)
 
     def nonkey_frame(
-        self, size=QHD, config: ISMConfig | None = None
+        self, size: tuple[int, int] = QHD, config: ISMConfig | None = None
     ) -> LayerResult:
         """Latency/energy of one ISM non-key frame (Sec. 5.1 mapping)."""
         config = config or ISMConfig()

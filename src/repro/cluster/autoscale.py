@@ -77,7 +77,7 @@ class Autoscaler:
     min_replicas: int = 1
     max_replicas: int = 8
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 < self.high_pressure:
             raise ValueError("high_pressure must be positive")
         if not 0.0 <= self.low_pressure < self.high_pressure:
@@ -133,7 +133,7 @@ class AutoscalerState:
     >>> state.observe(0.1, n_replicas=1)   # already at the floor: hold
     """
 
-    def __init__(self, config: Autoscaler):
+    def __init__(self, config: Autoscaler) -> None:
         self.config = config
         self.above = 0
         self.below = 0

@@ -69,7 +69,7 @@ class ClusterEngine:
         policy: str | PlacementPolicy = "least-loaded",
         scheduler: str | FrameScheduler = "fifo",
         quality: QualityProbe | bool | None = None,
-    ):
+    ) -> None:
         if not backends:
             raise ValueError("a cluster needs at least one backend")
         self.backends = [

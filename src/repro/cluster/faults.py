@@ -102,7 +102,7 @@ class CrashFault:
     shard: str
     at_s: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.at_s < 0:
             raise ValueError("crash time must be >= 0")
 
@@ -123,7 +123,7 @@ class SlowdownFault:
     duration_s: float
     factor: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.start_s < 0 or self.duration_s <= 0:
             raise ValueError("slowdown window must be non-negative and last")
         if self.factor <= 0:
@@ -157,7 +157,7 @@ class FlakyFault:
     duration_s: float
     failure_rate: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.start_s < 0 or self.duration_s <= 0:
             raise ValueError("flaky window must be non-negative and last")
         if not 0.0 <= self.failure_rate < 1.0:
@@ -190,7 +190,7 @@ class RetryPolicy:
     backoff_s: float = 0.002
     timeout_s: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_s < 0:
@@ -263,7 +263,13 @@ def _u01(seed: int, shard: str, stream: str, frame: int, attempt: int) -> float:
 class _Replica:
     """Mutable per-backend server state inside the chaos loop."""
 
-    def __init__(self, backend, coster, label, spawned_s=0.0):
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        coster: FrameCoster,
+        label: str,
+        spawned_s: float = 0.0,
+    ) -> None:
         self.backend = backend
         self.coster = coster
         self.label = label
@@ -355,7 +361,7 @@ class ChaosClusterEngine(ClusterEngine):
         faults: FaultSchedule | None = None,
         retry: RetryPolicy | None = None,
         autoscaler: Autoscaler | None = None,
-    ):
+    ) -> None:
         super().__init__(backends, policy=policy, scheduler=scheduler,
                          quality=quality)
         self.faults = faults or FaultSchedule()

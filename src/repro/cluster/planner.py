@@ -59,7 +59,7 @@ class BackendPlan:
     utilization_cap: float
     n_streams: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.instances < 1:
             raise ValueError(
                 f"a fleet of {self.backend!r} needs at least one instance "

@@ -45,10 +45,15 @@ __all__ = [
     "register_placement_policy",
 ]
 
-_REGISTRY: dict[str, Callable[[], "PlacementPolicy"]] = {}
+#: anything that builds a policy when called (a class or a factory)
+PolicyFactory = Callable[[], "PlacementPolicy"]
+
+_REGISTRY: dict[str, PolicyFactory] = {}
 
 
-def register_placement_policy(name: str):
+def register_placement_policy(
+    name: str,
+) -> Callable[[PolicyFactory], PolicyFactory]:
     """Class/factory decorator adding a policy to the registry.
 
     >>> @register_placement_policy("doc-first-backend")
@@ -61,7 +66,7 @@ def register_placement_policy(name: str):
     >>> _ = _REGISTRY.pop("doc-first-backend")  # side-effect-free example
     """
 
-    def decorate(factory: Callable[[], "PlacementPolicy"]):
+    def decorate(factory: PolicyFactory) -> PolicyFactory:
         _REGISTRY[name] = factory
         return factory
 
@@ -113,7 +118,7 @@ class PlacementPolicy:
         """One backend index per stream."""
         raise NotImplementedError
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
@@ -164,7 +169,11 @@ class RoundRobinPolicy(PlacementPolicy):
 
     name = "round-robin"
 
-    def assign(self, streams, costers):
+    def assign(
+        self,
+        streams: Sequence[FrameStream],
+        costers: Sequence[FrameCoster],
+    ) -> list[int]:
         return [i % len(costers) for i in range(len(streams))]
 
 
@@ -187,7 +196,11 @@ class LeastLoadedPolicy(PlacementPolicy):
 
     name = "least-loaded"
 
-    def assign(self, streams, costers):
+    def assign(
+        self,
+        streams: Sequence[FrameStream],
+        costers: Sequence[FrameCoster],
+    ) -> list[int]:
         indices = tuple(range(len(costers)))
         return _greedy_least_loaded(streams, costers, lambda _s: indices)
 
@@ -216,10 +229,14 @@ class CapabilityAwarePolicy(PlacementPolicy):
 
     name = "capability-aware"
 
-    def assign(self, streams, costers):
+    def assign(
+        self,
+        streams: Sequence[FrameStream],
+        costers: Sequence[FrameCoster],
+    ) -> list[int]:
         everyone = tuple(range(len(costers)))
 
-        def candidates_for(stream):
+        def candidates_for(stream: FrameStream) -> Sequence[int]:
             pool = everyone
             if _wants_ism(stream):
                 ism = tuple(
@@ -262,7 +279,11 @@ class DeadlineAwarePolicy(PlacementPolicy):
 
     name = "deadline-aware"
 
-    def assign(self, streams, costers):
+    def assign(
+        self,
+        streams: Sequence[FrameStream],
+        costers: Sequence[FrameCoster],
+    ) -> list[int]:
         indices = tuple(range(len(costers)))
         return _greedy_least_loaded(
             streams, costers, lambda _s: indices,

@@ -62,9 +62,9 @@ def main(argv: list[str]) -> int:
         print(f"unknown figures: {unknown}; choose from {sorted(FIGURES)}")
         return 2
     for name in targets:
-        t0 = time.time()
+        t0 = time.perf_counter()
         print(FIGURES[name]())
-        print(f"[{name} in {time.time() - t0:.1f}s]\n")
+        print(f"[{name} in {time.perf_counter() - t0:.1f}s]\n")
     return 0
 
 

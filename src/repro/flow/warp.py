@@ -84,12 +84,12 @@ def forward_warp_disparity(
         new_d = disp + (dx_right - dx_left)
 
     inside = (ty >= 0) & (ty < h) & (tx >= 0) & (tx < w)
-    out = np.full((h, w), -1.0)
+    out = np.full((h, w), -1.0, dtype=np.float64)
     flat = ty[inside] * w + tx[inside]
     vals = new_d[inside]
     # z-buffer: larger disparity (nearer) wins; maximum.at resolves
     # collisions without ordering artefacts
-    buf = np.full(h * w, -1.0)
+    buf = np.full(h * w, -1.0, dtype=np.float64)
     np.maximum.at(buf, flat, vals)
     out = buf.reshape(h, w)
     known = out >= 0

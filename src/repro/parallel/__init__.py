@@ -30,7 +30,7 @@ from repro.parallel.tiles import RowBand, split_rows
 _AUTOTUNE_EXPORTS = ("LatencyModel", "TileConfig", "search_config", "tuned_tile_rows")
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # lazy so `python -m repro.parallel.autotune` does not re-execute a
     # module the package import already pulled in
     if name in _AUTOTUNE_EXPORTS:

@@ -62,6 +62,7 @@ from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import ExitStack
 from itertools import islice
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -74,7 +75,16 @@ from repro.flow.farneback import (
     flow_iteration,
     poly_expansion,
 )
-from repro.parallel.shm import ShmArena, attached, shm_available
+from repro.parallel.shm import (
+    ShmArena,
+    ShmHandle,
+    arm_segment,
+    assert_covered,
+    attached,
+    claim_region,
+    sanitize_enabled,
+    shm_available,
+)
 from repro.parallel.tiles import split_rows
 from repro.stereo.block_matching import (
     block_match,
@@ -88,7 +98,7 @@ from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, wta_disparity
 __all__ = ["TileExecutor", "available_kernels"]
 
 
-def _census_coded(left, right_codes, **kwargs):
+def _census_coded(left: np.ndarray, right_codes: np.ndarray, **kwargs) -> np.ndarray:
     """Band kernel: census matching against precomputed right codes.
 
     The right image's census codes depend only on the right frame, so
@@ -99,7 +109,7 @@ def _census_coded(left, right_codes, **kwargs):
     return census_block_match(left, None, right_codes=right_codes, **kwargs)
 
 
-def _poly_band(img, **kwargs):
+def _poly_band(img: np.ndarray, **kwargs) -> np.ndarray:
     """Band kernel: polynomial expansion packed into one dense map.
 
     ``(A, b)`` of a band, packed as the five distinct channels
@@ -120,7 +130,7 @@ def _poly_band(img, **kwargs):
 
 #: whole-frame callables a band job may name (names, not functions,
 #: cross the process boundary)
-_BAND_KERNELS = {
+_BAND_KERNELS: dict[str, Callable[..., np.ndarray]] = {
     "bm": block_match,
     "census": census_block_match,
     "census_coded": _census_coded,
@@ -137,7 +147,10 @@ _TUNE_KEYS = {
     "flow": "farneback",
 }
 
-_POOLS = {"process": ProcessPoolExecutor, "thread": ThreadPoolExecutor}
+_POOLS: dict[str, Callable[..., Executor]] = {
+    "process": ProcessPoolExecutor,
+    "thread": ThreadPoolExecutor,
+}
 
 _TRANSPORTS = ("auto", "pickle", "shm")
 
@@ -151,7 +164,13 @@ def available_kernels() -> tuple[str, ...]:
     return ("bm", "census", "guided", "sgm")
 
 
-def _run_band(kernel: str, arrays, kwargs, crop, row_axis: int):
+def _run_band(
+    kernel: str,
+    arrays: Sequence[np.ndarray],
+    kwargs: dict,
+    crop: tuple[int, int],
+    row_axis: int,
+) -> np.ndarray:
     """Execute one haloed band and crop it back to its payload rows.
 
     Top-level so process pools can pickle the job; the kernel is named
@@ -162,7 +181,17 @@ def _run_band(kernel: str, arrays, kwargs, crop, row_axis: int):
     return out[index]
 
 
-def _run_band_shm(kernel, handles, lo, hi, kwargs, crop, row_axis, out_handle, start):
+def _run_band_shm(
+    kernel: str,
+    handles: Sequence[ShmHandle],
+    lo: int,
+    hi: int,
+    kwargs: dict,
+    crop: tuple[int, int],
+    row_axis: int,
+    out_handle: ShmHandle,
+    start: int,
+) -> None:
     """Shared-memory twin of :func:`_run_band`.
 
     Inputs arrive as segment handles plus the band's row range; the
@@ -178,10 +207,21 @@ def _run_band_shm(kernel, handles, lo, hi, kwargs, crop, row_axis, out_handle, s
     with attached(out_handle) as dest:
         rows = (slice(None),) * row_axis
         rows += (slice(start, start + part.shape[row_axis]),)
+        if sanitize_enabled():
+            claim_region(dest, rows, label=f"{kernel} band")
         np.copyto(dest[rows], part)
 
 
-def _flow_band(A1b, b1b, A2, b2, flowb, window_sigma, row0, crop):
+def _flow_band(
+    A1b: np.ndarray,
+    b1b: np.ndarray,
+    A2: np.ndarray,
+    b2: np.ndarray,
+    flowb: np.ndarray,
+    window_sigma: float,
+    row0: int,
+    crop: tuple[int, int],
+) -> np.ndarray:
     """One banded Farneback iteration (top-level for pickling).
 
     ``A1``/``b1``/``flow`` arrive as haloed row bands; ``A2``/``b2``
@@ -193,7 +233,15 @@ def _flow_band(A1b, b1b, A2, b2, flowb, window_sigma, row0, crop):
     return out[slice(*crop)]
 
 
-def _flow_band_shm(handles, lo, hi, window_sigma, crop, out_handle, start):
+def _flow_band_shm(
+    handles: Sequence[ShmHandle],
+    lo: int,
+    hi: int,
+    window_sigma: float,
+    crop: tuple[int, int],
+    out_handle: ShmHandle,
+    start: int,
+) -> None:
     """Shared-memory twin of :func:`_flow_band`.
 
     All five inputs are shared whole-frame once; each job slices its
@@ -210,15 +258,27 @@ def _flow_band_shm(handles, lo, hi, window_sigma, crop, out_handle, start):
         del A1, b1, A2, b2, flow
     part = out[slice(*crop)]
     with attached(out_handle) as dest:
-        np.copyto(dest[start : start + part.shape[0]], part)
+        rows = (slice(start, start + part.shape[0]),)
+        if sanitize_enabled():
+            claim_region(dest, rows, label="flow band")
+        np.copyto(dest[rows], part)
 
 
-def _run_direction(cost, dy: int, dx: int, p1: float, p2: float):
+def _run_direction(
+    cost: np.ndarray, dy: int, dx: int, p1: float, p2: float
+) -> np.ndarray:
     """One SGM path-direction aggregation (top-level for pickling)."""
     return aggregate_path(cost, dy, dx, p1, p2)
 
 
-def _run_direction_shm(cost_handle, dy, dx, p1, p2, out_handle):
+def _run_direction_shm(
+    cost_handle: ShmHandle,
+    dy: int,
+    dx: int,
+    p1: float,
+    p2: float,
+    out_handle: ShmHandle,
+) -> None:
     """Shared-memory twin of :func:`_run_direction`.
 
     The cost volume is attached read-only by name (every direction job
@@ -231,7 +291,9 @@ def _run_direction_shm(cost_handle, dy, dx, p1, p2, out_handle):
         np.copyto(out, part)
 
 
-def _band_output(kernel: str, arrays, kwargs) -> tuple[tuple[int, ...], np.dtype]:
+def _band_output(
+    kernel: str, arrays: Sequence[np.ndarray], kwargs: dict
+) -> tuple[tuple[int, ...], np.dtype]:
     """Full-frame output (shape, dtype) of a band kernel."""
     h, w = arrays[0].shape[:2]
     if kernel == "sad_cost":
@@ -292,7 +354,7 @@ class TileExecutor:
         tile_rows: int | str | None = "auto",
         precision: str = "float64",
         transport: str = "auto",
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if pool not in _POOLS:
@@ -331,7 +393,7 @@ class TileExecutor:
             )
         self._pool: Executor | None = None
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"TileExecutor(workers={self.workers}, pool={self.pool!r}, "
             f"tile_rows={self.tile_rows!r}, precision={self.precision!r}, "
@@ -350,10 +412,12 @@ class TileExecutor:
     def __enter__(self) -> "TileExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _iter_map(self, fn, jobs: list[tuple]):
+    def _iter_map(
+        self, fn: Callable[..., Any], jobs: list[tuple]
+    ) -> Iterator[Any]:
         """Yield ``fn``'s results over argument tuples, in job order.
 
         Lazy so reducers (the SGM direction sum) can consume one
@@ -370,26 +434,29 @@ class TileExecutor:
             for job in jobs:
                 yield fn(*job)
             return
-        if self._pool is None:
-            self._pool = _POOLS[self.pool](max_workers=self.workers)
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = _POOLS[self.pool](max_workers=self.workers)
         queue = iter(jobs)
         pending = deque(
-            self._pool.submit(fn, *job) for job in islice(queue, self.workers)
+            pool.submit(fn, *job) for job in islice(queue, self.workers)
         )
         while pending:
             yield pending.popleft().result()
             job = next(queue, None)
             if job is not None:
-                pending.append(self._pool.submit(fn, *job))
+                pending.append(pool.submit(fn, *job))
 
-    def _map(self, fn, jobs: list[tuple]) -> list:
+    def _map(self, fn: Callable[..., Any], jobs: list[tuple]) -> list:
         """Run ``fn`` over argument tuples, results in job order."""
         return list(self._iter_map(fn, jobs))
 
     # ------------------------------------------------------------------
     # row-band tiling
     # ------------------------------------------------------------------
-    def _n_bands(self, height: int, kernel: str, frame_shape) -> int:
+    def _n_bands(
+        self, height: int, kernel: str, frame_shape: tuple[int, ...]
+    ) -> int:
         tile_rows = self.tile_rows
         if tile_rows == "auto":
             if self.workers == 1:
@@ -411,7 +478,15 @@ class TileExecutor:
             return -(-height // tile_rows)  # ceil
         return self.workers
 
-    def _tiled(self, kernel, arrays, kwargs, halo, row_axis=0, arena=None) -> np.ndarray:
+    def _tiled(
+        self,
+        kernel: str,
+        arrays: Sequence[np.ndarray],
+        kwargs: dict,
+        halo: int,
+        row_axis: int = 0,
+        arena: ShmArena | None = None,
+    ) -> Any:
         """Run ``kernel`` over haloed row bands and stitch the payloads.
 
         With the shared-memory transport the inputs are shared once,
@@ -454,6 +529,7 @@ class TileExecutor:
             in_handles = tuple(local.share(a) for a in arrays)
             out_shape, out_dtype = _band_output(kernel, arrays, kwargs)
             out_handle, out_view = local.alloc(out_shape, out_dtype)
+            sanitize = sanitize_enabled() and arm_segment(out_view)
             for _ in self._iter_map(
                 _run_band_shm,
                 [
@@ -472,6 +548,8 @@ class TileExecutor:
                 ],
             ):
                 pass
+            if sanitize:
+                assert_covered(out_view, label=f"{kernel} output")
             for handle in in_handles:  # free the input frames early
                 local.release(handle)
             if arena is not None:
@@ -487,7 +565,12 @@ class TileExecutor:
     # the four matchers
     # ------------------------------------------------------------------
     def block_match(
-        self, left, right, max_disp: int, block_size: int = 9, subpixel: bool = True
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        max_disp: int,
+        block_size: int = 9,
+        subpixel: bool = True,
     ) -> np.ndarray:
         """Tiled :func:`~repro.stereo.block_matching.block_match`."""
         return self._tiled(
@@ -503,7 +586,12 @@ class TileExecutor:
         )
 
     def census_block_match(
-        self, left, right, max_disp: int, window: int = 5, subpixel: bool = True
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        max_disp: int,
+        window: int = 5,
+        subpixel: bool = True,
     ) -> np.ndarray:
         """Tiled :func:`~repro.stereo.census.census_block_match`.
 
@@ -527,9 +615,9 @@ class TileExecutor:
 
     def guided_block_match(
         self,
-        left,
-        right,
-        init,
+        left: np.ndarray,
+        right: np.ndarray,
+        init: np.ndarray,
         radius: int = 4,
         block_size: int = 9,
         subpixel: bool = True,
@@ -556,8 +644,8 @@ class TileExecutor:
 
     def sgm(
         self,
-        left,
-        right,
+        left: np.ndarray,
+        right: np.ndarray,
         max_disp: int,
         block_size: int = 5,
         p1: float = 0.05,
@@ -633,7 +721,7 @@ class TileExecutor:
     # ------------------------------------------------------------------
     def poly_expansion(
         self,
-        img,
+        img: np.ndarray,
         sigma: float = 1.5,
         radius: int | None = None,
         precision: str | None = None,
@@ -665,7 +753,7 @@ class TileExecutor:
 
     def expand_frame(
         self,
-        frame,
+        frame: np.ndarray,
         levels: int = 3,
         sigma: float = 1.5,
         radius: int | None = None,
@@ -696,7 +784,13 @@ class TileExecutor:
         )
 
     def flow_iteration(
-        self, A1, b1, A2, b2, flow, window_sigma: float = 4.0
+        self,
+        A1: np.ndarray,
+        b1: np.ndarray,
+        A2: np.ndarray,
+        b2: np.ndarray,
+        flow: np.ndarray,
+        window_sigma: float = 4.0,
     ) -> np.ndarray:
         """Tiled :func:`~repro.flow.farneback.flow_iteration`.
 
@@ -734,6 +828,7 @@ class TileExecutor:
         with ShmArena() as arena:
             handles = tuple(arena.share(a) for a in (A1, b1, A2, b2, flow))
             out_handle, out_view = arena.alloc(flow.shape, flow.dtype)
+            sanitize = sanitize_enabled() and arm_segment(out_view)
             for _ in self._iter_map(
                 _flow_band_shm,
                 [
@@ -743,6 +838,8 @@ class TileExecutor:
                 ],
             ):
                 pass
+            if sanitize:
+                assert_covered(out_view, label="flow output")
             return out_view.copy()
 
     def flow_from_expansions(
@@ -760,8 +857,8 @@ class TileExecutor:
 
     def farneback_flow(
         self,
-        frame0,
-        frame1,
+        frame0: np.ndarray,
+        frame1: np.ndarray,
         levels: int = 3,
         iterations: int = 3,
         sigma: float = 1.5,
@@ -780,7 +877,7 @@ class TileExecutor:
         exp1 = self.expand_frame(frame1, levels, sigma=sigma, precision=precision)
         return self.flow_from_expansions(exp0, exp1, iterations, window_sigma)
 
-    def kernel(self, name: str):
+    def kernel(self, name: str) -> Callable[..., np.ndarray]:
         """The tiled kernel registered under ``name``.
 
         ``"bm"`` / ``"census"`` / ``"sgm"`` return matchers with the
@@ -796,7 +893,7 @@ class TileExecutor:
             ...
         ValueError: unknown kernel 'orb'; choose from ('bm', 'census', 'guided', 'sgm')
         """
-        kernels = {
+        kernels: dict[str, Callable[..., np.ndarray]] = {
             "bm": self.block_match,
             "census": self.census_block_match,
             "guided": self.guided_block_match,

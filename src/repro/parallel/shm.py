@@ -37,15 +37,28 @@ cleanup, the tracker unlinks the segment at exit.
 
 from __future__ import annotations
 
+import os
 import secrets
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import Iterator
 
 import numpy as np
+from numpy.typing import DTypeLike
 
-__all__ = ["ShmArena", "ShmHandle", "attached", "shm_available"]
+__all__ = [
+    "ShmArena",
+    "ShmHandle",
+    "ShmSanitizeError",
+    "attached",
+    "shm_available",
+    "sanitize_enabled",
+    "arm_segment",
+    "claim_region",
+    "assert_covered",
+]
 
 #: every segment name starts with this, so a leak check is just
 #: ``ls /dev/shm/asv_*``
@@ -96,8 +109,78 @@ def _close_quietly(seg: shared_memory.SharedMemory) -> None:
         pass
 
 
+# ----------------------------------------------------------------------
+# the opt-in write-overlap sanitizer (ASV_SHM_SANITIZE=1)
+# ----------------------------------------------------------------------
+#
+# Band jobs write disjoint row ranges of one full-size output segment;
+# nothing *enforces* the disjointness — a banding bug would make two
+# jobs race on the same rows and the corruption would only surface as a
+# wrong pixel somewhere downstream.  With ``ASV_SHM_SANITIZE=1`` the
+# parent arms each float output segment by filling it with NaN (the
+# "unwritten" sentinel — no tiled kernel produces NaN, which
+# :func:`assert_covered` re-checks), every band job *claims* its target
+# region by asserting it is still all-NaN before writing, and the
+# parent asserts full coverage (no sentinel left) after the last job.
+# Claimed-before-write + fully-covered-after == the bands partition the
+# output.  The SGM direction fan-out is exempt by design: its jobs
+# rewrite whole cycled slots, serialised by the bounded ``_iter_map``.
+
+
+def sanitize_enabled() -> bool:
+    """Whether the ``ASV_SHM_SANITIZE=1`` overlap sanitizer is armed.
+
+    Read per call (not cached) so pool workers — which inherit the
+    parent's environment — and tests see changes immediately.
+    """
+    return os.environ.get("ASV_SHM_SANITIZE", "") == "1"
+
+
+class ShmSanitizeError(AssertionError):
+    """An overlap/coverage violation caught by the shm sanitizer."""
+
+
+def arm_segment(view: np.ndarray) -> bool:
+    """Fill a float output segment with the unwritten sentinel.
+
+    Returns whether the segment was armed (only floating dtypes have a
+    NaN sentinel; every tiled kernel output is float32/float64).
+    """
+    if not np.issubdtype(view.dtype, np.floating):
+        return False
+    view.fill(np.nan)
+    return True
+
+
+def claim_region(dest: np.ndarray, index: tuple, label: str = "band") -> None:
+    """Assert the target region is still unwritten, then let the write
+    proceed.  Called by band jobs *in the worker* just before their
+    ``np.copyto``; raises :class:`ShmSanitizeError` when another band
+    already wrote any of these rows."""
+    region = dest[index]
+    if not np.issubdtype(region.dtype, np.floating):
+        return
+    if not np.all(np.isnan(region)):
+        raise ShmSanitizeError(
+            f"shm sanitizer: {label} writes rows already claimed by another "
+            f"band (index {index!r}); row ranges must be disjoint"
+        )
+
+
+def assert_covered(view: np.ndarray, label: str = "output") -> None:
+    """Assert every element of an armed segment was written exactly once
+    (no sentinel survives).  Runs in the parent after the last job."""
+    if not np.issubdtype(view.dtype, np.floating):
+        return
+    if np.any(np.isnan(view)):
+        raise ShmSanitizeError(
+            f"shm sanitizer: {label} has unwritten (or NaN-producing) "
+            "elements after all bands completed; bands must cover every row"
+        )
+
+
 @contextmanager
-def attached(handle: ShmHandle):
+def attached(handle: ShmHandle) -> Iterator[np.ndarray]:
     """Map a shared segment for the duration of a worker job.
 
     The mapping is closed on exit; the tracker registration made by the
@@ -124,7 +207,7 @@ class ShmArena:
     everything that remains.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._finalizer = weakref.finalize(self, ShmArena._cleanup, self._segments)
 
@@ -138,7 +221,9 @@ class ShmArena:
             _close_quietly(seg)
         segments.clear()
 
-    def _create(self, shape: tuple[int, ...], dtype) -> tuple[ShmHandle, np.ndarray]:
+    def _create(
+        self, shape: tuple[int, ...], dtype: DTypeLike
+    ) -> tuple[ShmHandle, np.ndarray]:
         dtype = np.dtype(dtype)
         handle = ShmHandle(
             name=SEGMENT_PREFIX + secrets.token_hex(8),
@@ -159,7 +244,9 @@ class ShmArena:
         del view
         return handle
 
-    def alloc(self, shape: tuple[int, ...], dtype) -> tuple[ShmHandle, np.ndarray]:
+    def alloc(
+        self, shape: tuple[int, ...], dtype: DTypeLike
+    ) -> tuple[ShmHandle, np.ndarray]:
         """Create an output segment; the parent keeps the writable view."""
         return self._create(shape, dtype)
 
@@ -177,5 +264,5 @@ class ShmArena:
     def __enter__(self) -> "ShmArena":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

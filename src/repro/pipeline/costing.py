@@ -181,7 +181,7 @@ class FrameCoster:
     'baseline'
     """
 
-    def __init__(self, backend: ExecutionBackend):
+    def __init__(self, backend: ExecutionBackend) -> None:
         self.backend = backend
         # non-key costs depend only on (size, ism config); memoize so
         # a long stream pays the analytic model once, like key frames

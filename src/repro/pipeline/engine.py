@@ -83,7 +83,7 @@ class StreamEngine:
         scheduler: str | FrameScheduler = "fifo",
         quality: QualityProbe | bool | None = None,
         **backend_kwargs,
-    ):
+    ) -> None:
         if isinstance(backend, str):
             backend = get_backend(backend, **backend_kwargs)
         elif backend_kwargs:

@@ -112,7 +112,9 @@ class StreamQuality:
     matcher: str
     frames: tuple[FrameQuality, ...]
 
-    def _over(self, attr: str, dispositions=None) -> float | None:
+    def _over(
+        self, attr: str, dispositions: tuple[str, ...] | None = None
+    ) -> float | None:
         vals = [
             getattr(f, attr)
             for f in self.frames
@@ -227,7 +229,7 @@ class QualityProbe:
         pool: str = "process",
         tile_rows: int | str | None = "auto",
         transport: str = "auto",
-    ):
+    ) -> None:
         if matcher not in _MATCHER_NAMES:
             raise ValueError(
                 f"unknown matcher {matcher!r}; choose from {available_matchers()}"
@@ -256,7 +258,7 @@ class QualityProbe:
         self.sample = sample
         self.seed = seed
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"QualityProbe(matcher={self.matcher_name!r}, "
             f"max_disp={self.max_disp}, sample={self.sample}, "

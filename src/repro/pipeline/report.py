@@ -29,12 +29,17 @@ latency summary the scheduler trade-offs are judged by.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.cache import CacheInfo
 from repro.pipeline.quality import StreamQuality
 from repro.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.pipeline.costing import ServeOutcome
+    from repro.pipeline.stream import FrameStream
 
 __all__ = [
     "StreamStats",
@@ -45,7 +50,9 @@ __all__ = [
 ]
 
 
-def _weighted_quality_mean(stream_stats, attr: str) -> float | None:
+def _weighted_quality_mean(
+    stream_stats: Sequence["StreamStats"], attr: str
+) -> float | None:
     """Frame-weighted mean of a quality attribute over probed streams.
 
     Shared by the engine and cluster reports so the two aggregation
@@ -102,9 +109,9 @@ class StreamStats:
     def from_latencies(
         cls,
         stream: str,
-        latencies_s,
+        latencies_s: Sequence[float],
         key_frames: int,
-        waits_s=(),
+        waits_s: Sequence[float] = (),
         missed_deadlines: int = 0,
         dropped_frames: int = 0,
         worst_lateness_s: float = 0.0,
@@ -188,7 +195,11 @@ class EngineReport:
 
     @classmethod
     def from_serve(
-        cls, backend: str, streams, outcome, cache: CacheInfo
+        cls,
+        backend: str,
+        streams: Sequence["FrameStream"],
+        outcome: "ServeOutcome",
+        cache: CacheInfo,
     ) -> "EngineReport":
         """Build the report from a :class:`~repro.pipeline.costing.
         ServeOutcome` (the raw simulation result).

@@ -64,10 +64,15 @@ __all__ = [
     "register_scheduler",
 ]
 
-_REGISTRY: dict[str, Callable[[], "FrameScheduler"]] = {}
+#: anything that builds a scheduler when called (a class or a factory)
+SchedulerFactory = Callable[[], "FrameScheduler"]
+
+_REGISTRY: dict[str, SchedulerFactory] = {}
 
 
-def register_scheduler(name: str):
+def register_scheduler(
+    name: str,
+) -> Callable[[SchedulerFactory], SchedulerFactory]:
     """Class/factory decorator adding a scheduler to the registry.
 
     >>> @register_scheduler("doc-lifo")
@@ -80,7 +85,7 @@ def register_scheduler(name: str):
     >>> _ = _REGISTRY.pop("doc-lifo")  # keep the example side-effect-free
     """
 
-    def decorate(factory: Callable[[], "FrameScheduler"]):
+    def decorate(factory: SchedulerFactory) -> SchedulerFactory:
         _REGISTRY[name] = factory
         return factory
 
@@ -142,7 +147,7 @@ class RekeyLedger:
     True
     """
 
-    def __init__(self, n_streams: int):
+    def __init__(self, n_streams: int) -> None:
         self.flags = [False] * n_streams
 
     def effective_key(
@@ -345,7 +350,7 @@ class FrameScheduler:
             dispositions=tuple(tuple(d) for d in dispositions),
         )
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
@@ -364,7 +369,7 @@ class FifoScheduler(FrameScheduler):
 
     name = "fifo"
 
-    def select(self, ready, now_s):
+    def select(self, ready: Sequence[FrameJob], now_s: float) -> int:
         return 0  # ready is kept in arrival order
 
 
@@ -381,7 +386,7 @@ class EdfScheduler(FrameScheduler):
 
     name = "edf"
 
-    def select(self, ready, now_s):
+    def select(self, ready: Sequence[FrameJob], now_s: float) -> int:
         return min(
             self.stream_heads(ready),
             key=lambda idx: (ready[idx].deadline_s, ready[idx].seq),
@@ -401,7 +406,7 @@ class PriorityScheduler(FrameScheduler):
 
     name = "priority"
 
-    def select(self, ready, now_s):
+    def select(self, ready: Sequence[FrameJob], now_s: float) -> int:
         return min(
             self.stream_heads(ready),
             key=lambda idx: (
@@ -430,8 +435,8 @@ class ShedScheduler(FrameScheduler):
 
     name = "shed"
 
-    def select(self, ready, now_s):
+    def select(self, ready: Sequence[FrameJob], now_s: float) -> int:
         return 0  # FIFO order; shedding happens at admission
 
-    def admit(self, job, start_s, is_key):
+    def admit(self, job: FrameJob, start_s: float, is_key: bool) -> bool:
         return is_key or start_s <= job.deadline_s

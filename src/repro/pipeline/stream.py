@@ -74,7 +74,7 @@ class FrameStream:
         default=None, repr=False
     )
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_frames < 1:
             raise ValueError("a stream must carry at least one frame")
         if self.fps <= 0:
@@ -97,7 +97,7 @@ class FrameStream:
             return math.inf
         return index / self.fps + self.deadline_s
 
-    def make_policy(self):
+    def make_policy(self) -> object:
         """A fresh key-frame policy instance for one engine run.
 
         >>> from repro.core.keyframe import MotionAdaptivePolicy
@@ -146,7 +146,7 @@ def sceneflow_stream(
     >>> stream.name, len(list(stream.frames()))
     ('sceneflow-1', 2)
     """
-    def source():
+    def source() -> Iterator[StereoFrame]:
         scene = sceneflow_scene(seed, size=size, max_disp=max_disp)
         for t in range(n_frames):
             yield scene.render(float(t))
@@ -178,7 +178,7 @@ def kitti_stream(
     >>> stream.name, len(list(stream.frames()))
     ('kitti-0', 3)
     """
-    def source():
+    def source() -> Iterator[StereoFrame]:
         produced = 0
         for pair in kitti_pairs(
             n_scenes=math.ceil(n_frames / 2), size=size,
@@ -226,7 +226,7 @@ def stress_stream(
             f"unknown stress kind {kind!r}; choose from {sorted(makers)}"
         ) from None
 
-    def source():
+    def source() -> Iterator[StereoFrame]:
         scene = maker(seed=seed, size=size, max_disp=max_disp)
         for t in range(n_frames):
             yield scene.render(float(t))

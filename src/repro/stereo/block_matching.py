@@ -84,7 +84,7 @@ def _box_mean(img: np.ndarray, size: int) -> np.ndarray:
     again), which is how :func:`guided_block_match` batches its
     per-offset SAD passes.
     """
-    weights = np.full(size, 1.0 / size)
+    weights = np.full(size, 1.0 / size, dtype=np.float64)
     out = ndimage.correlate1d(img, weights, axis=-2, mode="nearest")
     return ndimage.correlate1d(out, weights, axis=-1, mode="nearest")
 

@@ -71,9 +71,9 @@ def interpolate_prior(
     """
     h, w = shape
     if ds.size == 0:
-        return np.zeros(shape)
+        return np.zeros(shape, dtype=np.float64)
     rows = np.unique(ys)
-    by_row = np.empty((rows.size, w))
+    by_row = np.empty((rows.size, w), dtype=np.float64)
     cols = np.arange(w)
     for i, y in enumerate(rows):
         m = ys == y

@@ -35,7 +35,7 @@ def grow_seeds(
     pixels are left at -1 (invalid).
     """
     d_levels, h, w = cost.shape
-    disp = np.full((h, w), -1.0)
+    disp = np.full((h, w), -1.0, dtype=np.float64)
     heap = []
     for y, x, d in zip(*seeds):
         y, x, d = int(y), int(x), int(d)

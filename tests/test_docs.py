@@ -25,6 +25,7 @@ REQUIRED_PAGES = (
     "performance.md",
     "reproducing.md",
     "resilience.md",
+    "static-analysis.md",
 )
 
 #: markdown inline links: [text](target), excluding images

@@ -1,0 +1,91 @@
+"""The determinism canary: one seeded chaos scenario, run twice, diffed.
+
+The static :class:`~tools.asvlint.rules.DeterminismRule` catches the
+*sources* of nondeterminism it knows about; the canary catches the ones
+it doesn't.  It serves a fixed fleet through
+:class:`~repro.cluster.faults.ChaosClusterEngine` under a pinned fault
+schedule (a mid-run crash plus a seeded flaky window — every
+deterministic code path the chaos loop has: failover, re-key, retries),
+renders the full cluster report twice from scratch, and demands the two
+renders be **byte-for-byte identical**.  Any unseeded draw, wall-clock
+read, or hash-order dependence anywhere under the serving stack shows
+up as a diff.
+
+Run it via ``python -m tools.asvlint --canary`` (CI does) or through
+``tests/test_asvlint.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+__all__ = ["canary_reports", "run_canary"]
+
+
+def _ensure_repro_importable() -> None:
+    """Fall back to the in-tree ``src/`` when ``repro`` is not installed.
+
+    The static pass never imports the code it checks, so the bare CLI
+    works anywhere; only the canary executes the serving stack.
+    """
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        if (src / "repro").is_dir():
+            sys.path.insert(0, str(src))
+
+
+def canary_reports(n_frames: int = 10, seed: int = 9) -> tuple[str, str]:
+    """Render the canary scenario twice, from two fresh engines."""
+    _ensure_repro_importable()
+    from repro.cluster import (
+        ChaosClusterEngine,
+        CrashFault,
+        FaultSchedule,
+        FlakyFault,
+        format_cluster_report,
+    )
+    from repro.pipeline import FrameStream
+
+    def render() -> str:
+        schedule = FaultSchedule(
+            faults=(
+                CrashFault("gpu:0", at_s=0.05),
+                FlakyFault("gpu:1", start_s=0.0, duration_s=0.4, failure_rate=0.3),
+            ),
+            seed=seed,
+        )
+        engine = ChaosClusterEngine(
+            ["gpu", "gpu"], policy="round-robin", faults=schedule
+        )
+        streams = [
+            FrameStream(
+                f"cam{i}",
+                size=(68, 120),
+                n_frames=n_frames,
+                deadline_s=0.05,
+                mode="baseline",
+            )
+            for i in range(4)
+        ]
+        return format_cluster_report(engine.run(streams))
+
+    return render(), render()
+
+
+def run_canary(n_frames: int = 10, seed: int = 9) -> int:
+    """CLI body: 0 when the two renders match, 1 (plus a diff) when not."""
+    first, second = canary_reports(n_frames=n_frames, seed=seed)
+    if first == second:
+        print(f"determinism canary OK: {len(first)} report bytes, identical twice")
+        return 0
+    import difflib
+
+    print("determinism canary FAILED: two runs of the same seeded scenario differ")
+    for line in difflib.unified_diff(
+        first.splitlines(), second.splitlines(), "run-1", "run-2", lineterm=""
+    ):
+        print(line)
+    return 1
