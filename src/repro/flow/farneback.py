@@ -46,9 +46,12 @@ import numpy as np
 from scipy import ndimage
 
 from repro.flow.gaussian import batched_gaussian_blur, downsample2, gaussian_kernel1d
+from repro.parallel.tiles import Stencil, gaussian_support_radius, stencil
 from repro.stereo.block_matching import resolve_precision
 
 __all__ = [
+    "EXPANSION_STENCIL",
+    "FLOW_STENCIL",
     "FrameExpansion",
     "poly_expansion",
     "expand_frame",
@@ -62,6 +65,15 @@ __all__ = [
 #: pre-cache implementation, so cached pyramids line up exactly)
 _MIN_PYRAMID_SIDE = 16
 
+#: vertical reach of the polynomial expansion: the moment filters' tap
+#: radius — 3-sigma support unless an explicit ``radius`` overrides it
+EXPANSION_STENCIL = Stencil.gaussian("sigma", override="radius")
+
+#: vertical reach of one flow iteration: the Gaussian averaging
+#: window's tap radius (everything upstream of the blur is per-pixel,
+#: everything downstream reads only blurred rows)
+FLOW_STENCIL = Stencil.blur("window_sigma")
+
 
 def _moment_filters(sigma: float, radius: int):
     g = gaussian_kernel1d(sigma, radius)
@@ -70,7 +82,7 @@ def _moment_filters(sigma: float, radius: int):
 
 
 def _expansion_radius(sigma: float) -> int:
-    return max(2, int(round(3.0 * sigma)))
+    return gaussian_support_radius(sigma)
 
 
 def _corr(img: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
@@ -78,6 +90,7 @@ def _corr(img: np.ndarray, taps: np.ndarray, axis: int) -> np.ndarray:
     return ndimage.correlate1d(img, taps, axis=axis, mode="nearest")
 
 
+@stencil(EXPANSION_STENCIL)
 def poly_expansion(
     img: np.ndarray,
     sigma: float = 1.5,
@@ -233,6 +246,7 @@ def expand_frame(
     )
 
 
+@stencil(FLOW_STENCIL)
 def flow_iteration(
     A1, b1, A2, b2, flow: np.ndarray, window_sigma: float = 4.0, row0: int = 0
 ) -> np.ndarray:
@@ -385,7 +399,7 @@ def farneback_ops(
 ) -> int:
     """Arithmetic-operation count of the flow computation (Sec. 3.3's
     cost model; ~99 % is Gaussian blur + the two point-wise stages)."""
-    taps_exp = 2 * max(2, int(round(3.0 * sigma))) + 1
+    taps_exp = 2 * gaussian_support_radius(sigma) + 1
     taps_win = 2 * max(1, int(round(3.0 * window_sigma))) + 1
     total = 0
     size = h * w

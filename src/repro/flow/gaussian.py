@@ -7,6 +7,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from repro.parallel.tiles import blur_tap_radius
+
 __all__ = [
     "gaussian_kernel1d",
     "blur_kernel1d",
@@ -42,7 +44,7 @@ def blur_kernel1d(sigma: float) -> np.ndarray:
     """
     if sigma <= 0:
         raise ValueError("sigma must be positive")
-    radius = int(4.0 * sigma + 0.5)
+    radius = blur_tap_radius(sigma)
     x = np.arange(-radius, radius + 1)
     k = np.exp(-0.5 / (sigma * sigma) * x**2)
     return k / k.sum()

@@ -23,20 +23,44 @@ design-space-explored table in :mod:`repro.parallel.autotune`
 4
 """
 
-from repro.parallel.executor import TileExecutor, available_kernels
-from repro.parallel.shm import ShmArena, ShmHandle, shm_available
-from repro.parallel.tiles import RowBand, split_rows
+from typing import TYPE_CHECKING, Any
+
+from repro.parallel.tiles import RowBand, Stencil, split_rows, stencil
+
+if TYPE_CHECKING:  # the lazy names below, visible to type checkers
+    from repro.parallel.autotune import (
+        LatencyModel,
+        TileConfig,
+        search_config,
+        tuned_tile_rows,
+    )
+    from repro.parallel.executor import TileExecutor, available_kernels
+    from repro.parallel.shm import ShmArena, ShmHandle, shm_available
 
 _AUTOTUNE_EXPORTS = ("LatencyModel", "TileConfig", "search_config", "tuned_tile_rows")
+_EXECUTOR_EXPORTS = ("TileExecutor", "available_kernels")
+_SHM_EXPORTS = ("ShmArena", "ShmHandle", "shm_available")
 
 
-def __getattr__(name: str) -> object:
-    # lazy so `python -m repro.parallel.autotune` does not re-execute a
-    # module the package import already pulled in
+def __getattr__(name: str) -> Any:
+    # Lazy for two reasons: `python -m repro.parallel.autotune` must not
+    # re-execute a module the package import already pulled in, and the
+    # kernel modules (`repro.stereo`, `repro.flow`) import their stencil
+    # declarations from `repro.parallel.tiles` — an eager executor import
+    # here would close an import cycle back into those half-initialised
+    # modules.
     if name in _AUTOTUNE_EXPORTS:
         from repro.parallel import autotune
 
         return getattr(autotune, name)
+    if name in _EXECUTOR_EXPORTS:
+        from repro.parallel import executor
+
+        return getattr(executor, name)
+    if name in _SHM_EXPORTS:
+        from repro.parallel import shm
+
+        return getattr(shm, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -44,11 +68,13 @@ __all__ = [
     "RowBand",
     "ShmArena",
     "ShmHandle",
+    "Stencil",
     "TileConfig",
     "TileExecutor",
     "available_kernels",
     "search_config",
     "shm_available",
     "split_rows",
+    "stencil",
     "tuned_tile_rows",
 ]

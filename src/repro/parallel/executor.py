@@ -68,9 +68,10 @@ import numpy as np
 
 from repro.flow import farneback as _fb
 from repro.flow.farneback import (
+    EXPANSION_STENCIL,
+    FLOW_STENCIL,
     FrameExpansion,
     _as_gray,
-    _expansion_radius,
     _pyramid,
     flow_iteration,
     poly_expansion,
@@ -85,19 +86,21 @@ from repro.parallel.shm import (
     sanitize_enabled,
     shm_available,
 )
-from repro.parallel.tiles import split_rows
+from repro.parallel.tiles import split_rows, stencil
 from repro.stereo.block_matching import (
+    BLOCK_STENCIL,
     block_match,
     guided_block_match,
     resolve_precision,
     sad_cost_volume,
 )
-from repro.stereo.census import census_block_match, census_transform
+from repro.stereo.census import CENSUS_STENCIL, census_block_match, census_transform
 from repro.stereo.sgm import _DIRECTIONS_8, aggregate_path, wta_disparity
 
 __all__ = ["TileExecutor", "available_kernels"]
 
 
+@stencil(CENSUS_STENCIL)
 def _census_coded(left: np.ndarray, right_codes: np.ndarray, **kwargs) -> np.ndarray:
     """Band kernel: census matching against precomputed right codes.
 
@@ -109,6 +112,7 @@ def _census_coded(left: np.ndarray, right_codes: np.ndarray, **kwargs) -> np.nda
     return census_block_match(left, None, right_codes=right_codes, **kwargs)
 
 
+@stencil(EXPANSION_STENCIL)
 def _poly_band(img: np.ndarray, **kwargs) -> np.ndarray:
     """Band kernel: polynomial expansion packed into one dense map.
 
@@ -582,7 +586,7 @@ class TileExecutor:
                 subpixel=subpixel,
                 precision=self.precision,
             ),
-            halo=block_size // 2,
+            halo=BLOCK_STENCIL.halo(block_size=block_size),
         )
 
     def census_block_match(
@@ -609,9 +613,15 @@ class TileExecutor:
             precision=self.precision,
         )
         if self._n_bands(left.shape[0], "census", left.shape) == 1:
-            return self._tiled("census", (left, right), kwargs, halo=window // 2)
+            return self._tiled(
+                "census", (left, right), kwargs,
+                halo=CENSUS_STENCIL.halo(window=window),
+            )
         codes = census_transform(np.asarray(right), window)
-        return self._tiled("census_coded", (left, codes), kwargs, halo=window // 2)
+        return self._tiled(
+            "census_coded", (left, codes), kwargs,
+            halo=CENSUS_STENCIL.halo(window=window),
+        )
 
     def guided_block_match(
         self,
@@ -639,7 +649,7 @@ class TileExecutor:
                 accept_margin=accept_margin,
                 precision=self.precision,
             ),
-            halo=block_size // 2,
+            halo=BLOCK_STENCIL.halo(block_size=block_size),
         )
 
     def sgm(
@@ -680,7 +690,7 @@ class TileExecutor:
                 "sad_cost",
                 (left, right),
                 cost_kwargs,
-                halo=block_size // 2,
+                halo=BLOCK_STENCIL.halo(block_size=block_size),
                 row_axis=1,
             )
             total = np.zeros_like(cost)
@@ -697,7 +707,7 @@ class TileExecutor:
                 "sad_cost",
                 (left, right),
                 cost_kwargs,
-                halo=block_size // 2,
+                halo=BLOCK_STENCIL.halo(block_size=block_size),
                 row_axis=1,
                 arena=arena,
             )
@@ -736,7 +746,7 @@ class TileExecutor:
         """
         if precision is None:
             precision = self.precision
-        halo = _expansion_radius(sigma) if radius is None else radius
+        halo = EXPANSION_STENCIL.halo(sigma=sigma, radius=radius)
         packed = self._tiled(
             "poly",
             (img,),
@@ -803,7 +813,7 @@ class TileExecutor:
         """
         A1, b1, A2, b2, flow = (np.asarray(a) for a in (A1, b1, A2, b2, flow))
         height = flow.shape[0]
-        halo = int(4.0 * window_sigma + 0.5)
+        halo = FLOW_STENCIL.halo(window_sigma=window_sigma)
         bands = split_rows(height, self._n_bands(height, "flow", flow.shape), halo)
         if len(bands) == 1:
             return flow_iteration(A1, b1, A2, b2, flow, window_sigma=window_sigma)

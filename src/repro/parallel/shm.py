@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -205,21 +206,36 @@ class ShmArena:
     summed); ``close`` — also run by the context manager and by a
     ``weakref.finalize`` if the arena is dropped without it — unlinks
     everything that remains.
+
+    The segment table is guarded by an ``RLock``: the finalizer runs on
+    whatever thread drops the last reference (often the GC), so it can
+    race a concurrent ``release``/``close`` on the owning thread —
+    without the lock a double ``unlink`` of the same segment, or an
+    unlink skipped entirely, is possible.  The lock is re-entrant
+    because ``close`` calls ``_cleanup`` while already holding it, and
+    it is passed to the finalizer explicitly (the finalizer must not
+    keep ``self`` alive).
     """
 
     def __init__(self) -> None:
         self._segments: dict[str, shared_memory.SharedMemory] = {}
-        self._finalizer = weakref.finalize(self, ShmArena._cleanup, self._segments)
+        self._lock = threading.RLock()
+        self._finalizer = weakref.finalize(
+            self, ShmArena._cleanup, self._segments, self._lock
+        )
 
     @staticmethod
-    def _cleanup(segments: dict[str, shared_memory.SharedMemory]) -> None:
-        for seg in segments.values():
-            try:
-                seg.unlink()
-            except Exception:  # pragma: no cover - best-effort teardown
-                pass
-            _close_quietly(seg)
-        segments.clear()
+    def _cleanup(
+        segments: dict[str, shared_memory.SharedMemory], lock: threading.RLock
+    ) -> None:
+        with lock:
+            for seg in segments.values():
+                try:
+                    seg.unlink()
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
+                _close_quietly(seg)
+            segments.clear()
 
     def _create(
         self, shape: tuple[int, ...], dtype: DTypeLike
@@ -233,7 +249,8 @@ class ShmArena:
         seg = shared_memory.SharedMemory(
             name=handle.name, create=True, size=max(1, handle.nbytes)
         )
-        self._segments[handle.name] = seg
+        with self._lock:
+            self._segments[handle.name] = seg
         return handle, _as_array(handle, seg)
 
     def share(self, array: np.ndarray) -> ShmHandle:
@@ -252,14 +269,16 @@ class ShmArena:
 
     def release(self, handle: ShmHandle) -> None:
         """Unlink one segment early (no-op if already released)."""
-        seg = self._segments.pop(handle.name, None)
+        with self._lock:
+            seg = self._segments.pop(handle.name, None)
         if seg is not None:
             seg.unlink()
             _close_quietly(seg)
 
     def close(self) -> None:
         """Unlink every remaining segment (idempotent)."""
-        ShmArena._cleanup(self._segments)
+        with self._lock:  # re-entrant: _cleanup locks again
+            ShmArena._cleanup(self._segments, self._lock)
 
     def __enter__(self) -> "ShmArena":
         return self

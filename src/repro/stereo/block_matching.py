@@ -23,7 +23,10 @@ from __future__ import annotations
 import numpy as np
 from scipy import ndimage
 
+from repro.parallel.tiles import Stencil, stencil
+
 __all__ = [
+    "BLOCK_STENCIL",
     "shift_right_image",
     "sad_cost_volume",
     "block_match",
@@ -34,6 +37,12 @@ __all__ = [
 ]
 
 _BIG = 1e9
+
+#: vertical data dependence of every SAD-family kernel: the box-filter
+#: window (the disparity search itself is horizontal).  Declared once;
+#: the tiled executor computes its halos from this and ASV006 checks
+#: both the declaration and every call site against it.
+BLOCK_STENCIL = Stencil.window("block_size")
 
 #: cost-volume dtypes selectable through the ``precision`` knob; the
 #: float32 volumes halve the memory traffic (the resource the paper's
@@ -110,6 +119,7 @@ def shift_right_image(right: np.ndarray, d: int) -> np.ndarray:
     return out
 
 
+@stencil(BLOCK_STENCIL)
 def sad_cost_volume(
     left: np.ndarray,
     right: np.ndarray,
@@ -166,6 +176,7 @@ def _subpixel_refine(cost: np.ndarray, disp: np.ndarray) -> np.ndarray:
     return disp + np.clip(offset, -0.5, 0.5)
 
 
+@stencil(BLOCK_STENCIL)
 def block_match(
     left: np.ndarray,
     right: np.ndarray,
@@ -182,6 +193,7 @@ def block_match(
     return disp
 
 
+@stencil(BLOCK_STENCIL)
 def guided_block_match(
     left: np.ndarray,
     right: np.ndarray,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel.tiles import Stencil, stencil
 from repro.stereo.block_matching import (
     _BIG,
     _as_float,
@@ -30,9 +31,19 @@ from repro.stereo.block_matching import (
     shift_right_image,
 )
 
-__all__ = ["census_transform", "hamming_cost_volume", "census_block_match"]
+__all__ = [
+    "CENSUS_STENCIL",
+    "census_transform",
+    "hamming_cost_volume",
+    "census_block_match",
+]
+
+#: vertical data dependence of the census kernels: the comparison
+#: window (the Hamming matching itself is per-pixel and horizontal)
+CENSUS_STENCIL = Stencil.window("window")
 
 
+@stencil(CENSUS_STENCIL)
 def census_transform(img: np.ndarray, window: int = 5) -> np.ndarray:
     """Per-pixel census code as a uint64 bit pattern.
 
@@ -95,6 +106,7 @@ def _popcount64(x: np.ndarray) -> np.ndarray:
     ].sum(axis=-1)
 
 
+@stencil(CENSUS_STENCIL)
 def hamming_cost_volume(
     left: np.ndarray,
     right: np.ndarray | None,
@@ -147,6 +159,7 @@ def hamming_cost_volume(
     return cost
 
 
+@stencil(CENSUS_STENCIL)
 def census_block_match(
     left: np.ndarray,
     right: np.ndarray | None,

@@ -486,3 +486,361 @@ def test_canary_cli_exit_code():
     proc = _run_cli("--canary")
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "canary" in proc.stdout.lower()
+
+
+# ----------------------------------------------------------------------
+# ASV006 halo sufficiency (flow-sensitive)
+# ----------------------------------------------------------------------
+_EXEC_FIXTURE_HEADER = """\
+from repro.parallel.tiles import Stencil, split_rows, stencil
+
+CENSUS_STENCIL = Stencil.window("window")
+AGGREGATE_STENCIL = Stencil.infinite()
+
+@stencil(CENSUS_STENCIL)
+def census_block_match(left, right, window=5):
+    return left
+
+@stencil(AGGREGATE_STENCIL)
+def aggregate(cost):
+    return cost
+
+_BAND_KERNELS = {"census": census_block_match, "agg": aggregate}
+
+class Exec:
+    def _tiled(self, kernel, arrays, kwargs, halo):
+        pass
+"""
+
+
+def _exec_fixture(body):
+    return _EXEC_FIXTURE_HEADER + body
+
+
+def test_asv006_registered_with_catalog_fields():
+    assert {"ASV006", "ASV007", "ASV008"} <= set(available_rules())
+
+
+def test_asv006_shrunken_halo_fails_with_location():
+    src = _exec_fixture(
+        "    def run(self, left, right, window):\n"
+        "        kwargs = dict(window=window)\n"
+        "        self._tiled('census', (left, right), kwargs, halo=window // 4)\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV006"]
+    # the violation lands on the _tiled call line, not somewhere vague
+    assert found[0].line == len(_EXEC_FIXTURE_HEADER.splitlines()) + 3
+    assert "smaller than" in found[0].message
+
+
+def test_asv006_stencil_derived_halo_passes():
+    src = _exec_fixture(
+        "    def run(self, left, right, window):\n"
+        "        kwargs = dict(window=window)\n"
+        "        self._tiled('census', (left, right), kwargs,\n"
+        "                    halo=CENSUS_STENCIL.halo(window=window))\n"
+    )
+    assert lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+def test_asv006_flags_parameter_mismatch_between_halo_and_kwargs():
+    src = _exec_fixture(
+        "    def run(self, left, right, window):\n"
+        "        kwargs = dict(window=window + 2)\n"
+        "        self._tiled('census', (left, right), kwargs,\n"
+        "                    halo=CENSUS_STENCIL.halo(window=window))\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV006"]
+    assert "kernel receives" in found[0].message
+
+
+def test_asv006_flags_wrong_stencil_constant():
+    src = _exec_fixture(
+        "BLOCK_STENCIL = Stencil.window('block_size')\n"
+        "class Exec2(Exec):\n"
+        "    def run(self, left, right, window):\n"
+        "        kwargs = dict(window=window)\n"
+        "        self._tiled('census', (left, right), kwargs,\n"
+        "                    halo=BLOCK_STENCIL.halo(block_size=window))\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV006"]
+    assert "declares" in found[0].message
+
+
+def test_asv006_infinite_stencil_is_untileable():
+    src = _exec_fixture(
+        "    def run(self, cost):\n"
+        "        self._tiled('agg', (cost,), dict(), halo=3)\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV006"]
+    assert "no finite halo" in found[0].message
+
+
+def test_asv006_flags_understated_declaration():
+    # the kernel body reads a 9-tap vertical window but declares radius 1
+    src = (
+        "import numpy as np\n"
+        "from scipy import ndimage\n"
+        "from repro.parallel.tiles import Stencil, stencil\n"
+        "\n"
+        "@stencil(Stencil.fixed(1))\n"
+        "def lying_kernel(img):\n"
+        "    taps = np.full(9, 1.0 / 9.0)\n"
+        "    return ndimage.correlate1d(img, taps, axis=0)\n"
+    )
+    found = lint_source(
+        src, rel="repro/stereo/fx.py", repo_root=REPO_ROOT, select=["ASV006"]
+    )
+    assert codes(found) == ["ASV006"]
+    assert "reaches" in found[0].message
+    # widening the declaration to the true footprint passes
+    honest = src.replace("Stencil.fixed(1)", "Stencil.fixed(4)")
+    assert (
+        lint_source(
+            honest, rel="repro/stereo/fx.py", repo_root=REPO_ROOT, select=["ASV006"]
+        )
+        == []
+    )
+
+
+def test_asv006_split_rows_requires_matching_stencil():
+    src = _exec_fixture(
+        "def runner(img, window):\n"
+        "    bands = split_rows(img.shape[0], 4, 1)\n"
+        "    return [census_block_match(img, img, window=window)\n"
+        "            for lo, hi in bands]\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV006"]
+    good = _exec_fixture(
+        "def runner(img, window):\n"
+        "    bands = split_rows(img.shape[0], 4,\n"
+        "                       CENSUS_STENCIL.halo(window=window))\n"
+        "    return [census_block_match(img, img, window=window)\n"
+        "            for lo, hi in bands]\n"
+    )
+    assert lint_source(good, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+def test_asv006_executor_call_sites_verify_on_committed_tree():
+    # the acceptance bar: every real _tiled call site proves its halo
+    found = lint_paths([REPO_ROOT / "src"], select=["ASV006"])
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# ASV007 shm write-region safety (flow-sensitive)
+# ----------------------------------------------------------------------
+_OVERLAP_FIXTURE = """\
+from repro.parallel.executor import _run_band_shm
+
+def overlapping_bands(in_handle, out_handle):
+    _run_band_shm("stub", (in_handle,), 0, 4, {}, (0, 4), 0, out_handle, 0)
+    _run_band_shm("stub", (in_handle,), 2, 6, {}, (0, 4), 0, out_handle, 2)
+"""
+
+
+def test_asv007_flags_overlapping_band_writes():
+    found = lint_source(
+        _OVERLAP_FIXTURE, rel="repro/parallel/fx.py", repo_root=REPO_ROOT
+    )
+    assert codes(found) == ["ASV007"]
+    assert "overlapping rows [0, 4) and [2, 6)" in found[0].message
+
+
+def test_asv007_accepts_disjoint_and_exclusive_bands():
+    disjoint = _OVERLAP_FIXTURE.replace("(0, 4), 0, out_handle, 2", "(2, 4), 0, out_handle, 4")
+    assert lint_source(disjoint, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+    exclusive = (
+        "from repro.parallel.executor import _run_band_shm\n"
+        "def pick(in_handle, out_handle, flag):\n"
+        "    if flag:\n"
+        "        _run_band_shm('s', (in_handle,), 0, 4, {}, (0, 4), 0, out_handle, 0)\n"
+        "    else:\n"
+        "        _run_band_shm('s', (in_handle,), 2, 6, {}, (0, 4), 0, out_handle, 2)\n"
+    )
+    assert lint_source(exclusive, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+@needs_shm
+def test_asv007_agrees_with_dynamic_sanitizer_on_same_fixture(monkeypatch):
+    # the acceptance bar: the static rule and the ASV_SHM_SANITIZE=1
+    # runtime sanitizer catch the SAME overlapping-band source
+    static = lint_source(
+        _OVERLAP_FIXTURE, rel="repro/parallel/fx.py", repo_root=REPO_ROOT
+    )
+    assert codes(static) == ["ASV007"]
+
+    monkeypatch.setenv("ASV_SHM_SANITIZE", "1")
+    monkeypatch.setitem(
+        _BAND_KERNELS, "stub", lambda a, **kw: np.array(a, dtype=np.float64)
+    )
+    namespace = {}
+    exec(compile(_OVERLAP_FIXTURE, "fx.py", "exec"), namespace)
+    with ShmArena() as arena:
+        img = np.arange(40.0).reshape(8, 5)
+        in_handle = arena.share(img)
+        out_handle, out_view = arena.alloc((8, 5), np.float64)
+        assert arm_segment(out_view)
+        with pytest.raises(ShmSanitizeError, match="disjoint"):
+            namespace["overlapping_bands"](in_handle, out_handle)
+
+
+def test_asv007_flags_view_read_before_jobs_drain():
+    src = (
+        "def run(self, arena, jobs_args):\n"
+        "    out_handle, out_view = arena.alloc((8, 8), 'float64')\n"
+        "    jobs = self._iter_map(run_one, jobs_args)\n"
+        "    snapshot = out_view.copy()\n"
+        "    for _ in jobs:\n"
+        "        pass\n"
+        "    return snapshot\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV007"]
+    assert "not be fully consumed" in found[0].message
+    drained = (
+        "def run(self, arena, jobs_args):\n"
+        "    out_handle, out_view = arena.alloc((8, 8), 'float64')\n"
+        "    jobs = self._iter_map(run_one, jobs_args)\n"
+        "    for _ in jobs:\n"
+        "        pass\n"
+        "    return out_view.copy()\n"
+    )
+    assert lint_source(drained, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+def test_asv007_flags_exception_path_skipping_cleanup():
+    src = (
+        "from repro.parallel.shm import ShmArena\n"
+        "def run(jobs):\n"
+        "    arena = ShmArena()\n"
+        "    handle = arena.share(jobs)\n"
+        "    arena.close()\n"
+        "    return handle\n"
+    )
+    found = lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT)
+    assert "ASV007" in codes(found)
+    leak = next(v for v in found if v.code == "ASV007")
+    assert "escapes before 'arena'" in leak.message
+    protected = (
+        "from repro.parallel.shm import ShmArena\n"
+        "def run(jobs):\n"
+        "    arena = ShmArena()\n"
+        "    try:\n"
+        "        return arena.share(jobs)\n"
+        "    finally:\n"
+        "        arena.close()\n"
+    )
+    assert lint_source(protected, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+def test_asv007_accepts_conditional_arena_ownership():
+    # the real _tiled pattern: borrow the caller's arena or own a fresh one
+    src = (
+        "from repro.parallel.shm import ShmArena\n"
+        "def run(jobs, arena=None):\n"
+        "    local = arena if arena is not None else ShmArena()\n"
+        "    try:\n"
+        "        return local.share(jobs)\n"
+        "    finally:\n"
+        "        if arena is None:\n"
+        "            local.close()\n"
+    )
+    assert lint_source(src, rel="repro/parallel/fx.py", repo_root=REPO_ROOT) == []
+
+
+# ----------------------------------------------------------------------
+# ASV008 lock discipline (flow-sensitive)
+# ----------------------------------------------------------------------
+_LOCK_FIXTURE = """\
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+
+    def put(self, k, v):
+        with self._lock:
+            self._data[k] = v
+
+    def get(self, k):
+        {get_body}
+"""
+
+
+def test_asv008_flags_unguarded_access_to_guarded_field():
+    src = _LOCK_FIXTURE.replace("{get_body}", "return self._data.get(k)")
+    found = lint_source(src, rel="repro/cache.py", repo_root=REPO_ROOT)
+    assert codes(found) == ["ASV008"]
+    assert "'_data'" in found[0].message
+    assert "Cache.put" in found[0].message
+
+
+def test_asv008_accepts_consistent_guarding():
+    src = _LOCK_FIXTURE.replace(
+        "{get_body}", "with self._lock:\n            return self._data.get(k)"
+    )
+    assert lint_source(src, rel="repro/cache.py", repo_root=REPO_ROOT) == []
+
+
+def test_asv008_init_is_exempt_and_committed_tree_clean():
+    # __init__ populates fields before the object is shared: exempt
+    src = _LOCK_FIXTURE.replace(
+        "{get_body}", "with self._lock:\n            return self._data.get(k)"
+    )
+    assert lint_source(src, rel="repro/cache.py", repo_root=REPO_ROOT) == []
+    # the hardened ShmArena/LRUCache pass their own rule
+    assert lint_paths([REPO_ROOT / "src"], select=["ASV008"]) == []
+
+
+# ----------------------------------------------------------------------
+# engine/CLI: unreadable files, SARIF, --stats
+# ----------------------------------------------------------------------
+def test_unreadable_file_reported_as_asv000(tmp_path):
+    target = tmp_path / "gone.py"
+    broken = tmp_path / "broken.py"
+    broken.symlink_to(target)  # dangling: read_text raises OSError
+    (tmp_path / "binary.py").write_bytes(b"\xff\xfe\x00bad")
+    found = lint_paths([tmp_path])
+    assert codes(found) == ["ASV000", "ASV000"]
+    assert all("unreadable file" in v.message for v in found)
+    proc = _run_cli(str(tmp_path))
+    assert proc.returncode == 1
+    assert "unreadable file" in proc.stdout
+
+
+def test_cli_sarif_output(tmp_path):
+    import json
+
+    bad = tmp_path / "regression.py"
+    bad.write_text("import time\nt0 = time.time()\n")
+    proc = _run_cli(str(bad), "--format=sarif")
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    assert run["tool"]["driver"]["name"] == "asvlint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"ASV001", "ASV006", "ASV007", "ASV008"} <= rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "ASV001"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 2
+
+
+def test_cli_stats_reports_per_rule_runtime():
+    proc = _run_cli("src", "--select", "ASV001,ASV006", "--stats")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "ASV001" in proc.stderr and "ASV006" in proc.stderr
+    assert "rules total" in proc.stderr
+
+
+def test_committed_tree_and_tools_are_clean():
+    # the exact blocking CI invocation: src AND the linter's own code
+    proc = _run_cli("src", "tools")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

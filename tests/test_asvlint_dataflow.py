@@ -1,0 +1,508 @@
+"""The asvlint dataflow core: CFG shapes, fixpoint solving, summaries.
+
+Three layers, bottom-up:
+
+* **CFG golden tests** — ``build_cfg`` topologies rendered through
+  ``describe()`` are pinned for the structured statements the
+  flow-sensitive rules rely on (branches, loops, try/finally, with),
+  plus targeted edge assertions (back edges, break, exception edges
+  into the raise exit).
+* **Solver tests** — ``solve`` reaches a fixpoint on loops, honours
+  edge-sensitive transfer, and *terminates by widening* on a
+  deliberately pathological domain whose chains never converge.
+* **Summaries** — the static ``StencilSpec.halo_value`` twin is pinned
+  against the runtime ``repro.parallel.tiles.Stencil.halo`` across the
+  sampled parameter grids (the two implementations are intentionally
+  independent: the linter must never import the code it analyses), and
+  the footprint deriver reproduces the exact halos of the real kernels.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.tiles import Stencil
+from tools.asvlint.cfg import build_cfg, may_raise
+from tools.asvlint.dataflow import BOTTOM, Domain, solve
+from tools.asvlint.summaries import (
+    INFINITE,
+    FootprintDeriver,
+    ModuleSummary,
+    ProjectIndex,
+    StencilSpec,
+    parse_stencil_expr,
+    sample_envs,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fn_of(source):
+    return ast.parse(textwrap.dedent(source).strip("\n")).body[0]
+
+
+def cfg_of(source):
+    return build_cfg(fn_of(source))
+
+
+# ----------------------------------------------------------------------
+# CFG golden topologies
+# ----------------------------------------------------------------------
+def test_cfg_if_else_golden():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    assert cfg.describe() == [
+        "0 entry -> [3:next]",
+        "1 exit -> []",
+        "2 raise -> []",
+        "3 If@2 -> [4:true, 5:false]",
+        "4 Assign@3 -> [6:next]",
+        "5 Assign@5 -> [6:next]",
+        "6 Return@6 -> [1:return]",
+    ]
+
+
+def test_cfg_while_loop_golden():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    assert cfg.describe() == [
+        "0 entry -> [3:next]",
+        "1 exit -> []",
+        "2 raise -> []",
+        "3 While@2 -> [4:true, 5:false]",
+        "4 AugAssign@3 -> [3:back]",
+        "5 Return@4 -> [1:return]",
+    ]
+
+
+def test_cfg_try_finally_golden():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                risky(x)
+            finally:
+                cleanup()
+            return x
+        """
+    )
+    assert cfg.describe() == [
+        "0 entry -> [4:next]",
+        "1 exit -> []",
+        "2 raise -> []",
+        "3 finally@5 -> [5:next]",
+        "4 Expr@3 -> [3:except, 3:next]",
+        "5 Expr@5 -> [2:except, 2:reraise, 6:next]",
+        "6 Return@6 -> [1:return]",
+    ]
+
+
+def test_cfg_for_break_and_orelse_edges():
+    cfg = cfg_of(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+                use(x)
+            else:
+                tail()
+            return 1
+        """
+    )
+    fn = cfg.nodes[3].stmt
+    assert isinstance(fn, ast.For)
+    # the loop body's last statement loops back to the header
+    back_edges = [(u, v) for u in cfg.succ for v, lbl in cfg.succ[u] if lbl == "back"]
+    assert back_edges
+    # break jumps past the orelse straight to the statement after the loop
+    break_idx = next(
+        n.idx for n in cfg.nodes if isinstance(n.stmt, ast.Break)
+    )
+    ret_idx = next(n.idx for n in cfg.nodes if isinstance(n.stmt, ast.Return))
+    assert (ret_idx, "break") in cfg.succ[break_idx]
+    # the orelse tail() also flows to the return, via the loop's false edge
+    tail_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if isinstance(n.stmt, ast.Expr) and "tail" in ast.unparse(n.stmt)
+    )
+    assert (tail_idx, "false") in [
+        (v, lbl) for v, lbl in cfg.succ[3]
+    ] or any(lbl == "false" for _, lbl in cfg.pred[tail_idx])
+
+
+def test_cfg_uncaught_exception_reaches_raise_exit():
+    cfg = cfg_of(
+        """
+        def f(x):
+            y = compute(x)
+            return y
+        """
+    )
+    call_idx = next(n.idx for n in cfg.nodes if isinstance(n.stmt, ast.Assign))
+    assert (cfg.raise_exit, "except") in cfg.succ[call_idx]
+    # a pure assignment has no exception edge
+    pure = cfg_of("def f(x):\n    y = x\n    return y\n")
+    assign_idx = next(n.idx for n in pure.nodes if isinstance(n.stmt, ast.Assign))
+    assert all(lbl != "except" for _, lbl in pure.succ[assign_idx])
+
+
+def test_cfg_handler_matches_and_propagates():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                risky(x)
+        # asvlint: disable=ASV001  (fixture comment, not suppression)
+            except ValueError:
+                fallback()
+            return x
+        """
+    )
+    dispatch = next(n for n in cfg.nodes if n.label.startswith("except-dispatch"))
+    # the dispatch reaches both the handler body and keeps propagating
+    labels = [lbl for _, lbl in cfg.succ[dispatch.idx]]
+    assert labels.count("except") >= 2 or (
+        "except" in labels and len(cfg.succ[dispatch.idx]) >= 2
+    )
+    assert (cfg.raise_exit, "except") in cfg.succ[dispatch.idx]
+
+
+def test_cfg_reachability_respects_avoid():
+    cfg = cfg_of(
+        """
+        def f(x):
+            a = init()
+            use(a)
+            a.close()
+            late(a)
+        """
+    )
+    close_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if n.stmt is not None and "close" in ast.unparse(n.stmt)
+    )
+    late_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if n.stmt is not None and "late" in ast.unparse(n.stmt)
+    )
+    assert late_idx in cfg.reachable(cfg.entry)
+    assert late_idx not in cfg.reachable(cfg.entry, avoid=[close_idx])
+
+
+def test_may_raise_treats_nested_defs_as_opaque():
+    assert may_raise(ast.parse("x = f()").body[0])
+    assert not may_raise(ast.parse("x = y + 1").body[0])
+    nested = ast.parse("def g():\n    return f()\n").body[0]
+    assert not may_raise(nested)
+
+
+# ----------------------------------------------------------------------
+# the fixpoint solver
+# ----------------------------------------------------------------------
+class _GenKill(Domain):
+    """may-be-set of single-letter facts: `gen_X()` adds, `kill_X()` removes."""
+
+    def initial(self):
+        return frozenset()
+
+    def top(self):
+        return frozenset("abcdefghijklmnopqrstuvwxyz")
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, state):
+        if node.stmt is None:
+            return state
+        text = ast.unparse(node.stmt)
+        for mark in ("gen_", "kill_"):
+            pos = text.find(mark)
+            if pos >= 0:
+                fact = text[pos + len(mark)]
+                state = state | {fact} if mark == "gen_" else state - {fact}
+        return state
+
+
+def test_solver_straight_line_and_branch_join():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                gen_a()
+            else:
+                gen_b()
+            after()
+        """
+    )
+    states = solve(cfg, _GenKill())
+    after_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if n.stmt is not None and "after" in ast.unparse(n.stmt)
+    )
+    # both branch facts merge at the join point
+    assert states[after_idx] == frozenset("ab")
+    assert states[cfg.entry] == frozenset()
+
+
+def test_solver_loop_reaches_fixpoint():
+    cfg = cfg_of(
+        """
+        def f(xs):
+            for x in xs:
+                gen_a()
+            done()
+        """
+    )
+    states = solve(cfg, _GenKill())
+    # the loop header sees 'a' flowing around the back edge
+    header_idx = next(n.idx for n in cfg.nodes if isinstance(n.stmt, ast.For))
+    done_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if n.stmt is not None and "done" in ast.unparse(n.stmt)
+    )
+    assert "a" in states[header_idx]
+    assert "a" in states[done_idx]
+
+
+def test_solver_unreachable_code_stays_bottom():
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+            gen_a()
+        """
+    )
+    states = solve(cfg, _GenKill())
+    dead_idx = next(
+        n.idx
+        for n in cfg.nodes
+        if n.stmt is not None and "gen_a" in ast.unparse(n.stmt)
+    )
+    assert states[dead_idx] is BOTTOM
+
+
+class _Counting(Domain):
+    """Pathological: every loop iteration grows the state, never converging
+    without widening (an infinite ascending chain of integers)."""
+
+    def initial(self):
+        return 0
+
+    def top(self):
+        return float("inf")
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, node, state):
+        if node.stmt is not None and isinstance(node.stmt, ast.AugAssign):
+            return state + 1
+        return state
+
+
+def test_solver_widens_nonconverging_domain_to_top():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    states = solve(cfg, _Counting(), max_visits=8)
+    ret_idx = next(n.idx for n in cfg.nodes if isinstance(n.stmt, ast.Return))
+    # without widening this would spin forever; with it the loop exit
+    # degrades to top and the solve terminates
+    assert states[ret_idx] == float("inf")
+
+
+def test_solver_edge_sensitive_transfer():
+    class NonZero(Domain):
+        def initial(self):
+            return "maybe"
+
+        def top(self):
+            return "maybe"
+
+        def join(self, a, b):
+            return a if a == b else "maybe"
+
+        def transfer_edge(self, node, label, state):
+            if isinstance(node.stmt, ast.While) and label == "false":
+                return "zero"
+            return state
+
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    states = solve(cfg, NonZero())
+    ret_idx = next(n.idx for n in cfg.nodes if isinstance(n.stmt, ast.Return))
+    assert states[ret_idx] == "zero"
+
+
+# ----------------------------------------------------------------------
+# summaries: the static Stencil twin vs the runtime Stencil
+# ----------------------------------------------------------------------
+_SPEC_GRID = [
+    (StencilSpec(kind="pointwise"), Stencil.pointwise(), [{}]),
+    (StencilSpec(kind="fixed", value=3), Stencil.fixed(3), [{}]),
+    (
+        StencilSpec(kind="window", param="w"),
+        Stencil.window("w"),
+        [{"w": v} for v in (3, 5, 9, 15, 31)],
+    ),
+    (
+        StencilSpec(kind="radius", param="r"),
+        Stencil.radius("r"),
+        [{"r": v} for v in (1, 2, 4, 8)],
+    ),
+    (
+        StencilSpec(kind="blur", param="s"),
+        Stencil.blur("s"),
+        [{"s": v} for v in (0.5, 1.0, 2.0, 4.0)],
+    ),
+    (
+        StencilSpec(kind="gaussian", param="s", override="r"),
+        Stencil.gaussian("s", override="r"),
+        [{"s": v, "r": None} for v in (0.5, 1.0, 1.5, 2.5, 4.0)]
+        + [{"s": 1.5, "r": 3}, {"s": 1.5, "r": 7}],
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "static_spec,runtime_stencil,envs",
+    _SPEC_GRID,
+    ids=[s.kind for s, _, _ in _SPEC_GRID],
+)
+def test_static_halo_matches_runtime_halo(static_spec, runtime_stencil, envs):
+    # the linter-side formula must agree with the executable one for
+    # every sampled environment — they are deliberately two independent
+    # implementations (the linter never imports analysed code)
+    for env in envs:
+        assert static_spec.halo_value(env) == runtime_stencil.halo(**env), env
+
+
+def test_infinite_stencils_agree_on_untileability():
+    assert StencilSpec(kind="infinite").halo_value({}) == INFINITE
+    assert not StencilSpec(kind="infinite").tileable
+    assert not Stencil.infinite().tileable
+    with pytest.raises(ValueError):
+        Stencil.infinite().halo()
+
+
+def test_sample_envs_cover_declared_params():
+    spec = StencilSpec(kind="gaussian", param="sigma", override="radius")
+    envs = sample_envs(spec)
+    assert any(env.get("radius") is None for env in envs)
+    assert any(isinstance(env.get("radius"), int) for env in envs)
+    for env in envs:
+        assert "sigma" in env
+
+
+def test_parse_stencil_expr_follows_constants_across_imports():
+    index = ProjectIndex.for_root(REPO_ROOT)
+    executor = index.module("repro.parallel.executor")
+    assert executor is not None
+    # CENSUS_STENCIL is *imported* into executor.py from stereo/census.py
+    expr = ast.parse("CENSUS_STENCIL").body[0].value
+    spec = parse_stencil_expr(expr, executor, index)
+    assert spec == StencilSpec(kind="window", param="window")
+
+
+# ----------------------------------------------------------------------
+# the footprint deriver on the real kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "dotted,fn_name,env,expected",
+    [
+        ("repro.stereo.block_matching", "block_match", {"block_size": 9}, 4),
+        ("repro.stereo.block_matching", "sad_cost_volume", {"block_size": 15}, 7),
+        ("repro.stereo.census", "census_block_match", {"window": 5}, 2),
+        ("repro.flow.farneback", "flow_iteration", {"window_sigma": 4.0}, 16),
+        (
+            "repro.flow.farneback",
+            "poly_expansion",
+            {"sigma": 1.5, "radius": None},
+            4,
+        ),
+        (
+            "repro.flow.farneback",
+            "poly_expansion",
+            {"sigma": 1.5, "radius": 7},
+            7,
+        ),
+    ],
+)
+def test_deriver_reproduces_real_kernel_footprints(dotted, fn_name, env, expected):
+    index = ProjectIndex.for_root(REPO_ROOT)
+    module = index.module(dotted)
+    assert module is not None
+    fn = module.functions[fn_name]
+    derived = FootprintDeriver(index).reach(fn, module, env)
+    assert derived == expected
+
+
+def test_deriver_is_a_lower_bound_on_opaque_code():
+    # an unresolvable helper contributes nothing rather than guessing
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        from scipy import ndimage
+
+        def mystery(img, helper):
+            taps = helper(img)
+            return ndimage.correlate1d(img, taps, axis=0)
+        """
+    )
+    module = ModuleSummary(ast.parse(source), name="fixture")
+    index = ProjectIndex.for_root(REPO_ROOT)
+    fn = module.functions["mystery"]
+    assert FootprintDeriver(index).reach(fn, module, {}) == 0
+
+
+def test_deriver_vertical_axis_selection():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        from scipy import ndimage
+
+        def vertical(img, taps):
+            return ndimage.correlate1d(img, np.full(9, 1.0), axis=0)
+
+        def horizontal(img, taps):
+            return ndimage.correlate1d(img, np.full(9, 1.0), axis=-1)
+        """
+    )
+    module = ModuleSummary(ast.parse(source), name="fixture")
+    index = ProjectIndex.for_root(REPO_ROOT)
+    deriver = FootprintDeriver(index)
+    assert deriver.reach(module.functions["vertical"], module, {}) == 4
+    assert deriver.reach(module.functions["horizontal"], module, {}) == 0

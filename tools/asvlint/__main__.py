@@ -1,19 +1,27 @@
 """CLI: ``python -m tools.asvlint [paths...]``.
 
 Exit status: 0 clean, 1 violations (or a canary diff), 2 usage errors.
-Output is one ``path:line:col: CODE message [fix: ...]`` line per
-violation; under GitHub Actions (or with ``--github``) each violation
-is additionally emitted as a ``::error file=...,line=...`` annotation
-so CI failures land on the offending line in the diff view.
+Default output is one ``path:line:col: CODE message [fix: ...]`` line
+per violation; ``--format=sarif`` emits a SARIF 2.1.0 run on stdout
+(for code-scanning upload) instead, and ``--stats`` prints per-rule
+wall time to stderr.  Under GitHub Actions (or with ``--github``) each
+violation is additionally emitted as a ``::error file=...,line=...``
+annotation so CI failures land on the offending line in the diff view.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
-from tools.asvlint.engine import available_rules, get_rule, lint_paths
+from tools.asvlint.engine import (
+    Violation,
+    available_rules,
+    get_rule,
+    lint_paths,
+)
 
 
 def _list_rules() -> None:
@@ -25,16 +33,74 @@ def _list_rules() -> None:
         print(f"    fix: {rule.hint}")
 
 
+def sarif_report(violations: list[Violation]) -> dict:
+    """The SARIF 2.1.0 document for one lint run."""
+    rules = []
+    for code in available_rules():
+        rule = get_rule(code)
+        rules.append(
+            {
+                "id": code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "help": {"text": rule.hint},
+            }
+        )
+    results = []
+    for v in violations:
+        results.append(
+            {
+                "ruleId": v.code,
+                "level": "error",
+                "message": {"text": v.message + (f" [fix: {v.hint}]" if v.hint else "")},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": v.path},
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": v.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "asvlint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.asvlint",
         description="repo-specific static analysis (determinism, shm "
-        "lifecycle, precision threading, registry drift, bounded submission)",
+        "lifecycle, precision threading, registry drift, bounded "
+        "submission, halo sufficiency, shm write regions, lock "
+        "discipline)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--format", choices=("text", "sarif"), default="text",
+                        help="violation output format (default: text)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule wall time to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     parser.add_argument("--github", action="store_true",
@@ -58,12 +124,26 @@ def main(argv: list[str] | None = None) -> int:
         select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
         for code in select:
             get_rule(code)  # fail fast on unknown codes
-    violations = lint_paths(args.paths or ["src"], select=select)
-    github = args.github or os.environ.get("GITHUB_ACTIONS") == "true"
-    for v in violations:
-        print(v.render())
-        if github:
-            print(v.render_github())
+    timings: dict[str, float] = {}
+    violations = lint_paths(
+        args.paths or ["src"], select=select, timings=timings
+    )
+    if args.format == "sarif":
+        json.dump(sarif_report(violations), sys.stdout, indent=2)
+        print()
+    else:
+        github = args.github or os.environ.get("GITHUB_ACTIONS") == "true"
+        for v in violations:
+            print(v.render())
+            if github:
+                print(v.render_github())
+    if args.stats:
+        total = sum(timings.values())
+        for code, seconds in sorted(
+            timings.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            print(f"asvlint: {code} {seconds * 1000:8.1f} ms", file=sys.stderr)
+        print(f"asvlint: rules total {total:.2f} s", file=sys.stderr)
     if violations:
         print(
             f"asvlint: {len(violations)} violation(s) in "

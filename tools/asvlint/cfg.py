@@ -1,0 +1,328 @@
+"""Intra-procedural control-flow graphs over :mod:`ast`.
+
+``build_cfg`` turns one function body into a :class:`CFG` of
+per-statement nodes with labelled edges: branches (``true``/``false``),
+loop back edges (``back``), ``break``/``continue``, exception edges
+(``except``) into handler/finally regions, and ``with`` bodies.  Three
+synthetic nodes anchor the graph: ``entry``, ``exit`` (normal return)
+and ``raise`` (the exceptional exit an uncaught exception escapes
+through).
+
+The exception model is deliberately conservative: any statement
+containing a call, ``raise`` or ``assert`` *may* raise, and a
+``finally`` block — built once — exits both to the normal successor
+and back into exception propagation (the builder does not track which
+way a ``finally`` was entered).  Over-approximating reachability is
+the right bias for the flow-sensitive rules built on top: they must
+never certify a path the runtime could take.
+
+The graph is consumed by :mod:`tools.asvlint.dataflow`'s worklist
+solver and directly (reachability queries) by the ASV007/ASV008 rules;
+``describe()`` renders a stable one-line-per-node topology for the
+golden tests in ``tests/test_asvlint_dataflow.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["CFG", "Node", "build_cfg", "may_raise"]
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic entry/exit marker."""
+
+    idx: int
+    kind: str                  #: "entry" | "exit" | "raise" | "stmt" | "join"
+    stmt: ast.stmt | None = None
+    label: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.idx}, {self.label})"
+
+
+@dataclass
+class CFG:
+    """A labelled digraph over the statements of one function."""
+
+    nodes: list[Node] = field(default_factory=list)
+    succ: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    pred: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    #: statement id -> node index (per-statement granularity)
+    stmt_nodes: dict[int, int] = field(default_factory=dict, repr=False)
+
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def add_node(self, kind: str, stmt: ast.stmt | None = None, label: str = "") -> int:
+        idx = len(self.nodes)
+        if not label:
+            if stmt is not None:
+                label = f"{type(stmt).__name__}@{getattr(stmt, 'lineno', 0)}"
+            else:
+                label = kind
+        self.nodes.append(Node(idx, kind, stmt, label))
+        self.succ[idx] = []
+        self.pred[idx] = []
+        if stmt is not None and id(stmt) not in self.stmt_nodes:
+            self.stmt_nodes[id(stmt)] = idx
+        return idx
+
+    def add_edge(self, u: int, v: int, label: str = "next") -> None:
+        if (v, label) not in self.succ[u]:
+            self.succ[u].append((v, label))
+            self.pred[v].append((u, label))
+
+    def node_of(self, stmt: ast.stmt) -> int | None:
+        """The node index of a statement (``None`` if unreachable code
+        was pruned or the statement belongs to a nested function)."""
+        return self.stmt_nodes.get(id(stmt))
+
+    def reachable(
+        self,
+        start: int,
+        avoid: Iterable[int] = (),
+        labels: Iterable[str] | None = None,
+    ) -> set[int]:
+        """Nodes reachable from ``start`` without entering ``avoid``.
+
+        ``labels`` restricts traversal to edges with those labels;
+        ``start`` itself is included (unless in ``avoid``).
+        """
+        blocked = set(avoid)
+        allowed = None if labels is None else set(labels)
+        if start in blocked:
+            return set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v, lbl in self.succ[u]:
+                if v in seen or v in blocked:
+                    continue
+                if allowed is not None and lbl not in allowed:
+                    continue
+                seen.add(v)
+                queue.append(v)
+        return seen
+
+    def describe(self) -> list[str]:
+        """One stable line per node: ``idx label -> succ:label, ...``."""
+        lines = []
+        for node in self.nodes:
+            succs = ", ".join(
+                f"{v}:{lbl}" for v, lbl in sorted(self.succ[node.idx])
+            )
+            lines.append(f"{node.idx} {node.label} -> [{succs}]")
+        return lines
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether a statement may raise (conservative: any call does).
+
+    Nested function/class bodies are opaque — defining them cannot
+    raise on their behalf.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # only the definition-time expressions run when the def executes
+        at_def_time: list[ast.expr] = list(stmt.decorator_list)
+        if isinstance(stmt, ast.ClassDef):
+            at_def_time += [*stmt.bases, *(kw.value for kw in stmt.keywords)]
+        else:
+            a = stmt.args
+            at_def_time += [d for d in (*a.defaults, *a.kw_defaults) if d is not None]
+        return any(
+            isinstance(node, (ast.Call, ast.Await))
+            for expr in at_def_time
+            for node in ast.walk(expr)
+        )
+    for node in _walk_shallow(stmt):
+        if isinstance(node, (ast.Call, ast.Await, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+def _walk_shallow(stmt: ast.stmt):
+    """ast.walk that does not descend into nested function/class bodies."""
+    queue = deque([stmt])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            queue.append(child)
+
+
+#: a dangling out-edge waiting for its target: (node index, edge label)
+_Frontier = list[tuple[int, str]]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.add_node("entry")
+        self.cfg.add_node("exit")
+        self.cfg.add_node("raise")
+        #: innermost-last stack of (loop header idx, break frontier)
+        self.loops: list[tuple[int, _Frontier]] = []
+        #: innermost-last stack of exception-edge targets
+        self.exc: list[int] = [self.cfg.raise_exit]
+
+    # -- plumbing ------------------------------------------------------
+    def connect(self, frontier: _Frontier, target: int) -> None:
+        for u, lbl in frontier:
+            self.cfg.add_edge(u, target, lbl)
+
+    def exc_edge(self, idx: int, stmt: ast.stmt) -> None:
+        if may_raise(stmt):
+            self.cfg.add_edge(idx, self.exc[-1], "except")
+
+    def stmts(self, body: list[ast.stmt], frontier: _Frontier) -> _Frontier:
+        for stmt in body:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    # -- statement dispatch --------------------------------------------
+    def stmt(self, s: ast.stmt, frontier: _Frontier) -> _Frontier:
+        cfg = self.cfg
+        if isinstance(s, ast.If):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            self.exc_edge(idx, s)
+            then = self.stmts(s.body, [(idx, "true")])
+            if s.orelse:
+                other = self.stmts(s.orelse, [(idx, "false")])
+            else:
+                other = [(idx, "false")]
+            return then + other
+        if isinstance(s, (ast.While, ast.For, ast.AsyncFor)):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            self.exc_edge(idx, s)
+            breaks: _Frontier = []
+            self.loops.append((idx, breaks))
+            body_end = self.stmts(s.body, [(idx, "true")])
+            self.loops.pop()
+            for u, lbl in body_end:
+                cfg.add_edge(u, idx, "back")
+            exits: _Frontier = [(idx, "false")]
+            if s.orelse:
+                exits = self.stmts(s.orelse, exits)
+            return exits + breaks
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            self.exc_edge(idx, s)
+            return self.stmts(s.body, [(idx, "body")])
+        if isinstance(s, ast.Try):
+            return self.try_stmt(s, frontier)
+        if isinstance(s, ast.Return):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            self.exc_edge(idx, s)
+            cfg.add_edge(idx, cfg.exit, "return")
+            return []
+        if isinstance(s, ast.Raise):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            cfg.add_edge(idx, self.exc[-1], "except")
+            return []
+        if isinstance(s, ast.Break):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            if self.loops:
+                self.loops[-1][1].append((idx, "break"))
+            return []
+        if isinstance(s, ast.Continue):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            if self.loops:
+                cfg.add_edge(idx, self.loops[-1][0], "continue")
+            return []
+        if isinstance(s, ast.Match):
+            idx = cfg.add_node("stmt", s)
+            self.connect(frontier, idx)
+            self.exc_edge(idx, s)
+            out: _Frontier = [(idx, "nomatch")]
+            for case in s.cases:
+                out += self.stmts(case.body, [(idx, "case")])
+            return out
+        # simple statement (assign, expr, assert, import, def, ...)
+        idx = cfg.add_node("stmt", s)
+        self.connect(frontier, idx)
+        self.exc_edge(idx, s)
+        return [(idx, "next")]
+
+    def try_stmt(self, s: ast.Try, frontier: _Frontier) -> _Frontier:
+        cfg = self.cfg
+        outer_exc = self.exc[-1]
+        final_entry: int | None = None
+        if s.finalbody:
+            final_entry = cfg.add_node(
+                "join", label=f"finally@{s.finalbody[0].lineno}"
+            )
+        dispatch: int | None = None
+        if s.handlers:
+            dispatch = cfg.add_node(
+                "join", label=f"except-dispatch@{s.lineno}"
+            )
+        # exceptions in the body go to the handlers, else the finally,
+        # else propagate out
+        body_exc = dispatch if dispatch is not None else (
+            final_entry if final_entry is not None else outer_exc
+        )
+        self.exc.append(body_exc)
+        body_end = self.stmts(s.body, frontier)
+        self.exc.pop()
+        # handler and orelse exceptions skip this try's handlers
+        inner_exc = final_entry if final_entry is not None else outer_exc
+        ends: _Frontier = []
+        if s.orelse:
+            self.exc.append(inner_exc)
+            ends += self.stmts(s.orelse, body_end)
+            self.exc.pop()
+        else:
+            ends += body_end
+        if dispatch is not None:
+            self.exc.append(inner_exc)
+            for handler in s.handlers:
+                ends += self.stmts(handler.body, [(dispatch, "except")])
+            self.exc.pop()
+            # an exception no handler matches keeps propagating
+            cfg.add_edge(dispatch, inner_exc, "except")
+        if final_entry is not None:
+            self.connect(ends, final_entry)
+            self.exc.append(outer_exc)
+            final_end = self.stmts(s.finalbody, [(final_entry, "next")])
+            self.exc.pop()
+            # conservative: the finally exits both normally and back
+            # into exception propagation
+            for u, _lbl in final_end:
+                cfg.add_edge(u, outer_exc, "reraise")
+            return final_end
+        return ends
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function definition.
+
+    >>> import ast
+    >>> fn = ast.parse("def f(x):\\n    if x:\\n        return 1\\n    return 2").body[0]
+    >>> cfg = build_cfg(fn)
+    >>> sorted(lbl for _, lbl in cfg.succ[cfg.stmt_nodes[id(fn.body[0])]])
+    ['false', 'true']
+    """
+    builder = _Builder()
+    end = builder.stmts(fn.body, [(builder.cfg.entry, "next")])
+    builder.connect(end, builder.cfg.exit)
+    return builder.cfg

@@ -1,0 +1,112 @@
+"""Worklist fixpoint solver over :class:`tools.asvlint.cfg.CFG`.
+
+A :class:`Domain` packages one abstract interpretation: the state at
+function entry (``initial``), how states merge at join points
+(``join``), and how one statement transforms a state (``transfer``,
+plus the optional edge-sensitive ``transfer_edge`` for domains that
+learn from branch labels — e.g. a ``for`` loop's ``false`` edge proves
+the iterator is exhausted).
+
+:func:`solve` iterates to a fixpoint with a per-node visit budget: a
+node revisited more than ``max_visits`` times has its outgoing states
+widened to ``Domain.top()``, so termination is guaranteed even for
+domains whose lattices have unbounded ascending chains (``top`` must be
+absorbing under ``join``).  States are compared with ``==``; a domain's
+states should therefore be immutable values (tuples, frozensets,
+numbers).
+
+Third-party rules can build on this directly::
+
+    from tools.asvlint import build_cfg, solve, Domain
+
+    class Armed(Domain):
+        def initial(self):
+            return False
+        def join(self, a, b):
+            return a or b
+        def top(self):
+            return True
+        def transfer(self, node, state):
+            ...  # inspect node.stmt, return the new state
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict
+
+from tools.asvlint.cfg import CFG, Node
+
+__all__ = ["BOTTOM", "Domain", "solve"]
+
+
+class _Bottom:
+    """Sentinel for "node not yet reached" (distinct from any state)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BOTTOM"
+
+
+BOTTOM = _Bottom()
+
+
+class Domain:
+    """Base class for abstract domains (override the four hooks)."""
+
+    def initial(self) -> Any:
+        """State at function entry."""
+        raise NotImplementedError
+
+    def top(self) -> Any:
+        """The absorbing "anything may have happened" state, used for
+        widening when a loop refuses to converge."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Merge two states flowing into the same node."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, state: Any) -> Any:
+        """State after executing ``node`` given ``state`` before it."""
+        return state
+
+    def transfer_edge(self, node: Node, label: str, state: Any) -> Any:
+        """Refine the post-state of ``node`` along one labelled edge."""
+        return state
+
+
+def solve(cfg: CFG, domain: Domain, max_visits: int = 64) -> Dict[int, Any]:
+    """Run ``domain`` to fixpoint over ``cfg``.
+
+    Returns the map ``node index -> state on entry to that node``;
+    unreached nodes map to :data:`BOTTOM`.  ``max_visits`` bounds the
+    number of times any single node is re-processed before widening.
+    """
+    states: Dict[int, Any] = {node.idx: BOTTOM for node in cfg.nodes}
+    states[cfg.entry] = domain.initial()
+    visits: Dict[int, int] = {}
+    work = deque([cfg.entry])
+    while work:
+        idx = work.popleft()
+        state = states[idx]
+        if state is BOTTOM:
+            continue
+        visits[idx] = visits.get(idx, 0) + 1
+        widen = visits[idx] > max_visits
+        node = cfg.nodes[idx]
+        out = domain.transfer(node, state)
+        for succ, label in cfg.succ[idx]:
+            edge_state = domain.top() if widen else domain.transfer_edge(
+                node, label, out
+            )
+            current = states[succ]
+            merged = (
+                edge_state
+                if current is BOTTOM
+                else domain.join(current, edge_state)
+            )
+            if current is BOTTOM or merged != current:
+                states[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+    return states

@@ -36,6 +36,7 @@ import ast
 import io
 import pathlib
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Type
@@ -189,6 +190,8 @@ def get_rule(code: str) -> Rule:
 
 def _load_builtins() -> None:
     from tools.asvlint import rules as _builtin_rules  # noqa: F401  (self-registering)
+    from tools.asvlint import rules_concurrency as _conc_rules  # noqa: F401
+    from tools.asvlint import rules_stencil as _stencil_rules  # noqa: F401
 
 
 _SUPPRESS = re.compile(
@@ -263,11 +266,13 @@ def lint_source(
     path: str | None = None,
     repo_root: pathlib.Path | None = None,
     select: Iterable[str] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> list[Violation]:
     """Lint one source string (the fixture-test entry point).
 
     ``rel`` positions the snippet inside the package tree for scope
-    matching; ``select`` restricts checking to the given rule codes.
+    matching; ``select`` restricts checking to the given rule codes;
+    ``timings`` (if given) accumulates per-rule wall time by code.
     """
     tree = ast.parse(source)
     ctx = LintContext(
@@ -284,7 +289,10 @@ def lint_source(
         rule = get_rule(code)
         if not rule.applies_to(rel):
             continue
+        start = time.perf_counter()
         found.extend(v for v in rule.check(ctx) if not _suppressed(v, per_line, per_file))
+        if timings is not None:
+            timings[code] = timings.get(code, 0.0) + time.perf_counter() - start
     return sorted(found)
 
 
@@ -304,20 +312,36 @@ def lint_paths(
     paths: Iterable[str | pathlib.Path],
     repo_root: pathlib.Path | None = None,
     select: Iterable[str] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> list[Violation]:
     """Lint files and directories; returns sorted violations.
 
     ``repo_root`` defaults to the common parent holding ``docs/`` if
     one is found above the first path (the registry-drift rule reads
-    it); syntax errors surface as ``ASV000`` violations rather than
-    crashing the run.
+    it); syntax errors and unreadable files surface as ``ASV000``
+    violations rather than crashing the run.
     """
     paths = list(paths)
     if repo_root is None:
         repo_root = _find_repo_root(paths)
     found: list[Violation] = []
     for file in iter_python_files(paths):
-        source = file.read_text()
+        try:
+            source = file.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            # e.g. a broken symlink or a stray non-UTF-8 file: diagnose
+            # and keep linting the rest of the tree
+            found.append(
+                Violation(
+                    path=str(file),
+                    line=1,
+                    col=0,
+                    code="ASV000",
+                    message=f"unreadable file: {exc}",
+                    hint="remove the broken symlink or fix the encoding",
+                )
+            )
+            continue
         try:
             found.extend(
                 lint_source(
@@ -326,6 +350,7 @@ def lint_paths(
                     path=str(file),
                     repo_root=repo_root,
                     select=select,
+                    timings=timings,
                 )
             )
         except SyntaxError as exc:

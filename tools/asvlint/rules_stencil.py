@@ -1,0 +1,551 @@
+"""ASV006 — static halo-sufficiency proofs for the tiled kernels.
+
+The tiled executor is bit-identical to whole-frame execution *only*
+when every band's overlap halo covers the wrapped kernel's vertical
+footprint.  Until now that was a per-call-site numerology convention
+checked by seam tests at a handful of parameter points; this rule
+checks it statically, everywhere, in three parts:
+
+1. **Declared vs derived** — every ``@stencil(...)``-decorated kernel
+   has its body footprint derived (:mod:`tools.asvlint.summaries`) and
+   compared against the declaration on a grid of parameter samples.
+   A kernel that reads further than its stencil promises is flagged at
+   the ``def``.
+2. **Tiled call sites** — every ``*._tiled(kernel, arrays, kwargs,
+   halo=...)`` call must pass a halo provably >= the declared stencil
+   of the band kernel the name maps to (via the module's
+   ``_BAND_KERNELS`` table).  The canonical form —
+   ``halo=KERNEL_STENCIL.halo(p=expr)`` with ``p=expr`` also threaded
+   to the kernel through ``kwargs`` — is verified structurally; a
+   plain numeric halo is verified by sampled evaluation against the
+   required footprint.  Kernels declaring ``Stencil.infinite()`` (the
+   SGM aggregation) are untileable and any ``_tiled`` call on them is
+   a violation.
+3. **Direct ``split_rows`` calls** — a halo fed straight into
+   ``split_rows`` must either be a passed-through parameter (the
+   generic ``_tiled`` machinery itself, checked at *its* call sites)
+   or a ``*.halo(...)`` computation whose stencil matches a kernel
+   actually invoked in the enclosing function.
+
+The derivation is a lower bound (unknown constructs contribute
+nothing), so part 1 can miss but never false-positively prove; parts
+2–3 are exact on the canonical form and refuse to certify what they
+cannot evaluate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterable, Iterator
+
+from tools.asvlint.engine import LintContext, Rule, Violation, register_rule
+from tools.asvlint.summaries import (
+    INFINITE,
+    UNKNOWN,
+    FootprintDeriver,
+    ModuleSummary,
+    ProjectIndex,
+    StencilSpec,
+    _Frame,
+    _param_names,
+    declared_stencil,
+    iter_stencilled_functions,
+    parse_stencil_expr,
+    sample_envs,
+)
+
+__all__ = ["StencilHaloRule"]
+
+
+def _enclosing_function(
+    ctx: LintContext, node: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def _resolve_local(
+    name: str, fn: ast.FunctionDef | ast.AsyncFunctionDef | None
+) -> ast.expr | None:
+    """The unique plain local assignment of ``name`` in ``fn``."""
+    if fn is None:
+        return None
+    found: ast.expr | None = None
+    count = 0
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            continue
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            found = node.value
+            count += 1
+    return found if count == 1 else None
+
+
+def _kwargs_map(
+    expr: ast.expr | None, fn: ast.FunctionDef | ast.AsyncFunctionDef | None
+) -> dict[str, ast.expr] | None:
+    """The ``param -> expr`` mapping of a ``_tiled`` kwargs argument.
+
+    Accepts a ``dict(...)`` call, a ``{...}`` literal, or a name
+    resolving to one; ``None`` when the mapping cannot be determined.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Name):
+        expr = _resolve_local(expr.id, fn)
+        if expr is None:
+            return None
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "dict"
+        and not expr.args
+    ):
+        out = {}
+        for kw in expr.keywords:
+            if kw.arg is None:
+                return None  # a ** splat hides bindings
+            out[kw.arg] = kw.value
+        return out
+    if isinstance(expr, ast.Dict):
+        out = {}
+        for key, value in zip(expr.keys, expr.values):
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            out[key.value] = value
+        return out
+    return None
+
+
+def _halo_call(expr: ast.expr) -> tuple[ast.expr, dict[str, ast.expr]] | None:
+    """Split a ``<stencil>.halo(p=...)`` call into (stencil expr, kwargs)."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "halo"
+        and not expr.args
+        and all(kw.arg is not None for kw in expr.keywords)
+    ):
+        return expr.func.value, {kw.arg: kw.value for kw in expr.keywords}
+    return None
+
+
+def _band_kernel_table(
+    module: ModuleSummary, index: ProjectIndex
+) -> dict[str, StencilSpec | None] | None:
+    """Kernel name -> declared stencil, from ``_BAND_KERNELS``.
+
+    ``None`` when the module has no resolvable table; a ``None`` value
+    for one kernel means the entry did not resolve to a decorated
+    function.
+    """
+    table_expr = module.assigns.get("_BAND_KERNELS")
+    if not isinstance(table_expr, ast.Dict):
+        return None
+    table: dict[str, StencilSpec | None] = {}
+    for key, value in zip(table_expr.keys, table_expr.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        spec: StencilSpec | None = None
+        if isinstance(value, ast.Name):
+            resolved = index.resolve(module, value.id)
+            if resolved is not None and resolved[0] == "func":
+                _, fn, home = resolved
+                spec = declared_stencil(fn, home, index)
+        table[key.value] = spec
+    return table
+
+
+class _SiteChecker:
+    """Checks one file's `_tiled` / `split_rows` halo call sites."""
+
+    def __init__(self, ctx: LintContext, module: ModuleSummary, index: ProjectIndex):
+        self.ctx = ctx
+        self.module = module
+        self.index = index
+        self.deriver = FootprintDeriver(index)
+
+    # -- part 2: _tiled call sites -------------------------------------
+
+    def check_tiled(self, call: ast.Call) -> Iterator[Violation]:
+        ctx = self.ctx
+        kernel_arg = call.args[0] if call.args else None
+        if not (
+            isinstance(kernel_arg, ast.Constant) and isinstance(kernel_arg.value, str)
+        ):
+            yield ctx.violation(
+                call, "ASV006",
+                "_tiled kernel name is not a string literal, so the halo "
+                "cannot be checked against the kernel's stencil",
+                hint="pass the band-kernel name as a literal",
+            )
+            return
+        kernel = kernel_arg.value
+        table = _band_kernel_table(self.module, self.index)
+        if table is None or kernel not in table:
+            yield ctx.violation(
+                call, "ASV006",
+                f"band kernel {kernel!r} is not in this module's "
+                "_BAND_KERNELS table",
+                hint="register the kernel in _BAND_KERNELS",
+            )
+            return
+        required = table[kernel]
+        if required is None:
+            yield ctx.violation(
+                call, "ASV006",
+                f"band kernel {kernel!r} resolves to a function without an "
+                "@stencil declaration, so its halo requirement is unknown",
+                hint="declare the kernel's vertical footprint with @stencil(...)",
+            )
+            return
+        if not required.tileable:
+            yield ctx.violation(
+                call, "ASV006",
+                f"band kernel {kernel!r} declares {required.describe()}: its "
+                "footprint is the whole image and no finite halo can tile it",
+                hint="parallelise along another axis (SGM fans out over "
+                "path directions)",
+            )
+            return
+        fn = _enclosing_function(ctx, call)
+        halo_expr = self._argument(call, "halo", 3)
+        if halo_expr is None:
+            yield ctx.violation(
+                call, "ASV006", "_tiled call passes no halo",
+                hint="pass halo=<KERNEL_STENCIL>.halo(...)",
+            )
+            return
+        if isinstance(halo_expr, ast.Name):
+            resolved = _resolve_local(halo_expr.id, fn)
+            if resolved is not None:
+                halo_expr = resolved
+        kwargs_expr = self._argument(call, "kwargs", 2)
+        kw_map = _kwargs_map(kwargs_expr, fn)
+        split = _halo_call(halo_expr)
+        if split is not None:
+            yield from self._check_stencil_site(
+                call, kernel, required, split, kw_map
+            )
+            return
+        yield from self._check_numeric_site(
+            call, kernel, required, halo_expr, kw_map, fn
+        )
+
+    def _argument(
+        self, call: ast.Call, name: str, position: int
+    ) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        if len(call.args) > position:
+            arg = call.args[position]
+            if not isinstance(arg, ast.Starred):
+                return arg
+        return None
+
+    def _check_stencil_site(
+        self,
+        call: ast.Call,
+        kernel: str,
+        required: StencilSpec,
+        split: tuple[ast.expr, dict[str, ast.expr]],
+        kw_map: dict[str, ast.expr] | None,
+    ) -> Iterator[Violation]:
+        ctx = self.ctx
+        stencil_expr, halo_kwargs = split
+        site_spec = parse_stencil_expr(stencil_expr, self.module, self.index)
+        if site_spec is None:
+            yield ctx.violation(
+                call, "ASV006",
+                f"halo for kernel {kernel!r} is computed from an expression "
+                "that does not resolve to a Stencil declaration",
+                hint="use the stencil constant declared next to the kernel",
+            )
+            return
+        if site_spec != required:
+            yield ctx.violation(
+                call, "ASV006",
+                f"halo for kernel {kernel!r} is computed from "
+                f"{site_spec.describe()} but the kernel declares "
+                f"{required.describe()}",
+                hint="compute the halo from the kernel's own stencil constant",
+            )
+            return
+        # the stencil parameters must be fed the same expressions the
+        # kernel itself will receive through kwargs
+        resolved = self._resolve_kernel(kernel)
+        for param in required.params():
+            site_arg = halo_kwargs.get(param)
+            if site_arg is None:
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"halo for kernel {kernel!r} does not bind the stencil "
+                    f"parameter {param!r}",
+                    hint=f"pass {param}=... to .halo()",
+                )
+                return
+            kernel_arg = kw_map.get(param) if kw_map is not None else None
+            if kernel_arg is None:
+                kernel_arg = self._kernel_default(resolved, param)
+            if kernel_arg is None:
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"cannot determine the {param!r} value kernel {kernel!r} "
+                    "will receive (kwargs are not statically resolvable)",
+                    hint="build kwargs with a literal dict(...) at the call site",
+                )
+                return
+            if ast.dump(site_arg) != ast.dump(kernel_arg):
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"halo for kernel {kernel!r} is computed from "
+                    f"{param}={ast.unparse(site_arg)} but the kernel receives "
+                    f"{param}={ast.unparse(kernel_arg)}",
+                    hint="thread the same expression into .halo() and kwargs",
+                )
+                return
+
+    def _resolve_kernel(self, kernel: str):
+        table_expr = self.module.assigns.get("_BAND_KERNELS")
+        if not isinstance(table_expr, ast.Dict):
+            return None
+        for key, value in zip(table_expr.keys, table_expr.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == kernel
+                and isinstance(value, ast.Name)
+            ):
+                resolved = self.index.resolve(self.module, value.id)
+                if resolved is not None and resolved[0] == "func":
+                    return resolved
+        return None
+
+    def _kernel_default(self, resolved, param: str) -> ast.expr | None:
+        """The kernel's own default expression for ``param``."""
+        if resolved is None:
+            return None
+        _, fn, _home = resolved
+        a = fn.args
+        positional = [*a.posonlyargs, *a.args]
+        for p, default in zip(
+            positional[len(positional) - len(a.defaults):], a.defaults
+        ):
+            if p.arg == param:
+                return default
+        for p, default in zip(a.kwonlyargs, a.kw_defaults):
+            if p.arg == param and default is not None:
+                return default
+        return None
+
+    def _check_numeric_site(
+        self,
+        call: ast.Call,
+        kernel: str,
+        required: StencilSpec,
+        halo_expr: ast.expr,
+        kw_map: dict[str, ast.expr] | None,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    ) -> Iterator[Violation]:
+        """Sampled comparison of a non-stencil halo expression."""
+        ctx = self.ctx
+        if kw_map is None:
+            yield ctx.violation(
+                call, "ASV006",
+                f"cannot statically resolve the kwargs kernel {kernel!r} "
+                "receives, so the halo cannot be verified",
+                hint="build kwargs with a literal dict(...) at the call site",
+            )
+            return
+        resolved = self._resolve_kernel(kernel)
+        for env in sample_envs(required):
+            effective = dict(env)
+            bindings: dict[str, Any] = {}
+            unverifiable = False
+            for param in required.params():
+                kernel_arg = kw_map.get(param)
+                if kernel_arg is None:
+                    kernel_arg = self._kernel_default(resolved, param)
+                if kernel_arg is None:
+                    unverifiable = True
+                    break
+                if isinstance(kernel_arg, ast.Constant):
+                    # a pinned parameter replaces the sample
+                    effective[param] = kernel_arg.value
+                elif isinstance(kernel_arg, ast.Name):
+                    bindings[kernel_arg.id] = env.get(param)
+                else:
+                    unverifiable = True
+                    break
+            if unverifiable:
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"cannot statically relate the halo of kernel {kernel!r} "
+                    f"to its {required.describe()} parameters",
+                    hint="compute the halo from the kernel's stencil constant",
+                )
+                return
+            required_halo = required.halo_value(effective)
+            if required_halo is UNKNOWN:
+                continue
+            frame = _Frame(self.module, fn, bindings)
+            provided = self.deriver.eval(halo_expr, frame)
+            if not isinstance(provided, (int, float)) or isinstance(provided, bool):
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"halo expression {ast.unparse(halo_expr)!r} for kernel "
+                    f"{kernel!r} cannot be statically evaluated",
+                    hint="compute the halo from the kernel's stencil constant",
+                )
+                return
+            if provided < required_halo:
+                sample = ", ".join(f"{k}={v}" for k, v in effective.items())
+                yield ctx.violation(
+                    call, "ASV006",
+                    f"halo {ast.unparse(halo_expr)} = {provided:g} is smaller "
+                    f"than kernel {kernel!r}'s {required_halo:g}-row footprint "
+                    f"(at {sample}): bands would read stale rows",
+                    hint="compute the halo from the kernel's stencil constant",
+                )
+                return
+
+    # -- part 3: direct split_rows calls -------------------------------
+
+    def check_split_rows(self, call: ast.Call) -> Iterator[Violation]:
+        ctx = self.ctx
+        halo_expr = self._argument(call, "halo", 2)
+        if halo_expr is None:
+            return
+        fn = _enclosing_function(ctx, call)
+        if (
+            isinstance(halo_expr, ast.Name)
+            and fn is not None
+            and halo_expr.id in _param_names(fn)
+            and _resolve_local(halo_expr.id, fn) is None
+        ):
+            return  # generic machinery: verified at its own call sites
+        if isinstance(halo_expr, ast.Name):
+            resolved = _resolve_local(halo_expr.id, fn)
+            if resolved is not None:
+                halo_expr = resolved
+        split = _halo_call(halo_expr)
+        if split is None:
+            if isinstance(halo_expr, ast.Constant) and halo_expr.value == 0:
+                return  # an explicit zero halo means independent rows
+            yield ctx.violation(
+                call, "ASV006",
+                "split_rows halo is not derived from a kernel stencil "
+                "(and is not a pass-through parameter)",
+                hint="compute the halo with <KERNEL_STENCIL>.halo(...)",
+            )
+            return
+        site_spec = parse_stencil_expr(split[0], self.module, self.index)
+        if site_spec is None:
+            yield ctx.violation(
+                call, "ASV006",
+                "split_rows halo stencil does not resolve to a Stencil "
+                "declaration",
+                hint="use the stencil constant declared next to the kernel",
+            )
+            return
+        # the stencil must belong to a kernel this function actually runs
+        if fn is not None:
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call) or node is call:
+                    continue
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name is None:
+                    continue
+                resolved = self.index.resolve(self.module, name)
+                if resolved is None or resolved[0] != "func":
+                    continue
+                spec = declared_stencil(resolved[1], resolved[2], self.index)
+                if spec == site_spec:
+                    return
+        yield ctx.violation(
+            call, "ASV006",
+            f"split_rows halo is computed from {site_spec.describe()} but no "
+            "kernel declaring that stencil is invoked in this function",
+            hint="band with the stencil of the kernel the bands will run",
+        )
+
+
+@register_rule
+class StencilHaloRule(Rule):
+    """ASV006: every tiled call site's halo must cover — provably, at
+    lint time — the declared (and derived) footprint of the kernel it
+    wraps."""
+
+    code = "ASV006"
+    name = "halo-sufficiency"
+    rationale = (
+        "the tiled==serial bit-identity of PR 5/6/8 holds only when each "
+        "band's halo covers the kernel's vertical footprint; a shrunk halo "
+        "corrupts rows silently, far from the edit that broke it"
+    )
+    hint = (
+        "declare footprints once with @stencil(...) next to the kernel and "
+        "compute every halo via <STENCIL>.halo(...)"
+    )
+    scope = ("repro/parallel/", "repro/stereo/", "repro/flow/")
+
+    def check(self, ctx: LintContext) -> Iterable[Violation]:
+        index = ProjectIndex.for_root(ctx.repo_root)
+        module = ModuleSummary(ctx.tree, name=ctx.rel.removesuffix(".py").replace("/", "."))
+        deriver = FootprintDeriver(index)
+        # part 1: declared vs derived, per decorated kernel
+        for fn, spec in iter_stencilled_functions(module, index):
+            params = [*_param_names(fn), *(p.arg for p in fn.args.kwonlyargs)]
+            for param in spec.params():
+                if param not in params and fn.args.kwarg is None:
+                    yield ctx.violation(
+                        fn, "ASV006",
+                        f"stencil parameter {param!r} is not a parameter of "
+                        f"kernel {fn.name!r}",
+                        hint="name the kernel keyword the footprint scales with",
+                    )
+                    break
+            else:
+                if spec.tileable:
+                    for env in sample_envs(spec):
+                        declared = spec.halo_value(env)
+                        if declared is UNKNOWN:
+                            continue
+                        derived = deriver.reach(fn, module, env)
+                        if derived > declared:
+                            sample = ", ".join(f"{k}={v}" for k, v in env.items())
+                            reach = "unbounded" if derived == INFINITE else f"{derived:g} rows"
+                            yield ctx.violation(
+                                fn, "ASV006",
+                                f"kernel {fn.name!r} declares a {declared:g}-row "
+                                f"halo (at {sample}) but its body reaches "
+                                f"{reach}",
+                                hint="widen the stencil declaration or shrink "
+                                "the kernel's vertical reach",
+                            )
+                            break
+        # parts 2 and 3: call sites
+        checker = _SiteChecker(ctx, module, index)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "_tiled":
+                yield from checker.check_tiled(node)
+            elif (
+                isinstance(node.func, ast.Name) and node.func.id == "split_rows"
+            ) or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "split_rows"
+            ):
+                yield from checker.check_split_rows(node)

@@ -1,0 +1,973 @@
+"""Per-module function summaries and stencil-footprint derivation.
+
+ASV006 must answer two questions without running the kernels:
+
+1. What vertical footprint does a kernel's *declared* stencil promise
+   (the ``@stencil(...)`` decorator from :mod:`repro.parallel.tiles`)?
+2. What footprint does the kernel's *body* actually have — how many
+   rows above/below a pixel can its output depend on?
+
+:class:`StencilSpec` answers the first: it mirrors the arithmetic of
+``repro.parallel.tiles.Stencil`` (the formulas are intentionally
+duplicated here so the linter never imports the code under analysis;
+``tests/test_asvlint_dataflow.py`` pins the two implementations
+against each other).
+
+:class:`FootprintDeriver` answers the second with a best-effort
+abstract evaluator over the AST: it recognises the repo's reach
+primitives — vertical :func:`scipy.ndimage.correlate1d` sweeps (tap
+arrays built via ``np.arange(-r, r + 1)`` / ``np.full(size, ...)``,
+threaded through locals, tuple unpacks and helper returns),
+``np.pad`` — and composes transitively through project-local calls,
+resolved across modules by :class:`ProjectIndex`.  Calls into
+functions that themselves declare a stencil short-circuit to the
+declared halo (evaluated with the call-site arguments), so the
+derivation is compositional.  Anything it cannot understand evaluates
+to :data:`UNKNOWN` and contributes *nothing* to the derived footprint:
+the result is a lower bound, which makes "derived > declared" a sound
+violation but silence not a proof.
+
+Both sides are compared numerically on a grid of sample parameter
+values (:func:`sample_envs`) rather than symbolically — the parameter
+spaces are tiny (odd windows, a handful of sigmas) and sampling keeps
+the evaluator honest about integer arithmetic (``//``, ``round``).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = [
+    "INFINITE",
+    "UNKNOWN",
+    "ModuleSummary",
+    "ProjectIndex",
+    "StencilSpec",
+    "FootprintDeriver",
+    "declared_stencil",
+    "parse_stencil_expr",
+    "sample_envs",
+]
+
+#: footprint of an untileable kernel (SGM's whole-image DP)
+INFINITE = float("inf")
+
+
+class _Unknown:
+    """Sentinel for "the evaluator cannot determine this value".
+
+    Distinct from Python ``None``, which is a perfectly evaluable
+    constant (``radius=None`` selects a stencil's derived default).
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+
+#: recursion limit for the abstract evaluator.  Real cycles are cut by
+#: the per-function ``_active`` guard; this bounds pathological
+#: self-referential local chains (``img = np.asarray(img)``), which
+#: burn a few levels per round trip.  Legitimate chains (call-site ->
+#: taps -> helper -> helper default) run ~20 levels deep.
+_MAX_DEPTH = 64
+
+
+# ----------------------------------------------------------------------
+# module summaries and cross-module resolution
+# ----------------------------------------------------------------------
+
+
+class ModuleSummary:
+    """Top-level names of one module: functions, classes, constants,
+    imports — everything name resolution needs."""
+
+    def __init__(self, tree: ast.Module, name: str = "") -> None:
+        self.name = name
+        self.tree = tree
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.assigns: dict[str, ast.expr] = {}
+        #: local name -> (source module, original name | None for
+        #: whole-module imports)
+        self.imports: dict[str, tuple[str, str | None]] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self.assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.assigns[stmt.target.id] = stmt.value
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    self.imports[bound] = (alias.name, None)
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = (stmt.module, alias.name)
+
+
+class ProjectIndex:
+    """Lazily parsed module summaries for one repository.
+
+    Modules are resolved from ``<repo_root>/src`` (the ``repro``
+    package) and ``<repo_root>`` (the ``tools`` package) and cached;
+    an index is itself cached per repo root so one lint run parses
+    each imported module at most once across all files and rules.
+    """
+
+    _by_root: dict[str, "ProjectIndex"] = {}
+
+    def __init__(self, repo_root: pathlib.Path | None) -> None:
+        self.repo_root = repo_root
+        self._modules: dict[str, ModuleSummary | None] = {}
+
+    @classmethod
+    def for_root(cls, repo_root: pathlib.Path | None) -> "ProjectIndex":
+        key = str(repo_root) if repo_root is not None else ""
+        if key not in cls._by_root:
+            cls._by_root[key] = cls(repo_root)
+        return cls._by_root[key]
+
+    def module(self, dotted: str) -> ModuleSummary | None:
+        if dotted in self._modules:
+            return self._modules[dotted]
+        summary: ModuleSummary | None = None
+        if self.repo_root is not None:
+            rel = pathlib.Path(*dotted.split("."))
+            for base in (self.repo_root / "src", self.repo_root):
+                for candidate in (
+                    base / rel.with_suffix(".py"),
+                    base / rel / "__init__.py",
+                ):
+                    if candidate.is_file():
+                        try:
+                            tree = ast.parse(candidate.read_text())
+                        except (OSError, SyntaxError, UnicodeDecodeError):
+                            continue
+                        summary = ModuleSummary(tree, name=dotted)
+                        break
+                if summary is not None:
+                    break
+        self._modules[dotted] = summary
+        return summary
+
+    def resolve(
+        self, module: ModuleSummary, name: str, hops: int = 4
+    ) -> tuple[str, Any, ModuleSummary] | None:
+        """Resolve a top-level name to ``(kind, payload, home_module)``.
+
+        ``kind`` is ``"func"`` (payload: the FunctionDef), ``"const"``
+        (payload: the assigned expression) or ``"class"``; import
+        chains are followed up to ``hops`` modules deep.
+        """
+        for _ in range(hops):
+            if name in module.functions:
+                return ("func", module.functions[name], module)
+            if name in module.assigns:
+                return ("const", module.assigns[name], module)
+            if name in module.classes:
+                return ("class", module.classes[name], module)
+            if name not in module.imports:
+                return None
+            mod_name, orig = module.imports[name]
+            if orig is None:
+                return None
+            target = self.module(mod_name)
+            if target is None:
+                return None
+            module, name = target, orig
+        return None
+
+
+# ----------------------------------------------------------------------
+# declared stencils
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """Static twin of ``repro.parallel.tiles.Stencil``."""
+
+    kind: str
+    param: str | None = None
+    value: int = 0
+    override: str | None = None
+
+    @property
+    def tileable(self) -> bool:
+        return self.kind != "infinite"
+
+    def params(self) -> tuple[str, ...]:
+        """Kernel keyword names the halo computation reads."""
+        names = []
+        if self.param is not None:
+            names.append(self.param)
+        if self.override is not None:
+            names.append(self.override)
+        return tuple(names)
+
+    def halo_value(self, env: dict[str, Any]) -> Any:
+        """Halo for concrete parameter values (mirrors ``Stencil.halo``).
+
+        Returns a number, :data:`INFINITE`, or :data:`UNKNOWN` when a
+        needed parameter is absent or unknown.
+        """
+        if self.kind == "pointwise":
+            return 0
+        if self.kind == "fixed":
+            return self.value
+        if self.kind == "infinite":
+            return INFINITE
+        if self.override is not None:
+            ov = env.get(self.override)
+            if ov is UNKNOWN:
+                return UNKNOWN
+            if ov is not None:
+                return int(ov)
+        arg = env.get(self.param)
+        if arg is None or arg is UNKNOWN or isinstance(arg, bool):
+            return UNKNOWN
+        if not isinstance(arg, (int, float)):
+            return UNKNOWN
+        if self.kind == "window":
+            return int(arg) // 2
+        if self.kind == "radius":
+            return int(arg)
+        if self.kind == "gaussian":
+            return max(2, int(round(3.0 * arg)))
+        if self.kind == "blur":
+            return int(4.0 * arg + 0.5)
+        return UNKNOWN  # pragma: no cover - exhaustive above
+
+    def describe(self) -> str:
+        if self.kind in ("pointwise", "infinite"):
+            return f"Stencil.{self.kind}()"
+        if self.kind == "fixed":
+            return f"Stencil.fixed({self.value})"
+        if self.override is not None:
+            return f"Stencil.{self.kind}({self.param!r}, override={self.override!r})"
+        return f"Stencil.{self.kind}({self.param!r})"
+
+
+_STENCIL_CTORS = {
+    "pointwise", "fixed", "window", "radius", "gaussian", "blur", "infinite",
+}
+
+
+def parse_stencil_expr(
+    expr: ast.expr, module: ModuleSummary, index: ProjectIndex, hops: int = 4
+) -> StencilSpec | None:
+    """Parse ``Stencil.window("block_size")``-shaped expressions.
+
+    Follows names (``BLOCK_STENCIL``) through module constants and
+    import chains, so a call site in ``executor.py`` resolves the
+    constant declared next to the kernel it wraps.
+    """
+    for _ in range(hops):
+        if isinstance(expr, ast.Name):
+            resolved = index.resolve(module, expr.id)
+            if resolved is None or resolved[0] != "const":
+                return None
+            _, expr, module = resolved
+            continue
+        break
+    if not (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and isinstance(expr.func.value, ast.Name)
+        and expr.func.value.id == "Stencil"
+        and expr.func.attr in _STENCIL_CTORS
+    ):
+        return None
+    ctor = expr.func.attr
+    args = [a.value for a in expr.args if isinstance(a, ast.Constant)]
+    if len(args) != len(expr.args):
+        return None
+    kwargs = {
+        kw.arg: kw.value.value
+        for kw in expr.keywords
+        if kw.arg is not None and isinstance(kw.value, ast.Constant)
+    }
+    try:
+        if ctor in ("pointwise", "infinite"):
+            return StencilSpec(kind=ctor)
+        if ctor == "fixed":
+            return StencilSpec(kind="fixed", value=int(args[0]))
+        param = args[0] if args else kwargs.get("param")
+        if not isinstance(param, str):
+            return None
+        override = kwargs.get("override")
+        if not args and "param" not in kwargs:
+            return None
+        if ctor == "gaussian" and len(expr.args) > 1:
+            override = args[1]
+        if override is not None and not isinstance(override, str):
+            return None
+        return StencilSpec(kind=ctor, param=param, override=override)
+    except (IndexError, TypeError, ValueError):
+        return None
+
+
+def declared_stencil(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    module: ModuleSummary,
+    index: ProjectIndex,
+) -> StencilSpec | None:
+    """The spec attached by an ``@stencil(...)`` decorator, if any."""
+    for dec in fn.decorator_list:
+        if (
+            isinstance(dec, ast.Call)
+            and isinstance(dec.func, ast.Name)
+            and dec.func.id == "stencil"
+            and len(dec.args) == 1
+        ):
+            return parse_stencil_expr(dec.args[0], module, index)
+    return None
+
+
+def sample_envs(spec: StencilSpec) -> list[dict[str, Any]]:
+    """Concrete parameter grids the declared/derived halos are compared
+    on (odd windows up to 31, the sigmas the pipelines actually use)."""
+    if spec.kind in ("pointwise", "fixed", "infinite"):
+        return [{}]
+    if spec.kind == "window":
+        return [{spec.param: v} for v in (3, 5, 9, 15, 31)]
+    if spec.kind == "radius":
+        return [{spec.param: v} for v in (1, 2, 4, 8)]
+    if spec.kind == "blur":
+        return [{spec.param: v} for v in (0.5, 1.0, 2.0, 4.0)]
+    # gaussian: the override (explicit radius) both absent and pinned
+    envs: list[dict[str, Any]] = [
+        {spec.param: v} for v in (0.5, 1.0, 1.5, 2.5, 4.0)
+    ]
+    if spec.override is not None:
+        for env in envs:
+            env[spec.override] = None
+        envs.append({spec.param: 1.5, spec.override: 3})
+        envs.append({spec.param: 1.5, spec.override: 7})
+    return envs
+
+
+# ----------------------------------------------------------------------
+# the abstract evaluator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Taps:
+    """A 1-D filter-tap array whose reach radius is known."""
+
+    radius: Any  # number or UNKNOWN
+
+
+@dataclass
+class _TupleVal:
+    items: list[Any]
+
+
+@dataclass
+class _FuncVal:
+    fn: ast.FunctionDef | ast.AsyncFunctionDef
+    module: ModuleSummary
+
+
+@dataclass
+class _ModuleVal:
+    name: str
+
+
+@dataclass
+class _Builtin:
+    name: str
+
+
+class _Lazy:
+    """A deferred expression evaluation (argument thunk)."""
+
+    __slots__ = ("expr", "frame", "_value", "_done")
+
+    def __init__(self, expr: ast.expr, frame: "_Frame") -> None:
+        self.expr = expr
+        self.frame = frame
+        self._done = False
+        self._value: Any = UNKNOWN
+
+
+@dataclass
+class _Frame:
+    """One evaluation scope: a module, optionally a function, and the
+    function's parameter bindings."""
+
+    module: ModuleSummary
+    fn: ast.FunctionDef | ast.AsyncFunctionDef | None
+    bindings: dict[str, Any]
+
+
+_BUILTIN_NAMES = {"max", "min", "int", "round", "abs", "float", "len"}
+
+#: numpy ufuncs that preserve a tap array's support elementwise
+_ELEMENTWISE = {"exp", "abs", "asarray", "ascontiguousarray", "astype"}
+
+_VERTICAL_AXES = (0, -2)
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    a = fn.args
+    return [p.arg for p in (*a.posonlyargs, *a.args)]
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _walk_shallow(node: ast.AST):
+    """Walk skipping nested function/class bodies."""
+    queue = [node]
+    while queue:
+        cur = queue.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            queue.append(child)
+
+
+class FootprintDeriver:
+    """Best-effort evaluator for stencil parameters and body footprints."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._active: set[tuple[str, str]] = set()
+
+    # -- value evaluation ----------------------------------------------
+
+    def eval(self, expr: ast.expr, frame: _Frame, depth: int = 0) -> Any:
+        if depth > _MAX_DEPTH:
+            return UNKNOWN
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr.id, frame, depth)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, frame, depth)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, frame, depth)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.eval(expr.operand, frame, depth + 1)
+            if isinstance(operand, (int, float)) and not isinstance(operand, bool):
+                if isinstance(expr.op, ast.USub):
+                    return -operand
+                if isinstance(expr.op, ast.UAdd):
+                    return +operand
+            if isinstance(expr.op, ast.Not) and isinstance(operand, bool):
+                return not operand
+            return UNKNOWN
+        if isinstance(expr, ast.IfExp):
+            test = self.eval(expr.test, frame, depth + 1)
+            if test is True:
+                return self.eval(expr.body, frame, depth + 1)
+            if test is False:
+                return self.eval(expr.orelse, frame, depth + 1)
+            return UNKNOWN
+        if isinstance(expr, ast.Compare):
+            return self._eval_compare(expr, frame, depth)
+        if isinstance(expr, ast.Tuple):
+            return _TupleVal([_Lazy(e, frame) for e in expr.elts])
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value, frame, depth + 1)
+            idx = self.eval(expr.slice, frame, depth + 1)
+            if isinstance(base, _TupleVal) and isinstance(idx, int):
+                if 0 <= idx < len(base.items):
+                    return self._force(base.items[idx], depth + 1)
+            return UNKNOWN
+        if isinstance(expr, ast.Attribute):
+            chain = _attr_chain(expr)
+            if chain is not None and len(chain) >= 2:
+                root = self._eval_name(chain[0], frame, depth)
+                if isinstance(root, _ModuleVal) and len(chain) == 2:
+                    target = self.index.module(root.name)
+                    if target is not None:
+                        resolved = self.index.resolve(target, chain[1])
+                        if resolved is not None:
+                            kind, payload, home = resolved
+                            if kind == "func":
+                                return _FuncVal(payload, home)
+                            if kind == "const":
+                                return self.eval(
+                                    payload, _Frame(home, None, {}), depth + 1
+                                )
+            return UNKNOWN
+        return UNKNOWN
+
+    def _force(self, value: Any, depth: int) -> Any:
+        if isinstance(value, _Lazy):
+            if not value._done:
+                value._value = self.eval(value.expr, value.frame, depth + 1)
+                value._done = True
+            return value._value
+        return value
+
+    def _eval_name(self, name: str, frame: _Frame, depth: int) -> Any:
+        if name in frame.bindings:
+            value = self._force(frame.bindings[name], depth)
+            if value is None and frame.fn is not None:
+                default = self._conditional_default(name, frame.fn)
+                if default is not None:
+                    return self.eval(default, frame, depth + 1)
+            return value
+        if frame.fn is not None:
+            local = self._local_assign(name, frame.fn)
+            if local is not None:
+                value_expr, tuple_index = local
+                value = self.eval(value_expr, frame, depth + 1)
+                if tuple_index is None:
+                    return value
+                if isinstance(value, _TupleVal) and tuple_index < len(value.items):
+                    return self._force(value.items[tuple_index], depth + 1)
+                return UNKNOWN
+            if name in _param_names(frame.fn):
+                return UNKNOWN  # parameter without a binding
+        resolved = self.index.resolve(frame.module, name)
+        if resolved is not None:
+            kind, payload, home = resolved
+            if kind == "func":
+                return _FuncVal(payload, home)
+            if kind == "const":
+                return self.eval(payload, _Frame(home, None, {}), depth + 1)
+            return UNKNOWN
+        if name in frame.module.imports and frame.module.imports[name][1] is None:
+            return _ModuleVal(frame.module.imports[name][0])
+        if name in _BUILTIN_NAMES:
+            return _Builtin(name)
+        return UNKNOWN
+
+    def _conditional_default(
+        self, name: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> ast.expr | None:
+        """The ``E`` of an ``if name is None: name = E`` default idiom."""
+        for node in _walk_shallow(fn):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            if not (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == name
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.Is)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            ):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == name
+                ):
+                    return stmt.value
+        return None
+
+    def _local_assign(
+        self, name: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[ast.expr, int | None] | None:
+        """The unique plain/tuple assignment binding ``name`` in ``fn``.
+
+        Ambiguous names (reassigned, loop targets, augmented) resolve
+        to ``None`` — the evaluator then reports UNKNOWN rather than
+        guessing which definition reaches a use.
+        """
+        found: tuple[ast.expr, int | None] | None = None
+        count = 0
+        for node in _walk_shallow(fn):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                for target in _walk_shallow(node.target):
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return None
+            if isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name) and node.target.id == name:
+                    return None
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == name:
+                # skip the `if x is None: x = ...` default; the param
+                # lookup path applies it only when the bound value is None
+                if self._is_conditional_default_assign(node, name, fn):
+                    continue
+                found = (node.value, None)
+                count += 1
+            elif isinstance(target, ast.Tuple):
+                for i, elt in enumerate(target.elts):
+                    if isinstance(elt, ast.Name) and elt.id == name:
+                        found = (node.value, i)
+                        count += 1
+        return found if count == 1 else None
+
+    def _is_conditional_default_assign(
+        self, assign: ast.Assign, name: str, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        default = self._conditional_default(name, fn)
+        return default is assign.value
+
+    def _eval_binop(self, expr: ast.BinOp, frame: _Frame, depth: int) -> Any:
+        left = self.eval(expr.left, frame, depth + 1)
+        right = self.eval(expr.right, frame, depth + 1)
+        taps = [v for v in (left, right) if isinstance(v, _Taps)]
+        if taps:
+            radii = [t.radius for t in taps if t.radius is not UNKNOWN]
+            return _Taps(max(radii) if radii else UNKNOWN)
+        if not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (left, right)
+        ):
+            return UNKNOWN
+        try:
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.Div):
+                return left / right
+            if isinstance(expr.op, ast.FloorDiv):
+                return left // right
+            if isinstance(expr.op, ast.Mod):
+                return left % right
+            if isinstance(expr.op, ast.Pow):
+                return left ** right
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_compare(self, expr: ast.Compare, frame: _Frame, depth: int) -> Any:
+        if len(expr.ops) != 1:
+            return UNKNOWN
+        left = self.eval(expr.left, frame, depth + 1)
+        right = self.eval(expr.comparators[0], frame, depth + 1)
+        op = expr.ops[0]
+        if isinstance(op, (ast.Is, ast.IsNot)):
+            if left is UNKNOWN or right is not None:
+                return UNKNOWN
+            result = left is None
+            return result if isinstance(op, ast.Is) else not result
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (left, right)
+        )
+        if not numeric:
+            return UNKNOWN
+        if isinstance(op, ast.Lt):
+            return left < right
+        if isinstance(op, ast.LtE):
+            return left <= right
+        if isinstance(op, ast.Gt):
+            return left > right
+        if isinstance(op, ast.GtE):
+            return left >= right
+        if isinstance(op, ast.Eq):
+            return left == right
+        if isinstance(op, ast.NotEq):
+            return left != right
+        return UNKNOWN
+
+    def _eval_call(self, call: ast.Call, frame: _Frame, depth: int) -> Any:
+        # Stencil.<ctor>(...) — a spec literal
+        spec = parse_stencil_expr(call, frame.module, self.index, hops=0)
+        if spec is not None:
+            return spec
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # <stencil>.halo(param=...) — evaluate the declared formula
+            if func.attr == "halo":
+                site = parse_stencil_expr(func.value, frame.module, self.index)
+                if site is not None:
+                    env = {
+                        kw.arg: self.eval(kw.value, frame, depth + 1)
+                        for kw in call.keywords
+                        if kw.arg is not None
+                    }
+                    return site.halo_value(env)
+            # tap-array builders and elementwise numpy propagation
+            if func.attr == "arange":
+                return self._eval_arange(call, frame, depth)
+            if func.attr == "full" and call.args:
+                size = self.eval(call.args[0], frame, depth + 1)
+                if isinstance(size, int) and not isinstance(size, bool):
+                    return _Taps(size // 2)
+                return _Taps(UNKNOWN)
+            if func.attr in _ELEMENTWISE and call.args:
+                arg = self.eval(call.args[0], frame, depth + 1)
+                if isinstance(arg, _Taps):
+                    return arg
+                return UNKNOWN
+            target = self.eval(func, frame, depth + 1)
+            if isinstance(target, _FuncVal):
+                return self._call_function(target, call, frame, depth)
+            return UNKNOWN
+        if isinstance(func, ast.Name):
+            if func.id == "arange":
+                return self._eval_arange(call, frame, depth)
+            target = self._eval_name(func.id, frame, depth)
+            if isinstance(target, _Builtin):
+                return self._call_builtin(target.name, call, frame, depth)
+            if isinstance(target, _FuncVal):
+                return self._call_function(target, call, frame, depth)
+            if isinstance(target, StencilSpec):
+                return UNKNOWN
+        return UNKNOWN
+
+    def _eval_arange(self, call: ast.Call, frame: _Frame, depth: int) -> Any:
+        """``np.arange(-r, r + 1, ...)`` is a tap array of radius r."""
+        if len(call.args) < 2:
+            return UNKNOWN
+        lo, hi = call.args[0], call.args[1]
+        if not (
+            isinstance(lo, ast.UnaryOp)
+            and isinstance(lo.op, ast.USub)
+            and isinstance(hi, ast.BinOp)
+            and isinstance(hi.op, ast.Add)
+            and isinstance(hi.right, ast.Constant)
+            and hi.right.value == 1
+            and ast.dump(lo.operand) == ast.dump(hi.left)
+        ):
+            return UNKNOWN
+        radius = self.eval(lo.operand, frame, depth + 1)
+        if isinstance(radius, (int, float)) and not isinstance(radius, bool):
+            return _Taps(radius)
+        return _Taps(UNKNOWN)
+
+    def _call_builtin(
+        self, name: str, call: ast.Call, frame: _Frame, depth: int
+    ) -> Any:
+        args = [self.eval(a, frame, depth + 1) for a in call.args]
+        if any(
+            not (isinstance(a, (int, float)) and not isinstance(a, bool))
+            for a in args
+        ) or not args:
+            return UNKNOWN
+        try:
+            if name == "max":
+                return max(args)
+            if name == "min":
+                return min(args)
+            if name == "int":
+                return int(args[0])
+            if name == "round":
+                return round(*args)
+            if name == "abs":
+                return abs(args[0])
+            if name == "float":
+                return float(args[0])
+        except (TypeError, ValueError):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _bind_call(
+        self, target: _FuncVal, call: ast.Call, frame: _Frame
+    ) -> dict[str, Any]:
+        """Parameter bindings for a call: positionals, keywords, then
+        the callee's own defaults (evaluated in *its* module)."""
+        params = _param_names(target.fn)
+        bindings: dict[str, Any] = {}
+        has_star = any(isinstance(a, ast.Starred) for a in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        )
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(params):
+                bindings[params[i]] = _Lazy(arg, frame)
+        for kw in call.keywords:
+            if kw.arg is not None:
+                bindings[kw.arg] = _Lazy(kw.value, frame)
+        a = target.fn.args
+        if has_star:
+            # a *args/**kwargs splat may bind anything: parameters it
+            # could cover must stay UNKNOWN, not take their defaults
+            for p in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+                bindings.setdefault(p.arg, UNKNOWN)
+            return bindings
+        callee_frame = _Frame(target.module, None, {})
+        positional = [*a.posonlyargs, *a.args]
+        for p, default in zip(positional[len(positional) - len(a.defaults):], a.defaults):
+            bindings.setdefault(p.arg, _Lazy(default, callee_frame))
+        for p, default in zip(a.kwonlyargs, a.kw_defaults):
+            if default is not None:
+                bindings.setdefault(p.arg, _Lazy(default, callee_frame))
+        return bindings
+
+    def _call_function(
+        self, target: _FuncVal, call: ast.Call, frame: _Frame, depth: int
+    ) -> Any:
+        key = (target.module.name, target.fn.name)
+        if key in self._active or depth > _MAX_DEPTH:
+            return UNKNOWN
+        bindings = self._bind_call(target, call, frame)
+        callee = _Frame(target.module, target.fn, bindings)
+        returns = [
+            node
+            for node in _walk_shallow(target.fn)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        if not returns:
+            return UNKNOWN
+        self._active.add(key)
+        try:
+            values = [self.eval(r.value, callee, depth + 1) for r in returns]
+        finally:
+            self._active.discard(key)
+        if len(values) == 1:
+            return values[0]
+        if all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+        ):
+            return max(values)
+        real = [v for v in values if v is not UNKNOWN]
+        if len(real) == 1:
+            return real[0]
+        return UNKNOWN
+
+    # -- footprint derivation ------------------------------------------
+
+    def reach(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        module: ModuleSummary,
+        env: dict[str, Any],
+        depth: int = 0,
+    ) -> float:
+        """Derived vertical footprint (rows) of ``fn`` for concrete
+        parameter values ``env``.  A lower bound: unknown constructs
+        contribute nothing."""
+        key = (module.name, fn.name)
+        if key in self._active or depth > _MAX_DEPTH:
+            return 0
+        frame = _Frame(module, fn, dict(env))
+        self._active.add(key)
+        try:
+            return self._reach_frame(fn, frame, depth)
+        finally:
+            self._active.discard(key)
+
+    def _reach_frame(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        frame: _Frame,
+        depth: int,
+    ) -> float:
+        total = 0.0
+        for node in _walk_shallow(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            contribution = self._call_reach(node, frame, depth)
+            if contribution == INFINITE:
+                return INFINITE
+            total = max(total, contribution)
+        return total
+
+    def _call_reach(self, call: ast.Call, frame: _Frame, depth: int) -> float:
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "correlate1d":
+            return self._correlate_reach(call, frame, depth)
+        if name == "pad" and len(call.args) >= 2:
+            width = self.eval(call.args[1], frame, depth + 1)
+            if isinstance(width, (int, float)) and not isinstance(width, bool):
+                return float(width)
+            return 0
+        # project-local composition
+        target: Any = UNKNOWN
+        if isinstance(func, ast.Name):
+            target = self._eval_name(func.id, frame, depth)
+        elif isinstance(func, ast.Attribute):
+            chain = _attr_chain(func)
+            if chain is not None and len(chain) == 2 and chain[0] != "self":
+                root = self._eval_name(chain[0], frame, depth)
+                if isinstance(root, _ModuleVal):
+                    target = self.eval(func, frame, depth + 1)
+        if not isinstance(target, _FuncVal):
+            return 0
+        declared = declared_stencil(target.fn, target.module, self.index)
+        if declared is not None:
+            env: dict[str, Any] = {}
+            bindings = self._bind_call(target, call, frame)
+            for p in declared.params():
+                env[p] = self._force(bindings[p], depth) if p in bindings else UNKNOWN
+            halo = declared.halo_value(env)
+            if halo is UNKNOWN:
+                return 0
+            return float(halo)
+        bindings = self._bind_call(target, call, frame)
+        callee = _Frame(target.module, target.fn, bindings)
+        key = (target.module.name, target.fn.name)
+        if key in self._active or depth > _MAX_DEPTH:
+            return 0
+        self._active.add(key)
+        try:
+            return self._reach_frame(target.fn, callee, depth + 1)
+        finally:
+            self._active.discard(key)
+
+    def _correlate_reach(self, call: ast.Call, frame: _Frame, depth: int) -> float:
+        axis_expr: ast.expr | None = None
+        for kw in call.keywords:
+            if kw.arg == "axis":
+                axis_expr = kw.value
+        if axis_expr is None and len(call.args) >= 3:
+            axis_expr = call.args[2]
+        if axis_expr is None:
+            return 0  # correlate1d defaults to axis=-1 (horizontal)
+        axis = self.eval(axis_expr, frame, depth + 1)
+        if isinstance(axis, int) and not isinstance(axis, bool):
+            if axis not in _VERTICAL_AXES:
+                return 0
+        # unknown axis: conservatively treat as vertical
+        weights: ast.expr | None = None
+        if len(call.args) >= 2:
+            weights = call.args[1]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "weights":
+                    weights = kw.value
+        if weights is None:
+            return 0
+        taps = self.eval(weights, frame, depth + 1)
+        if isinstance(taps, _Taps) and isinstance(taps.radius, (int, float)):
+            return float(taps.radius)
+        return 0
+
+
+def iter_stencilled_functions(
+    module: ModuleSummary, index: ProjectIndex
+) -> Iterable[tuple[ast.FunctionDef | ast.AsyncFunctionDef, StencilSpec]]:
+    """Top-level functions of a module carrying ``@stencil`` decorators."""
+    for fn in module.functions.values():
+        spec = declared_stencil(fn, module, index)
+        if spec is not None:
+            yield fn, spec
